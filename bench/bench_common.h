@@ -1,0 +1,33 @@
+// Shared helpers for the experiment benches.
+//
+// Every bench replays a scaled-down horizon (default 60 s of simulated
+// time vs hours in the paper) so the full suite finishes in seconds.
+// Override with PROTEAN_BENCH_HORIZON=<seconds> for longer runs.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+#include "common/strfmt.h"
+#include "harness/experiment.h"
+#include "harness/table.h"
+
+namespace protean::bench {
+
+inline Duration bench_horizon() {
+  if (const char* env = std::getenv("PROTEAN_BENCH_HORIZON")) {
+    const double h = std::atof(env);
+    if (h > 0.0) return h;
+  }
+  return 60.0;
+}
+
+/// Primary-experiment config at the bench horizon.
+inline harness::ExperimentConfig bench_config(const std::string& model) {
+  return harness::primary_config(model, bench_horizon());
+}
+
+inline std::string pct(double value) { return strfmt("%.2f%%", value); }
+inline std::string ms(double value) { return strfmt("%.0f", value); }
+
+}  // namespace protean::bench

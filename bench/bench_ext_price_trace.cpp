@@ -1,0 +1,65 @@
+// Extension: dynamic spot pricing.
+//
+// The paper emulates the spot market with fixed revocation probabilities
+// derived from Narayanan et al.'s dynamic-pricing analysis. This bench runs
+// the richer mechanism directly — a synthetic spot price trace with
+// bid-threshold revocations — and shows (a) how bids map to revocation
+// exposure (the paper's P_rev tiers) and (b) the end-to-end cost/SLO
+// trade-off of PROTEAN's hybrid procurement under it.
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.h"
+#include "spot/price_model.h"
+
+using namespace protean;
+
+int main() {
+  spot::PriceModelConfig price_config;
+  price_config.horizon = 2.0 * 3600.0;
+  auto trace = std::make_shared<const spot::PriceTrace>(price_config);
+
+  std::printf(
+      "Extension: dynamic spot pricing (synthetic trace, mean $%.2f/h,\n"
+      "peak $%.2f/h vs on-demand $%.2f/h)\n\n",
+      trace->mean_price(), trace->peak_price(),
+      price_config.on_demand_hourly);
+
+  std::printf("Bid -> revocation exposure (the paper's P_rev tiers):\n\n");
+  harness::Table bids({"Target P_rev", "Required bid ($/h)",
+                       "Measured exposure"});
+  for (double p_rev : {0.05, 0.354, 0.708}) {
+    const double bid = trace->bid_for_exposure(p_rev);
+    bids.add_row({strfmt("%.3f", p_rev), strfmt("%.2f", bid),
+                  strfmt("%.3f", trace->fraction_above(bid))});
+  }
+  bids.print();
+
+  std::printf("\nPROTEAN hybrid procurement under the price trace:\n\n");
+  harness::Table table({"Bid ($/h)", "Normalized cost", "SLO compliance",
+                        "Evictions"});
+  for (double p_rev : {0.05, 0.354, 0.708}) {
+    auto config = bench::bench_config("ResNet 50");
+    config.scheme = sched::Scheme::kProtean;
+    config.cluster.market.policy = spot::ProcurementPolicy::kHybrid;
+    config.cluster.market.price_trace = trace;
+    config.cluster.market.bid = trace->bid_for_exposure(p_rev);
+    config.cluster.market.revocation_check_interval = 10.0;
+    config.cluster.market.eviction_notice = 10.0;
+    config.cluster.market.vm_boot_time = 8.0;
+    const auto r = harness::run_experiment(config);
+    table.add_row({strfmt("%.2f", config.cluster.market.bid),
+                   strfmt("%.3f", r.cost_usd / r.cost_on_demand_ref_usd),
+                   bench::pct(r.slo_compliance_pct),
+                   strfmt("%d", r.evictions)});
+  }
+  table.print();
+  std::printf(
+      "\nThe mechanism the fixed-P_rev emulation misses: price spikes are\n"
+      "fleet-wide, so a mid-range bid loses *every* spot node at once and\n"
+      "compliance craters during the replacement window, while a low bid\n"
+      "simply never acquires spot (all on-demand) and a high bid rides out\n"
+      "the spikes. Correlated revocations, not their average rate, are what\n"
+      "a bid must be chosen against.\n");
+  return 0;
+}

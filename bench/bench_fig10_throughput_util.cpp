@@ -1,0 +1,34 @@
+// Figure 10: PROTEAN's other key benefits — strict throughput (DenseNet 121)
+// and GPU / memory utilization (EfficientNet-B0).
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace protean;
+  std::printf("Figure 10a: strict throughput, DenseNet 121 (req/GPU/s)\n\n");
+  {
+    auto config = bench::bench_config("DenseNet 121");
+    harness::Table table({"Scheme", "Strict throughput",
+                          "SLO-good throughput", "Total throughput"});
+    for (const auto& r : harness::run_schemes(config, sched::paper_schemes())) {
+      table.add_row({r.scheme, strfmt("%.1f", r.throughput_strict),
+                     strfmt("%.1f", r.goodput_strict),
+                     strfmt("%.1f", r.throughput_total)});
+    }
+    table.print();
+  }
+
+  std::printf("\nFigure 10b: resource utilization, EfficientNet-B0\n\n");
+  {
+    auto config = bench::bench_config("EfficientNet-B0");
+    harness::Table table(
+        {"Scheme", "GPU utilization", "Memory utilization"});
+    for (const auto& r : harness::run_schemes(config, sched::paper_schemes())) {
+      table.add_row({r.scheme, bench::pct(r.gpu_util_pct),
+                     bench::pct(r.mem_util_pct)});
+    }
+    table.print();
+  }
+  return 0;
+}

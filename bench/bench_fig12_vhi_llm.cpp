@@ -1,0 +1,33 @@
+// Figure 12: SLO compliance of all schemes for the Very High Interference
+// large language models (128 rps, batch size 4, BE model rotates through
+// the other LLMs).
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace protean;
+  std::printf(
+      "Figure 12: SLO compliance for the VHI language models (128 rps,\n"
+      "batch 4, 50/50 strict/BE, BE rotates over the other LLMs)\n\n");
+
+  harness::Table table({"Strict model", "Molecule (beta)", "Naive Slicing",
+                        "INFless/Llama", "PROTEAN"});
+  const auto llms = workload::ModelCatalog::instance().by_domain(
+      workload::Domain::kLanguage);
+  double infless_sum = 0.0;
+  for (const auto* model : llms) {
+    auto config = bench::bench_config(model->name);
+    const auto reports = harness::run_schemes(config, sched::paper_schemes());
+    infless_sum += reports[2].slo_compliance_pct;
+    table.add_row({model->name, bench::pct(reports[0].slo_compliance_pct),
+                   bench::pct(reports[1].slo_compliance_pct),
+                   bench::pct(reports[2].slo_compliance_pct),
+                   bench::pct(reports[3].slo_compliance_pct)});
+  }
+  table.print();
+  std::printf(
+      "\nINFless/Llama average across VHI models: %.2f%% (paper: 5.92%%)\n",
+      infless_sum / static_cast<double>(llms.size()));
+  return 0;
+}

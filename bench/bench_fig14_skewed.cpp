@@ -1,0 +1,37 @@
+// Figure 14: SLO compliance for skewed strictness ratios —
+// (a) Strict skewed: 75% strict / 25% BE, (b) BE skewed: 25% / 75% —
+// for ShuffleNet V2 (LI) and DPN 92 (HI).
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace protean;
+
+namespace {
+
+void run_case(const char* title, double strict_fraction) {
+  std::printf("%s (%.0f%% strict / %.0f%% BE)\n\n", title,
+              strict_fraction * 100.0, (1.0 - strict_fraction) * 100.0);
+  harness::Table table({"Strict model", "Molecule (beta)", "Naive Slicing",
+                        "INFless/Llama", "PROTEAN"});
+  for (const char* model : {"ShuffleNet V2", "DPN 92"}) {
+    auto config = bench::bench_config(model);
+    config.strict_fraction = strict_fraction;
+    const auto reports = harness::run_schemes(config, sched::paper_schemes());
+    table.add_row({model, bench::pct(reports[0].slo_compliance_pct),
+                   bench::pct(reports[1].slo_compliance_pct),
+                   bench::pct(reports[2].slo_compliance_pct),
+                   bench::pct(reports[3].slo_compliance_pct)});
+  }
+  table.print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 14: SLO compliance for skewed strictness ratios\n\n");
+  run_case("(a) Strict skewed", 0.75);
+  run_case("(b) BE skewed", 0.25);
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Figure 15: SLO compliance when the SLO target is tightened from 3x to 2x
+// the minimum execution latency.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace protean;
+  std::printf(
+      "Figure 15: SLO compliance with a tight SLO target (2x solo latency)\n\n");
+
+  harness::Table table({"Strict model", "SLO", "Molecule (beta)",
+                        "Naive Slicing", "INFless/Llama", "PROTEAN"});
+  for (const char* model : {"ResNet 50", "MobileNet", "SENet 18", "VGG 19"}) {
+    for (double multiplier : {3.0, 2.0}) {
+      auto config = bench::bench_config(model);
+      config.cluster.slo_multiplier = multiplier;
+      const auto reports =
+          harness::run_schemes(config, sched::paper_schemes());
+      table.add_row({multiplier == 3.0 ? model : "",
+                     strfmt("%.0fx", multiplier),
+                     bench::pct(reports[0].slo_compliance_pct),
+                     bench::pct(reports[1].slo_compliance_pct),
+                     bench::pct(reports[2].slo_compliance_pct),
+                     bench::pct(reports[3].slo_compliance_pct)});
+    }
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 3: normalized Fractional Bandwidth Requirements of the inference
+// workloads, with the LI/HI (and VHI) classification, plus a demonstration
+// of the profiling-side FBR estimator recovering them from co-location runs
+// (Section 3's "solving the linear equations derived from Equation 1").
+#include <algorithm>
+#include <cstdio>
+
+#include "common/strfmt.h"
+#include "core/slowdown.h"
+#include "harness/table.h"
+#include "workload/model.h"
+
+int main() {
+  using namespace protean;
+  const auto& catalog = workload::ModelCatalog::instance();
+
+  double max_fbr = 0.0;
+  for (const auto& m : catalog.all()) max_fbr = std::max(max_fbr, m.fbr);
+
+  std::printf("Figure 3: normalized FBRs of inference workloads\n\n");
+  harness::Table table({"Model", "Class", "FBR", "Normalized", "Bar"});
+  auto models = catalog.all();
+  std::sort(models.begin(), models.end(),
+            [](const auto& a, const auto& b) { return a.fbr < b.fbr; });
+  for (const auto& m : models) {
+    const double norm = m.fbr / max_fbr;
+    std::string bar(static_cast<std::size_t>(norm * 40.0), '#');
+    table.add_row({m.name, to_string(m.iclass), strfmt("%.2f", m.fbr),
+                   strfmt("%.2f", norm), bar});
+  }
+  table.print();
+
+  // Recover each model's FBR from synthetic co-location profiling runs, the
+  // way a real deployment would estimate Fig. 3 (Eq. 1 linear systems).
+  std::printf("\nFBR recovery from co-location profiling (Eq. 1):\n\n");
+  harness::Table est({"Model", "True FBR", "Estimated", "Error"});
+  for (const char* name : {"ShuffleNet V2", "ResNet 50", "ALBERT", "GPT-2"}) {
+    const auto& m = catalog.by_name(name);
+    core::FbrEstimator estimator;
+    for (double others : {0.6, 0.9, 1.3, 1.8, 2.4}) {
+      const double slowdown = std::max(m.fbr + others, 1.0);
+      estimator.observe(others, slowdown);
+    }
+    const double fbr_est = estimator.estimate();
+    est.add_row({name, strfmt("%.2f", m.fbr), strfmt("%.2f", fbr_est),
+                 strfmt("%.1e", std::abs(fbr_est - m.fbr))});
+  }
+  est.print();
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Figure 5: SLO compliance of all schemes for all 12 vision models
+// (Wiki trace, 5000 rps mean, 50/50 strict/BE, 8×A100).
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace protean;
+  std::printf(
+      "Figure 5: SLO compliance of all schemes for all vision models\n"
+      "(Wiki trace @ 5000 rps, 50%% strict / 50%% BE, 8 nodes, SLO = 3x)\n\n");
+
+  harness::Table table({"Strict model", "Molecule (beta)", "Naive Slicing",
+                        "INFless/Llama", "PROTEAN"});
+  const auto vision = workload::ModelCatalog::instance().by_domain(
+      workload::Domain::kVision);
+  for (const auto* model : vision) {
+    auto config = bench::bench_config(model->name);
+    const auto reports = harness::run_schemes(config, sched::paper_schemes());
+    table.add_row({model->name, bench::pct(reports[0].slo_compliance_pct),
+                   bench::pct(reports[1].slo_compliance_pct),
+                   bench::pct(reports[2].slo_compliance_pct),
+                   bench::pct(reports[3].slo_compliance_pct)});
+  }
+  table.print();
+  return 0;
+}

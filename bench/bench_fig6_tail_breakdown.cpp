@@ -1,0 +1,35 @@
+// Figure 6: breakdown of strict-request P99 latencies for a subset of the
+// vision models (queueing / cold start / min possible time / resource
+// deficiency / interference).
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace protean;
+  std::printf(
+      "Figure 6: P99 latency breakdown for all schemes (Wiki trace, 50/50)\n");
+
+  for (const char* model : {"DenseNet 121", "ResNet 50", "VGG 19"}) {
+    auto config = bench::bench_config(model);
+    std::printf("\n(%s) SLO = %.0f ms\n\n", model,
+                to_ms(workload::ModelCatalog::instance()
+                          .by_name(model)
+                          .slo_deadline()));
+    harness::Table table({"Scheme", "P99 (ms)", "Queue", "Cold",
+                          "Min possible", "Deficiency", "Interference",
+                          "SLO compliance"});
+    for (const auto& r :
+         harness::run_schemes(config, sched::paper_schemes())) {
+      const auto& b = r.tail_breakdown;
+      table.add_row({r.scheme, bench::ms(r.strict_p99_ms),
+                     bench::ms(b.queue * 1e3), bench::ms(b.cold * 1e3),
+                     bench::ms(b.min_time * 1e3),
+                     bench::ms(b.deficiency * 1e3),
+                     bench::ms(b.interference * 1e3),
+                     bench::pct(r.slo_compliance_pct)});
+    }
+    table.print();
+  }
+  return 0;
+}

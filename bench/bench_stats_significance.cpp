@@ -1,0 +1,46 @@
+// Section 7 "Statistical Significance": confidence intervals, Welch p-values
+// and Cohen's d for PROTEAN vs the baselines over repeated seeded runs.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "metrics/stats.h"
+
+int main() {
+  using namespace protean;
+  constexpr int kRuns = 5;
+
+  std::printf(
+      "Statistical significance of SLO compliance differences (ResNet 50,\n"
+      "%d seeded runs per scheme)\n\n",
+      kRuns);
+
+  std::map<sched::Scheme, std::vector<double>> compliance;
+  for (int run = 0; run < kRuns; ++run) {
+    auto config = bench::bench_config("ResNet 50");
+    config.seed = 1000 + static_cast<std::uint64_t>(run);
+    for (auto scheme : sched::paper_schemes()) {
+      config.scheme = scheme;
+      compliance[scheme].push_back(
+          harness::run_experiment(config).slo_compliance_pct);
+    }
+  }
+
+  harness::Table table({"Scheme", "Mean compliance", "95% CI (±)",
+                        "p vs PROTEAN", "Cohen's d vs PROTEAN"});
+  const auto& protean = compliance[sched::Scheme::kProtean];
+  for (auto scheme : sched::paper_schemes()) {
+    const auto& xs = compliance[scheme];
+    std::string p = "-", d = "-";
+    if (scheme != sched::Scheme::kProtean) {
+      p = strfmt("%.2e", metrics::welch_p_value(xs, protean));
+      d = strfmt("%.2f", std::abs(metrics::cohens_d(xs, protean)));
+    }
+    table.add_row({sched::scheme_name(scheme),
+                   strfmt("%.2f%%", metrics::mean(xs)),
+                   strfmt("%.3f", metrics::ci95_halfwidth(xs)), p, d});
+  }
+  table.print();
+  std::printf(
+      "\n(paper: CI < 0.1%%, p ~ 0, Cohen's d between 7.8 and 304)\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Table 2: possible MIG instance profiles on an A100 GPU.
+#include <cstdio>
+
+#include "common/strfmt.h"
+#include "gpu/mig.h"
+#include "harness/table.h"
+
+int main() {
+  using namespace protean;
+  std::printf("Table 2: Possible MIG instance profiles on an A100 GPU\n\n");
+  harness::Table table({"Slice", "Compute fraction", "Memory", "Cache fraction",
+                        "Max Count"});
+  for (auto it = gpu::kAllProfiles.rbegin(); it != gpu::kAllProfiles.rend();
+       ++it) {
+    const auto& t = gpu::traits(*it);
+    table.add_row({strfmt("%s ('%s')", t.name, t.short_name),
+                   t.compute_units == 7
+                       ? std::string("Full")
+                       : strfmt("%d/7", t.compute_units),
+                   strfmt("%.0f GB", t.memory_gb),
+                   t.cache_eighths == 8 ? std::string("Full")
+                                        : strfmt("%d/8", t.cache_eighths),
+                   strfmt("%d", t.max_count)});
+  }
+  table.print();
+
+  std::printf("\nValid geometries under the slot model: %zu\n",
+              gpu::Geometry::all_valid().size());
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Table 4: SLO compliance for the 100% strict case (ResNet 50) — the
+// "default" scenario INFless/Llama were designed for.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace protean;
+  auto config = bench::bench_config("ResNet 50");
+  config.strict_fraction = 1.0;
+
+  std::printf("Table 4: SLO compliance for the 100%% strict case (ResNet 50)\n\n");
+  harness::Table table({"Molecule (beta)", "Naive Slicing", "INFless/Llama",
+                        "PROTEAN"});
+  const auto reports = harness::run_schemes(config, sched::paper_schemes());
+  table.add_row({bench::pct(reports[0].slo_compliance_pct),
+                 bench::pct(reports[1].slo_compliance_pct),
+                 bench::pct(reports[2].slo_compliance_pct),
+                 bench::pct(reports[3].slo_compliance_pct)});
+  table.print();
+  std::printf("\n(paper: 60.12%% / 54.31%% / 0.42%% / 94.19%%)\n");
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Table 5: (P50, P99) latency for the 100% best-effort case — BE models
+// varied at random from the HI pool; no SLOs apply.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace protean;
+  auto config = bench::bench_config("ResNet 50");  // strict stream unused
+  config.strict_fraction = 0.0;
+  config.be_pool = {"ResNet 50", "DenseNet 121", "DPN 92", "VGG 19"};
+  config.be_rotation_period = 10.0;
+
+  std::printf(
+      "Table 5: (P50, P99) latency in ms for the 100%% BE case (HI pool)\n\n");
+  harness::Table table({"Scheme", "P50 (ms)", "P99 (ms)"});
+  for (const auto& r : harness::run_schemes(config, sched::paper_schemes())) {
+    table.add_row({r.scheme, bench::ms(r.be_p50_ms), bench::ms(r.be_p99_ms)});
+  }
+  table.print();
+  std::printf(
+      "\n(paper: Molecule (68,165), Naive (50,99), INFless (57,130), "
+      "PROTEAN (35,138))\n");
+  return 0;
+}

@@ -1,0 +1,210 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/log.h"
+
+namespace protean::cluster {
+
+Cluster::Cluster(sim::Simulator& simulator, const ClusterConfig& config,
+                 Scheduler& scheduler)
+    : sim_(simulator), config_(config), scheduler_(scheduler) {
+  PROTEAN_CHECK_MSG(config_.node_count > 0, "cluster needs nodes");
+  nodes_.reserve(config_.node_count);
+  for (NodeId id = 0; id < config_.node_count; ++id) {
+    nodes_.push_back(std::make_unique<WorkerNode>(sim_, id, config_,
+                                                  scheduler_, collector_));
+  }
+  for (auto& node : nodes_) {
+    node->set_redistribute(
+        [this](workload::Batch&& b) { dispatch(std::move(b)); });
+  }
+  gateway_ = std::make_unique<Gateway>(
+      sim_, config_, [this](workload::Batch&& b) { dispatch(std::move(b)); });
+  market_ = std::make_unique<spot::Market>(sim_, config_.market,
+                                           config_.node_count, *this);
+  dispatch_policy_ = scheduler_.dispatch_policy().value_or(config_.dispatch);
+  dispatch_rng_ = Rng(config_.dispatch_seed).fork(0xd15);
+}
+
+Cluster::~Cluster() { stop(); }
+
+void Cluster::start() {
+  started_at_ = sim_.now();
+  // Nodes start "up" by construction; the market may immediately change
+  // that (spot-only under a tight market leaves some nodes down).
+  market_->start();
+  for (auto& node : nodes_) {
+    if (!market_->node_up(node->id()) && node->up()) node->evict();
+  }
+  monitor_task_ = std::make_unique<sim::PeriodicTask>(
+      sim_, config_.monitor_interval, [this] { monitor_tick(); });
+  backlog_task_ = std::make_unique<sim::PeriodicTask>(
+      sim_, 1.0, [this] { drain_backlog(); });
+}
+
+void Cluster::stop() {
+  monitor_task_.reset();
+  backlog_task_.reset();
+  if (market_) market_->stop();
+}
+
+WorkerNode* Cluster::pick_node(const workload::Batch& batch) {
+  if (dispatch_policy_ == DispatchPolicy::kConsolidate) {
+    // INFless/Llama-style packing: the busiest GPU that still has memory
+    // for the batch and whose contention pressure stays under the limit.
+    WorkerNode* best = nullptr;
+    for (auto& node : nodes_) {
+      if (!node->accepting() || node->gpu().reconfiguring()) continue;
+      const double pressure = node->estimated_pressure();
+      if (pressure + std::max(batch.model->fbr, batch.model->sm_req) >
+          config_.consolidate_pressure_limit) {
+        continue;
+      }
+      if (node->estimated_free_memory() < batch.model->mem_gb) continue;
+      if (best == nullptr ||
+          node->estimated_pressure() > best->estimated_pressure()) {
+        best = node.get();
+      }
+    }
+    if (best != nullptr) return best;
+    // Everything is saturated: spill to the least-pressured node.
+    for (auto& node : nodes_) {
+      if (!node->accepting()) continue;
+      if (best == nullptr ||
+          node->estimated_pressure() < best->estimated_pressure()) {
+        best = node.get();
+      }
+    }
+    return best;
+  }
+  if (dispatch_policy_ == DispatchPolicy::kRandom) {
+    // Uniform random routing over serviceable nodes; nodes mid-
+    // reconfiguration are only used when nothing else is up.
+    WorkerNode* fallback = nullptr;
+    std::vector<WorkerNode*> ready;
+    ready.reserve(nodes_.size());
+    for (auto& node : nodes_) {
+      if (!node->accepting()) continue;
+      if (node->gpu().reconfiguring()) {
+        if (fallback == nullptr) fallback = node.get();
+        continue;
+      }
+      ready.push_back(node.get());
+    }
+    if (ready.empty()) return fallback;
+    return ready[dispatch_rng_.index(ready.size())];
+  }
+  WorkerNode* best = nullptr;
+  for (auto& node : nodes_) {
+    if (!node->accepting()) continue;
+    if (node->gpu().reconfiguring() && node->queued() > 4) continue;
+    if (best == nullptr ||
+        node->outstanding_work() < best->outstanding_work()) {
+      best = node.get();
+    }
+  }
+  if (best != nullptr) return best;
+  // Fall back to any accepting node (all may be reconfiguring + loaded).
+  for (auto& node : nodes_) {
+    if (node->accepting()) return node.get();
+  }
+  return nullptr;
+}
+
+void Cluster::dispatch(workload::Batch&& batch) {
+  WorkerNode* node = pick_node(batch);
+  if (node == nullptr) {
+    backlog_.push_back(std::move(batch));
+    return;
+  }
+  node->enqueue(std::move(batch));
+}
+
+void Cluster::drain_backlog() {
+  while (!backlog_.empty()) {
+    WorkerNode* node = pick_node(backlog_.front());
+    if (node == nullptr) return;
+    node->enqueue(std::move(backlog_.front()));
+    backlog_.pop_front();
+  }
+}
+
+void Cluster::on_eviction_notice(NodeId id, SimTime eviction_at) {
+  (void)eviction_at;
+  WorkerNode& node = *nodes_.at(id);
+  node.set_draining(true);
+  // Unstarted batches move to healthy nodes right away; running jobs get
+  // the notice window to finish (Section 4.5).
+  for (workload::Batch& b : node.take_queue()) {
+    dispatch(std::move(b));
+  }
+}
+
+void Cluster::on_node_evicted(NodeId id) {
+  WorkerNode& node = *nodes_.at(id);
+  for (workload::Batch& b : node.evict()) {
+    dispatch(std::move(b));
+  }
+}
+
+void Cluster::on_node_restored(NodeId id, spot::VmTier tier) {
+  (void)tier;
+  WorkerNode& node = *nodes_.at(id);
+  if (!node.up()) node.restore();
+  node.set_draining(false);
+  drain_backlog();
+}
+
+void Cluster::monitor_tick() {
+  int reconfiguring = 0;
+  for (auto& node : nodes_) {
+    if (node->up() && node->gpu().reconfiguring()) ++reconfiguring;
+  }
+  const int cap = std::max(
+      1, static_cast<int>(std::floor(config_.max_reconfig_fraction *
+                                     static_cast<double>(nodes_.size()))));
+  int budget = std::max(0, cap - reconfiguring);
+  for (auto& node : nodes_) {
+    if (!node->up()) continue;
+    scheduler_.on_monitor(*node, budget);
+  }
+}
+
+double Cluster::gpu_utilization_pct() const {
+  const Duration elapsed = sim_.now() - started_at_;
+  if (elapsed <= 0.0) return 0.0;
+  double busy = 0.0;
+  for (const auto& node : nodes_) busy += node->gpu_busy_seconds();
+  return 100.0 * busy / (elapsed * static_cast<double>(nodes_.size()));
+}
+
+double Cluster::memory_utilization_pct() const {
+  const Duration elapsed = sim_.now() - started_at_;
+  if (elapsed <= 0.0) return 0.0;
+  double gbs = 0.0;
+  for (const auto& node : nodes_) gbs += node->gpu_memory_gb_seconds();
+  return 100.0 * gbs / (elapsed * 40.0 * static_cast<double>(nodes_.size()));
+}
+
+std::uint64_t Cluster::total_cold_starts() const {
+  std::uint64_t total = 0;
+  for (const auto& node : nodes_) total += node->cold_starts();
+  return total;
+}
+
+std::uint64_t Cluster::total_dropped_jobs() const {
+  std::uint64_t total = 0;
+  for (const auto& node : nodes_) total += node->dropped_jobs();
+  return total;
+}
+
+int Cluster::total_reconfigurations() const {
+  int total = 0;
+  for (const auto& node : nodes_) total += node->reconfigurations();
+  return total;
+}
+
+}  // namespace protean::cluster

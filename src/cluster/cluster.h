@@ -1,0 +1,87 @@
+// Cluster: wires gateway, dispatcher, worker nodes, scheduler, metrics and
+// the VM market into one serverless deployment (the whole of Fig. 4).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "cluster/config.h"
+#include "common/rng.h"
+#include "cluster/gateway.h"
+#include "cluster/node.h"
+#include "cluster/scheduler.h"
+#include "metrics/collector.h"
+#include "sim/simulator.h"
+#include "spot/market.h"
+
+namespace protean::cluster {
+
+class Cluster : public spot::NodeLifecycleListener {
+ public:
+  Cluster(sim::Simulator& simulator, const ClusterConfig& config,
+          Scheduler& scheduler);
+  ~Cluster() override;
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Brings the fleet up and starts the monitor loop. Call before running
+  /// the simulator.
+  void start();
+  /// Stops periodic activity so the event queue can drain.
+  void stop();
+
+  // ---- plumbing ------------------------------------------------------------
+  trace::RequestSink& sink() noexcept { return *gateway_; }
+  Gateway& gateway() noexcept { return *gateway_; }
+  metrics::Collector& collector() noexcept { return collector_; }
+  const metrics::Collector& collector() const noexcept { return collector_; }
+  spot::Market& market() noexcept { return *market_; }
+  Scheduler& scheduler() noexcept { return scheduler_; }
+  const ClusterConfig& config() const noexcept { return config_; }
+
+  WorkerNode& node(NodeId id) { return *nodes_.at(id); }
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+
+  /// Load-balances a batch to the least-loaded accepting node; batches are
+  /// parked when no node can take them (e.g. spot drought) and re-released
+  /// as capacity returns.
+  void dispatch(workload::Batch&& batch);
+
+  // ---- spot::NodeLifecycleListener ----------------------------------------
+  void on_eviction_notice(NodeId node, SimTime eviction_at) override;
+  void on_node_evicted(NodeId node) override;
+  void on_node_restored(NodeId node, spot::VmTier tier) override;
+
+  // ---- fleet-wide stats ----------------------------------------------------
+  /// Percentage of wall time with >= 1 job running, averaged over GPUs.
+  double gpu_utilization_pct() const;
+  /// Average fraction of total GPU memory in use, in percent.
+  double memory_utilization_pct() const;
+  std::uint64_t total_cold_starts() const;
+  std::uint64_t total_dropped_jobs() const;
+  int total_reconfigurations() const;
+  std::size_t backlog() const noexcept { return backlog_.size(); }
+
+ private:
+  void monitor_tick();
+  void drain_backlog();
+  WorkerNode* pick_node(const workload::Batch& batch);
+
+  sim::Simulator& sim_;
+  ClusterConfig config_;
+  Scheduler& scheduler_;
+  metrics::Collector collector_;
+  std::vector<std::unique_ptr<WorkerNode>> nodes_;
+  std::unique_ptr<Gateway> gateway_;
+  std::unique_ptr<spot::Market> market_;
+  std::unique_ptr<sim::PeriodicTask> monitor_task_;
+  std::unique_ptr<sim::PeriodicTask> backlog_task_;
+  std::deque<workload::Batch> backlog_;
+  DispatchPolicy dispatch_policy_ = DispatchPolicy::kRandom;
+  Rng dispatch_rng_{0x5eed};
+  std::size_t rr_cursor_ = 0;
+  SimTime started_at_ = 0.0;
+};
+
+}  // namespace protean::cluster

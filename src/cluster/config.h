@@ -1,0 +1,74 @@
+// Cluster-wide configuration knobs.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "gpu/engine.h"
+#include "spot/market.h"
+
+namespace protean::cluster {
+
+/// How the Dispatcher ② spreads batches over worker nodes.
+enum class DispatchPolicy {
+  kRandom,       ///< classic gateway routing (default): uniform random node;
+                 ///< thinned arrivals stay Poisson, so per-node burstiness
+                 ///< is preserved (round-robin would phase-lock streams)
+  kLeastLoaded,  ///< route to the node with the least outstanding work
+  kConsolidate,  ///< INFless/Llama-style: pack the busiest GPU that still
+                 ///< has headroom, to maximize per-GPU utilization
+};
+
+struct ClusterConfig {
+  /// Worker nodes, each hosting one A100-class GPU (paper: 8 workers).
+  std::uint32_t node_count = 8;
+
+  DispatchPolicy dispatch = DispatchPolicy::kRandom;
+  /// Seed for the dispatcher's random routing.
+  std::uint64_t dispatch_seed = 0x5eed;
+  /// kConsolidate packs a node while its estimated contention pressure
+  /// stays below this bound. INFless's latency model is interference-naive
+  /// (additive, no thrash), so it believes packing up to roughly the SLO
+  /// multiplier is safe — the over-consolidation the paper criticizes.
+  double consolidate_pressure_limit = 2.85;
+
+  /// The gateway holds a partial batch until a fraction of the model's SLO
+  /// budget has elapsed (SLO-aware batching), clamped to
+  /// [batch_timeout_floor, batch_timeout]:
+  ///   timeout(m) = clamp(f × slo_multiplier × solo_7g(m), floor, cap)
+  Duration batch_timeout = 0.300;        ///< cap
+  Duration batch_timeout_floor = 0.050;  ///< floor
+  double batch_wait_slo_fraction = 0.45;
+  /// Gateway flush-check cadence.
+  Duration batch_flush_check = 0.005;
+
+  /// Container boot + model load latency paid on a cold start.
+  Duration cold_start = 5.0;
+  /// Delayed-termination keep-alive for warm containers (Section 4.2,
+  /// ~10 minutes). Zero disables keep-alive (scale down immediately) —
+  /// the ablation knob for the cold-start study.
+  Duration keep_alive = 600.0;
+  /// Cadence of the container reaper.
+  Duration reaper_interval = 30.0;
+
+  /// Monitor interval W of Algorithm 2 (per-node reconfiguration checks).
+  Duration monitor_interval = 5.0;
+  /// MIG geometry-change downtime (~2 s, Section 4.4).
+  Duration reconfigure_time = 2.0;
+  /// At most this fraction of GPUs may reconfigure simultaneously
+  /// (Section 4.4: ~30%).
+  double max_reconfig_fraction = 0.3;
+
+  /// SLO multiplier over the 7g solo latency (Section 5: 3×; the tight-SLO
+  /// sensitivity study uses 2×).
+  double slo_multiplier = 3.0;
+
+  /// MPS interference model knobs (see gpu/engine.h).
+  gpu::InterferenceParams interference;
+
+  /// VM market / procurement; policy kOnDemandOnly with p_rev 0 reproduces
+  /// the primary experiments.
+  spot::MarketConfig market;
+};
+
+}  // namespace protean::cluster

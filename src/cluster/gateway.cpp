@@ -1,0 +1,98 @@
+#include "cluster/gateway.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace protean::cluster {
+
+Gateway::Gateway(sim::Simulator& simulator, const ClusterConfig& config,
+                 DispatchFn dispatch)
+    : sim_(simulator), config_(config), dispatch_(std::move(dispatch)) {
+  PROTEAN_CHECK_MSG(static_cast<bool>(dispatch_), "null dispatch function");
+  flush_task_ = std::make_unique<sim::PeriodicTask>(
+      sim_, config_.batch_flush_check, [this] { flush_check(); });
+}
+
+Gateway::~Gateway() = default;
+
+void Gateway::on_arrivals(const workload::ModelProfile& model, bool strict,
+                          int count, SimTime window_start,
+                          SimTime window_end) {
+  PROTEAN_CHECK_MSG(count > 0, "empty arrival burst");
+  requests_seen_ += static_cast<std::uint64_t>(count);
+  const Key key{&model, strict};
+  Accumulator& acc = acc_[key];
+  acc.grains.push_back(Grain{window_start, window_end, count});
+  acc.pending += count;
+  while (acc.pending >= model.batch_size) seal(key, acc, model.batch_size);
+}
+
+void Gateway::seal(const Key& key, Accumulator& acc, int size) {
+  PROTEAN_DCHECK(size > 0 && acc.pending >= 0);
+  size = std::min(size, acc.pending);
+  if (size == 0) return;
+
+  workload::Batch batch;
+  batch.id = next_batch_id_++;
+  batch.model = key.first;
+  batch.strict = key.second;
+  batch.count = size;
+  batch.first_arrival = acc.grains.front().t0;
+  batch.formed_at = sim_.now();
+  if (batch.strict) {
+    batch.slo = batch.model->slo_deadline(config_.slo_multiplier);
+  }
+
+  // Consume `size` requests from the grain FIFO; the last consumed
+  // request's arrival time is interpolated inside its grain.
+  int remaining = size;
+  SimTime last_arrival = batch.first_arrival;
+  while (remaining > 0) {
+    Grain& g = acc.grains.front();
+    if (g.count <= remaining) {
+      remaining -= g.count;
+      last_arrival = g.t1;
+      acc.grains.pop_front();
+    } else {
+      const double frac =
+          static_cast<double>(remaining) / static_cast<double>(g.count);
+      last_arrival = g.t0 + (g.t1 - g.t0) * frac;
+      g.t0 = last_arrival;  // the rest of the grain arrives afterwards
+      g.count -= remaining;
+      remaining = 0;
+    }
+  }
+  acc.pending -= size;
+  batch.last_arrival = std::max(last_arrival, batch.first_arrival);
+
+  ++batches_formed_;
+  if (size < key.first->batch_size) ++partial_batches_;
+  dispatch_(std::move(batch));
+}
+
+Duration Gateway::timeout_for(const workload::ModelProfile& model,
+                              const ClusterConfig& config) {
+  const Duration budget_based = config.batch_wait_slo_fraction *
+                                config.slo_multiplier * model.solo_time_7g;
+  return std::clamp(budget_based, config.batch_timeout_floor,
+                    config.batch_timeout);
+}
+
+void Gateway::flush_check() {
+  const SimTime now = sim_.now();
+  for (auto& [key, acc] : acc_) {
+    if (acc.pending == 0) continue;
+    if (now - acc.grains.front().t0 >= timeout_for(*key.first, config_)) {
+      seal(key, acc, key.first->batch_size);
+    }
+  }
+}
+
+void Gateway::flush_all() {
+  for (auto& [key, acc] : acc_) {
+    while (acc.pending > 0) seal(key, acc, key.first->batch_size);
+  }
+}
+
+}  // namespace protean::cluster

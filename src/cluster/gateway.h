@@ -1,0 +1,74 @@
+// Gateway ① + Dispatcher ② of Fig. 4.
+//
+// The gateway accumulates per-(model, strictness) request arrivals and
+// seals them into batches of the model's batch size — or earlier, when the
+// oldest pending request has waited `batch_timeout` (request surges never
+// wait behind a full-batch requirement). Sealed batches flow to a dispatch
+// function supplied by the Cluster, which load-balances them across the
+// accepting worker nodes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "cluster/config.h"
+#include "sim/simulator.h"
+#include "trace/driver.h"
+#include "workload/batch.h"
+
+namespace protean::cluster {
+
+class Gateway : public trace::RequestSink {
+ public:
+  using DispatchFn = std::function<void(workload::Batch&&)>;
+
+  Gateway(sim::Simulator& simulator, const ClusterConfig& config,
+          DispatchFn dispatch);
+  ~Gateway() override;
+
+  void on_arrivals(const workload::ModelProfile& model, bool strict, int count,
+                   SimTime window_start, SimTime window_end) override;
+
+  /// Seals every partial batch immediately (end-of-experiment drain).
+  void flush_all();
+
+  /// SLO-aware hold time for a partial batch of `model` (see ClusterConfig).
+  static Duration timeout_for(const workload::ModelProfile& model,
+                              const ClusterConfig& config);
+
+  std::uint64_t batches_formed() const noexcept { return batches_formed_; }
+  std::uint64_t partial_batches() const noexcept { return partial_batches_; }
+  std::uint64_t requests_seen() const noexcept { return requests_seen_; }
+
+ private:
+  /// A burst of `count` arrivals spread uniformly over [t0, t1).
+  struct Grain {
+    SimTime t0;
+    SimTime t1;
+    int count;
+  };
+  struct Accumulator {
+    std::deque<Grain> grains;
+    int pending = 0;
+  };
+  using Key = std::pair<const workload::ModelProfile*, bool>;
+
+  void seal(const Key& key, Accumulator& acc, int size);
+  void flush_check();
+
+  sim::Simulator& sim_;
+  const ClusterConfig& config_;
+  DispatchFn dispatch_;
+  std::map<Key, Accumulator> acc_;
+  std::unique_ptr<sim::PeriodicTask> flush_task_;
+  BatchId next_batch_id_ = 1;
+  std::uint64_t batches_formed_ = 0;
+  std::uint64_t partial_batches_ = 0;
+  std::uint64_t requests_seen_ = 0;
+};
+
+}  // namespace protean::cluster

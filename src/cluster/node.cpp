@@ -1,0 +1,363 @@
+#include "cluster/node.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/log.h"
+
+namespace protean::cluster {
+
+gpu::JobSpec Scheduler::make_job(const workload::Batch& batch,
+                                 const gpu::Slice& slice, JobId job_id) const {
+  gpu::JobSpec spec = workload::job_spec_for(batch, slice.profile());
+  spec.id = job_id;
+  return spec;
+}
+
+WorkerNode::WorkerNode(sim::Simulator& simulator, NodeId id,
+                       const ClusterConfig& config, Scheduler& scheduler,
+                       metrics::Collector& collector)
+    : sim_(simulator),
+      id_(id),
+      config_(config),
+      scheduler_(scheduler),
+      collector_(collector) {
+  gpu_ = std::make_unique<gpu::Gpu>(sim_, id_, scheduler_.initial_geometry(),
+                                    scheduler_.sharing_mode(),
+                                    config_.reconfigure_time,
+                                    config_.interference);
+  gpu_->set_capacity_callback([this] { try_dispatch(); });
+  if (config_.keep_alive > 0.0) {
+    reaper_ = std::make_unique<sim::PeriodicTask>(
+        sim_, config_.reaper_interval, [this] { reap_containers(); });
+  }
+}
+
+WorkerNode::~WorkerNode() = default;
+
+void WorkerNode::insert_by_policy(workload::Batch&& batch) {
+  if (scheduler_.reorder_strict_first() && batch.strict) {
+    // Strict batches jump ahead of all queued BE batches but stay FIFO
+    // among themselves (Section 4.1).
+    auto it = std::find_if(queue_.begin(), queue_.end(),
+                           [](const workload::Batch& b) { return !b.strict; });
+    queue_.insert(it, std::move(batch));
+  } else {
+    queue_.push_back(std::move(batch));
+  }
+}
+
+void WorkerNode::enqueue(workload::Batch batch) {
+  PROTEAN_CHECK_MSG(up_, "enqueue on a down node");
+  batch.node = id_;
+  batch.enqueued_at = sim_.now();
+  if (batch.strict) {
+    last_strict_seen_ = sim_.now();
+  } else {
+    last_be_batch_mem_ = batch.model->mem_gb;
+    last_be_model_ = batch.model;
+    const double fill = batch.work_fraction();
+    be_mem_service_accum_ += batch.model->mem_gb * (0.5 + 0.5 * fill) *
+                             batch.model->solo_time_7g * fill;
+  }
+  outstanding_work_ += batch.model->solo_time_7g;
+  insert_by_policy(std::move(batch));
+  try_dispatch();
+}
+
+MemGb WorkerNode::be_mem_queued() const noexcept {
+  MemGb total = 0.0;
+  for (const auto& b : queue_) {
+    if (!b.strict) total += b.model->mem_gb;
+  }
+  return total;
+}
+
+std::size_t WorkerNode::be_queued() const noexcept {
+  std::size_t count = 0;
+  for (const auto& b : queue_) {
+    if (!b.strict) ++count;
+  }
+  return count;
+}
+
+double WorkerNode::estimated_pressure() const noexcept {
+  double total = 0.0;
+  if (gpu_) {
+    for (const gpu::Slice* s :
+         const_cast<const gpu::Gpu&>(*gpu_).slices()) {
+      total += s->pressure();
+    }
+  }
+  for (const auto& b : queue_) {
+    total += std::max(b.model->fbr, b.model->sm_req);
+  }
+  return total;
+}
+
+MemGb WorkerNode::estimated_free_memory() const noexcept {
+  MemGb free = 0.0;
+  if (gpu_) {
+    for (const gpu::Slice* s :
+         const_cast<const gpu::Gpu&>(*gpu_).slices()) {
+      free += s->available_memory();
+    }
+  }
+  for (const auto& b : queue_) free -= b.model->mem_gb;
+  return free;
+}
+
+MemGb WorkerNode::take_be_demand_estimate() {
+  const Duration window = sim_.now() - be_window_start_;
+  const double estimate =
+      window > 1e-9 ? be_mem_service_accum_ / window : 0.0;
+  be_mem_service_accum_ = 0.0;
+  be_window_start_ = sim_.now();
+  return estimate;
+}
+
+void WorkerNode::prewarm(const workload::ModelProfile& model, int count) {
+  auto& pool = containers_[&model];
+  pool.warm += count;
+  for (int i = 0; i < count; ++i) pool.idle_since.push_back(sim_.now());
+}
+
+bool WorkerNode::container_available(
+    const workload::ModelProfile& model) const {
+  const auto it = containers_.find(&model);
+  if (it == containers_.end()) return true;  // first use: cold start
+  const ContainerPool& pool = it->second;
+  if (pool.warm > 0) return true;
+  return pool.busy == 0 && !pool.spare_booting;
+}
+
+void WorkerNode::maybe_boot_spare(const workload::ModelProfile& model) {
+  auto& pool = containers_[&model];
+  if (pool.spare_booting) return;
+  pool.spare_booting = true;
+  ++cold_starts_;
+  collector_.record_cold_start();
+  const std::uint64_t epoch = epoch_;
+  sim_.schedule_after(config_.cold_start, [this, &model, epoch] {
+    if (epoch != epoch_ || !up_) return;
+    auto& p = containers_[&model];
+    p.spare_booting = false;
+    ++p.warm;
+    p.idle_since.push_back(sim_.now());
+    try_dispatch();
+  });
+}
+
+void WorkerNode::try_dispatch() {
+  if (!up_ || dispatch_scheduled_) return;
+  dispatch_scheduled_ = true;
+  bool progress = true;
+  while (progress && up_) {
+    progress = false;
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (!container_available(*it->model)) {
+        // All containers busy: a slot frees within ~one batch execution —
+        // cheaper than a 'cold' boot — while a spare scales up behind it.
+        maybe_boot_spare(*it->model);
+        continue;
+      }
+      gpu::Slice* slice = scheduler_.place(*it, *this);
+      if (slice == nullptr) continue;
+      workload::Batch batch = std::move(*it);
+      queue_.erase(it);
+      start_batch(std::move(batch), slice);
+      progress = true;
+      break;  // iterators invalidated; rescan from the front
+    }
+  }
+  dispatch_scheduled_ = false;
+}
+
+void WorkerNode::start_batch(workload::Batch batch, gpu::Slice* slice) {
+  const gpu::JobSpec spec = scheduler_.make_job(batch, *slice, next_job_id_++);
+  if (!slice->can_admit(spec)) {
+    // Defensive: the policy returned a slice that cannot take the job.
+    insert_by_policy(std::move(batch));
+    return;
+  }
+  auto& pool = containers_[batch.model];
+  Duration cold = 0.0;
+  if (pool.warm > 0) {
+    --pool.warm;
+    pool.idle_since.pop_back();  // reuse the most recently idle container
+  } else {
+    PROTEAN_DCHECK(pool.busy == 0 && !pool.spare_booting);
+    cold = config_.cold_start;
+    ++cold_starts_;
+    collector_.record_cold_start();
+  }
+  ++pool.busy;
+  batch.cold_start = cold;
+  ++running_;
+  if (cold <= 0.0) {
+    begin_exec(std::move(batch), slice->id(), /*reserved=*/false);
+    return;
+  }
+  // Hold the memory while the container boots, then submit for execution.
+  slice->reserve_memory(spec.mem_gb);
+  const SliceId slice_id = slice->id();
+  const std::uint64_t epoch = epoch_;
+  const std::uint64_t token = next_boot_token_++;
+  booting_.emplace(token, std::move(batch));
+  sim_.schedule_after(cold, [this, token, slice_id, epoch] {
+    if (epoch != epoch_ || !up_) return;  // VM was evicted during the boot
+    auto it = booting_.find(token);
+    if (it == booting_.end()) return;
+    workload::Batch pending = std::move(it->second);
+    booting_.erase(it);
+    begin_exec(std::move(pending), slice_id, /*reserved=*/true);
+  });
+}
+
+gpu::Slice* WorkerNode::find_slice(SliceId slice_id) {
+  if (!gpu_) return nullptr;
+  for (gpu::Slice* s : gpu_->slices()) {
+    if (s->id() == slice_id) return s;
+  }
+  return nullptr;
+}
+
+void WorkerNode::begin_exec(workload::Batch batch, SliceId slice_id,
+                            bool reserved) {
+  gpu::Slice* slice = find_slice(slice_id);
+  const gpu::JobSpec probe =
+      slice ? scheduler_.make_job(batch, *slice, next_job_id_) : gpu::JobSpec{};
+  if (slice != nullptr && reserved) slice->release_reservation(probe.mem_gb);
+  if (slice == nullptr || !slice->can_admit(probe)) {
+    // The slice vanished (reconfiguration) or filled up; the booted
+    // container stays warm and the batch goes back to the queue.
+    auto& pool = containers_[batch.model];
+    ++pool.warm;
+    pool.idle_since.push_back(sim_.now());
+    --pool.busy;
+    --running_;
+    batch.cold_start = 0.0;  // already paid; don't double-charge on retry
+    insert_by_policy(std::move(batch));
+    try_dispatch();
+    return;
+  }
+  const gpu::JobSpec spec = scheduler_.make_job(batch, *slice, next_job_id_++);
+  batch.exec_start = sim_.now();
+  batch.served_on = slice->profile();
+  const double fill = batch.work_fraction();
+  batch.solo_min = batch.model->solo_time_7g * fill;
+  batch.solo_on_slice = batch.model->solo_time_on(slice->profile()) * fill;
+  auto shared = std::make_shared<workload::Batch>(std::move(batch));
+  slice->submit(spec, [this, shared](const gpu::JobCompletion& done) {
+    on_complete(std::move(*shared), done);
+  });
+}
+
+void WorkerNode::on_complete(workload::Batch batch,
+                             const gpu::JobCompletion& done) {
+  batch.completed_at = done.finished_at;
+  batch.exec_time = done.exec_time;
+  collector_.record(batch);
+  PROTEAN_DCHECK(running_ > 0);
+  --running_;
+  ++batches_served_;
+  outstanding_work_ =
+      std::max(0.0, outstanding_work_ - batch.model->solo_time_7g);
+  auto& pool = containers_[batch.model];
+  --pool.busy;
+  if (config_.keep_alive > 0.0) {
+    ++pool.warm;
+    pool.idle_since.push_back(sim_.now());
+  }
+  // try_dispatch fires via the GPU capacity callback right after this.
+}
+
+void WorkerNode::reap_containers() {
+  const SimTime now = sim_.now();
+  for (auto& [model, pool] : containers_) {
+    while (!pool.idle_since.empty() &&
+           now - pool.idle_since.front() > config_.keep_alive) {
+      pool.idle_since.pop_front();
+      --pool.warm;
+    }
+  }
+}
+
+int WorkerNode::warm_containers() const noexcept {
+  int total = 0;
+  for (const auto& [model, pool] : containers_) total += pool.warm;
+  return total;
+}
+
+bool WorkerNode::begin_reconfigure(const gpu::Geometry& target) {
+  if (!gpu_ || gpu_->reconfiguring()) return false;
+  if (!gpu_->request_reconfigure(target)) return false;
+  if (redistribute_) {
+    for (workload::Batch& b : take_queue()) redistribute_(std::move(b));
+  }
+  return true;
+}
+
+std::vector<workload::Batch> WorkerNode::take_queue() {
+  std::vector<workload::Batch> flushed(
+      std::make_move_iterator(queue_.begin()),
+      std::make_move_iterator(queue_.end()));
+  queue_.clear();
+  for (const workload::Batch& b : flushed) {
+    outstanding_work_ =
+        std::max(0.0, outstanding_work_ - b.model->solo_time_7g);
+  }
+  return flushed;
+}
+
+std::vector<workload::Batch> WorkerNode::evict() {
+  up_ = false;
+  draining_ = false;
+  ++epoch_;
+  std::vector<workload::Batch> flushed(
+      std::make_move_iterator(queue_.begin()),
+      std::make_move_iterator(queue_.end()));
+  queue_.clear();
+  // Batches whose containers were still booting never reached the GPU:
+  // they move to another node (their cold-start charge resets).
+  for (auto& [token, batch] : booting_) {
+    batch.cold_start = 0.0;
+    PROTEAN_DCHECK(running_ > 0);
+    --running_;
+    flushed.push_back(std::move(batch));
+  }
+  booting_.clear();
+  // Jobs still on the GPU at eviction are lost; the paper's drain window
+  // (>=30 s notice vs <1 s jobs) makes this rare.
+  if (running_ > 0) {
+    dropped_jobs_ += running_;
+    // Strictness composition of in-flight jobs is not tracked per job; the
+    // conservative choice is to count them as strict misses.
+    collector_.record_dropped(/*strict=*/true, static_cast<int>(running_));
+    running_ = 0;
+  }
+  outstanding_work_ = 0.0;
+  containers_.clear();
+  if (gpu_) {
+    gpu_busy_retired_ += gpu_->busy_seconds();
+    gpu_mem_retired_ += gpu_->memory_gb_seconds();
+    reconfigs_retired_ += gpu_->reconfigurations();
+  }
+  gpu_.reset();  // cancels all pending completions
+  return flushed;
+}
+
+void WorkerNode::restore() {
+  PROTEAN_CHECK_MSG(!up_, "restore on a live node");
+  up_ = true;
+  draining_ = false;
+  ++epoch_;
+  gpu_ = std::make_unique<gpu::Gpu>(sim_, id_, scheduler_.initial_geometry(),
+                                    scheduler_.sharing_mode(),
+                                    config_.reconfigure_time,
+                                    config_.interference);
+  gpu_->set_capacity_callback([this] { try_dispatch(); });
+  try_dispatch();
+}
+
+}  // namespace protean::cluster

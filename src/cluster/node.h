@@ -1,0 +1,177 @@
+// Worker node: one GPU, a batch queue, and a warm-container pool.
+//
+// The node owns the per-node pieces of Fig. 4: request reordering ③ (strict
+// batches drain ahead of BE ones when the policy asks for it), container
+// lifecycle with the autoscaler's reactive scale-up and delayed termination
+// ④ (one container per batch; warm containers persist for keep_alive), and
+// the dispatch loop that asks the Scheduler's Job Distribution logic ⑤
+// where each batch should run.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cluster/config.h"
+#include "cluster/scheduler.h"
+#include "gpu/engine.h"
+#include "metrics/collector.h"
+#include "sim/simulator.h"
+#include "workload/batch.h"
+
+namespace protean::cluster {
+
+class WorkerNode {
+ public:
+  WorkerNode(sim::Simulator& simulator, NodeId id, const ClusterConfig& config,
+             Scheduler& scheduler, metrics::Collector& collector);
+  ~WorkerNode();
+  WorkerNode(const WorkerNode&) = delete;
+  WorkerNode& operator=(const WorkerNode&) = delete;
+
+  NodeId id() const noexcept { return id_; }
+  gpu::Gpu& gpu() noexcept { return *gpu_; }
+  const gpu::Gpu& gpu() const noexcept { return *gpu_; }
+
+  // ---- lifecycle (driven by the spot market) ------------------------------
+  bool up() const noexcept { return up_; }
+  bool draining() const noexcept { return draining_; }
+  bool accepting() const noexcept { return up_ && !draining_; }
+  void set_draining(bool draining) noexcept { draining_ = draining; }
+  /// Marks the node down; returns queued-but-unstarted batches for
+  /// redistribution and counts still-running jobs as dropped.
+  std::vector<workload::Batch> evict();
+  /// Removes and returns all queued batches (drain on eviction notice);
+  /// the node keeps running its in-flight jobs.
+  std::vector<workload::Batch> take_queue();
+  /// Brings a replacement VM online; the container pool starts cold.
+  void restore();
+
+  // ---- queue ---------------------------------------------------------------
+  void enqueue(workload::Batch batch);
+  std::size_t queued() const noexcept { return queue_.size(); }
+  std::size_t running() const noexcept { return running_; }
+  /// Load metric for the dispatcher: solo-time-weighted outstanding work.
+  double outstanding_work() const noexcept { return outstanding_work_; }
+  /// Estimated contention pressure of this node's GPU: resident slice
+  /// pressure plus the demand of queued batches (consolidating dispatch).
+  double estimated_pressure() const noexcept;
+  /// Free GPU memory across live slices, minus queued batch demand.
+  MemGb estimated_free_memory() const noexcept;
+  /// Total GPU memory demanded by queued best-effort batches (Algorithm 1's
+  /// BE_mem input).
+  MemGb be_mem_queued() const noexcept;
+  /// Count of queued best-effort batches.
+  std::size_t be_queued() const noexcept;
+  /// When a strict batch last arrived at this node (kNeverTime negated:
+  /// -inf until one ever arrives). Policies use this to decide whether
+  /// strict work is "present".
+  SimTime last_strict_seen() const noexcept { return last_strict_seen_; }
+  /// Memory footprint of the most recently enqueued BE batch (the
+  /// reconfigurator's per-batch fit signal survives an empty queue).
+  MemGb last_be_batch_mem() const noexcept { return last_be_batch_mem_; }
+  /// The model of the most recently enqueued BE batch (profiling input to
+  /// the reconfigurator's thresholds); nullptr until one arrives.
+  const workload::ModelProfile* last_be_model() const noexcept {
+    return last_be_model_;
+  }
+  /// Expected *concurrent* BE memory footprint by Little's law over the
+  /// window since the last call: Σ(mem_i × solo_i) / window. Resets the
+  /// window (one consumer: the reconfigurator's monitor tick).
+  MemGb take_be_demand_estimate();
+  const std::deque<workload::Batch>& queue() const noexcept { return queue_; }
+
+  /// Attempts to start queued batches; invoked on enqueue, job completion,
+  /// container boot, and reconfiguration completion.
+  void try_dispatch();
+
+  /// Starts a MIG geometry change and redistributes queued batches through
+  /// the cluster (set_redistribute) so they don't wait out the downtime.
+  bool begin_reconfigure(const gpu::Geometry& target);
+  void set_redistribute(std::function<void(workload::Batch&&)> fn) {
+    redistribute_ = std::move(fn);
+  }
+
+  // ---- stats ---------------------------------------------------------------
+  std::uint64_t cold_starts() const noexcept { return cold_starts_; }
+  std::uint64_t batches_served() const noexcept { return batches_served_; }
+  std::uint64_t dropped_jobs() const noexcept { return dropped_jobs_; }
+  int warm_containers() const noexcept;
+  /// GPU busy/memory integrals including GPUs retired by VM evictions.
+  double gpu_busy_seconds() const noexcept {
+    return gpu_busy_retired_ + (gpu_ ? gpu_->busy_seconds() : 0.0);
+  }
+  double gpu_memory_gb_seconds() const noexcept {
+    return gpu_mem_retired_ + (gpu_ ? gpu_->memory_gb_seconds() : 0.0);
+  }
+  int reconfigurations() const noexcept {
+    return reconfigs_retired_ + (gpu_ ? gpu_->reconfigurations() : 0);
+  }
+
+  /// Seeds warm containers for a model (a long-running deployment has them;
+  /// experiments use this to start in the steady state the paper measures).
+  void prewarm(const workload::ModelProfile& model, int count);
+
+  /// True when a batch of `model` can obtain a container now: a warm one is
+  /// idle, or the pool is empty so a cold start is unavoidable. When false,
+  /// the batch waits (a container frees within ~one exec time, far less
+  /// than a cold start) while a spare boots in the background — the
+  /// reactive scale-up of Section 4.2.
+  bool container_available(const workload::ModelProfile& model) const;
+
+ private:
+  struct ContainerPool {
+    int warm = 0;                    // idle warm containers
+    int busy = 0;                    // containers currently serving a batch
+    bool spare_booting = false;      // background scale-up in flight
+    std::deque<SimTime> idle_since;  // one entry per warm container
+  };
+
+  void start_batch(workload::Batch batch, gpu::Slice* slice);
+  void maybe_boot_spare(const workload::ModelProfile& model);
+  void begin_exec(workload::Batch batch, SliceId slice_id, bool reserved);
+  void on_complete(workload::Batch batch, const gpu::JobCompletion& done);
+  gpu::Slice* find_slice(SliceId slice_id);
+  void reap_containers();
+  void insert_by_policy(workload::Batch&& batch);
+
+  sim::Simulator& sim_;
+  NodeId id_;
+  const ClusterConfig& config_;
+  Scheduler& scheduler_;
+  metrics::Collector& collector_;
+  std::unique_ptr<gpu::Gpu> gpu_;
+
+  std::deque<workload::Batch> queue_;
+  std::function<void(workload::Batch&&)> redistribute_;
+  std::map<const workload::ModelProfile*, ContainerPool> containers_;
+  /// Batches whose container is still booting; evictions redistribute them
+  /// instead of losing them with the VM.
+  std::map<std::uint64_t, workload::Batch> booting_;
+  std::uint64_t next_boot_token_ = 1;
+  std::unique_ptr<sim::PeriodicTask> reaper_;
+
+  bool up_ = true;
+  bool draining_ = false;
+  SimTime last_strict_seen_ = -kNeverTime;
+  MemGb last_be_batch_mem_ = 0.0;
+  const workload::ModelProfile* last_be_model_ = nullptr;
+  double be_mem_service_accum_ = 0.0;  // Σ mem_i × solo_i over the window
+  SimTime be_window_start_ = 0.0;
+  bool dispatch_scheduled_ = false;
+  std::size_t running_ = 0;
+  double outstanding_work_ = 0.0;
+  JobId next_job_id_ = 1;
+  std::uint64_t cold_starts_ = 0;
+  std::uint64_t batches_served_ = 0;
+  std::uint64_t dropped_jobs_ = 0;
+  std::uint64_t epoch_ = 0;  // bumped on evict/restore to orphan callbacks
+  double gpu_busy_retired_ = 0.0;
+  double gpu_mem_retired_ = 0.0;
+  int reconfigs_retired_ = 0;
+};
+
+}  // namespace protean::cluster

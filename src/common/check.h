@@ -1,0 +1,42 @@
+// Lightweight invariant checking used throughout the library.
+//
+// PROTEAN_CHECK is always on (the simulator is cheap relative to the cost of
+// chasing silently corrupted state); PROTEAN_DCHECK compiles out in release
+// builds with NDEBUG.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace protean::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace protean::detail
+
+#define PROTEAN_CHECK(expr)                                              \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::protean::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (false)
+
+#define PROTEAN_CHECK_MSG(expr, msg)                                     \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::protean::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#ifdef NDEBUG
+#define PROTEAN_DCHECK(expr) \
+  do {                       \
+  } while (false)
+#else
+#define PROTEAN_DCHECK(expr) PROTEAN_CHECK(expr)
+#endif

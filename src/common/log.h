@@ -1,0 +1,83 @@
+// Minimal leveled logger.
+//
+// The simulator is single-threaded per experiment run, but experiments may be
+// executed from several threads (e.g. sweep harnesses), so the sink is
+// guarded. Logging defaults to Warn so benches stay quiet; examples flip it
+// to Info to narrate what the system is doing.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace protean {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  static Logger& instance() {
+    static Logger logger;
+    return logger;
+  }
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  LogLevel level() const noexcept { return level_; }
+  bool enabled(LogLevel level) const noexcept { return level >= level_; }
+
+  void write(LogLevel level, const std::string& msg) {
+    if (!enabled(level)) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    std::clog << '[' << name(level) << "] " << msg << '\n';
+  }
+
+ private:
+  static const char* name(LogLevel level) noexcept {
+    switch (level) {
+      case LogLevel::kTrace: return "TRACE";
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo: return "INFO ";
+      case LogLevel::kWarn: return "WARN ";
+      case LogLevel::kError: return "ERROR";
+      case LogLevel::kOff: return "OFF  ";
+    }
+    return "?";
+  }
+
+  LogLevel level_ = LogLevel::kWarn;
+  std::mutex mu_;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::instance().write(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace protean
+
+#define PROTEAN_LOG(level)                                       \
+  if (!::protean::Logger::instance().enabled(level)) {           \
+  } else                                                         \
+    ::protean::detail::LogLine(level)
+
+#define LOG_TRACE PROTEAN_LOG(::protean::LogLevel::kTrace)
+#define LOG_DEBUG PROTEAN_LOG(::protean::LogLevel::kDebug)
+#define LOG_INFO PROTEAN_LOG(::protean::LogLevel::kInfo)
+#define LOG_WARN PROTEAN_LOG(::protean::LogLevel::kWarn)
+#define LOG_ERROR PROTEAN_LOG(::protean::LogLevel::kError)

@@ -1,0 +1,30 @@
+// printf-style std::string formatting (GCC 12 lacks <format>).
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace protean {
+
+/// Returns the printf-formatted string. Example:
+///   strfmt("%-12s %6.2f%%", name.c_str(), pct);
+[[gnu::format(printf, 1, 2)]] inline std::string strfmt(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::va_list args2;
+  va_copy(args2, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<std::size_t>(n));
+    // n+1 for the terminating NUL vsnprintf writes.
+    std::vsnprintf(out.data(), static_cast<std::size_t>(n) + 1, fmt, args2);
+  }
+  va_end(args2);
+  return out;
+}
+
+}  // namespace protean

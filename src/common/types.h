@@ -1,0 +1,37 @@
+// Fundamental vocabulary types shared across all PROTEAN modules.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace protean {
+
+/// Simulated time, in seconds since simulation start.
+using SimTime = double;
+
+/// Sentinel for "no time" / "never".
+inline constexpr SimTime kNeverTime = std::numeric_limits<SimTime>::infinity();
+
+/// Durations are also expressed in seconds.
+using Duration = double;
+
+/// Monotonically increasing identifiers handed out by the various registries.
+using RequestId = std::uint64_t;
+using BatchId = std::uint64_t;
+using JobId = std::uint64_t;
+using NodeId = std::uint32_t;
+using GpuId = std::uint32_t;
+using SliceId = std::uint32_t;
+using ContainerId = std::uint64_t;
+using VmId = std::uint64_t;
+
+/// Gigabytes of (GPU or host) memory.
+using MemGb = double;
+
+/// Convenience conversions so call sites read naturally.
+constexpr Duration milliseconds(double ms) noexcept { return ms / 1000.0; }
+constexpr Duration seconds(double s) noexcept { return s; }
+constexpr Duration minutes(double m) noexcept { return m * 60.0; }
+constexpr double to_ms(Duration d) noexcept { return d * 1000.0; }
+
+}  // namespace protean

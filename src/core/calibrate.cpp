@@ -1,0 +1,79 @@
+#include "core/calibrate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace protean::core {
+
+double fit_deficiency_alpha(
+    const std::vector<DeficiencyObservation>& observations) noexcept {
+  // Minimize Σ (alpha·x_i − y_i)² with x = log(1/cf), y = log(slowdown):
+  // alpha = Σ x·y / Σ x².
+  double xy = 0.0;
+  double xx = 0.0;
+  for (const auto& obs : observations) {
+    const double x = std::log(1.0 / gpu::compute_fraction(obs.slice));
+    if (x <= 0.0 || obs.slowdown <= 0.0) continue;  // 7g or bad sample
+    const double y = std::log(obs.slowdown);
+    xy += x * y;
+    xx += x * x;
+  }
+  if (xx <= 0.0) return 0.0;
+  return std::clamp(xy / xx, 0.0, 1.0);
+}
+
+double interference_mse(
+    const gpu::InterferenceParams& params,
+    const std::vector<InterferenceObservation>& observations) noexcept {
+  if (observations.empty()) return 0.0;
+  double sse = 0.0;
+  for (const auto& obs : observations) {
+    const double predicted = gpu::mps_slowdown(obs.pressure, params);
+    sse += (predicted - obs.slowdown) * (predicted - obs.slowdown);
+  }
+  return sse / static_cast<double>(observations.size());
+}
+
+gpu::InterferenceParams fit_interference(
+    const std::vector<InterferenceObservation>& observations,
+    const std::vector<double>& knee_candidates) {
+  std::vector<double> knees = knee_candidates;
+  if (knees.empty()) {
+    for (double k = 1.0; k <= 3.0 + 1e-9; k += 0.05) knees.push_back(k);
+  }
+
+  gpu::InterferenceParams best;  // engine defaults as fallback
+  double best_mse = std::numeric_limits<double>::infinity();
+  bool any_superlinear = false;
+
+  for (double knee : knees) {
+    // Given the knee, gamma has a closed-form least-squares solution over
+    // the observations beyond it:
+    //   residual r_i = slowdown_i − max(P_i, 1); basis b_i = (P_i − knee)².
+    double rb = 0.0;
+    double bb = 0.0;
+    for (const auto& obs : observations) {
+      const double excess = obs.pressure - knee;
+      if (excess <= 0.0) continue;
+      const double r = obs.slowdown - std::max(obs.pressure, 1.0);
+      const double b = excess * excess;
+      rb += r * b;
+      bb += b * b;
+      if (r > 1e-9) any_superlinear = true;
+    }
+    if (bb <= 0.0) continue;
+    gpu::InterferenceParams candidate;
+    candidate.thrash_knee = knee;
+    candidate.thrash_gamma = std::max(0.0, rb / bb);
+    const double mse = interference_mse(candidate, observations);
+    if (mse < best_mse) {
+      best_mse = mse;
+      best = candidate;
+    }
+  }
+  if (!any_superlinear) return gpu::InterferenceParams{};
+  return best;
+}
+
+}  // namespace protean::core

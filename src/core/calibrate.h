@@ -1,0 +1,59 @@
+// Profiling-side calibration (Section 3 / Section 5: "prerequisites, such
+// as FBRs, are estimated through profiling").
+//
+// A real deployment populates the model catalog from measurements. This
+// module provides the fitting routines:
+//
+//  * fit_deficiency_alpha — recovers a model's RDF exponent from
+//    (slice, observed solo slowdown) pairs via least squares in log space:
+//    log RDF = alpha · log(1/compute_fraction).
+//  * fit_interference — recovers the MPS thrash knobs (gamma, knee) from
+//    (total pressure, observed slowdown) pairs by grid search over the
+//    knee and closed-form gamma given the knee.
+//  * CalibrationRun — drives both against a live Slice, producing a
+//    ModelProfile whose derived numbers reproduce the observations.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "gpu/engine.h"
+#include "gpu/mig.h"
+#include "workload/model.h"
+
+namespace protean::core {
+
+/// One solo-profiling observation: the model ran alone on `slice` and took
+/// `slowdown`× its 7g solo time.
+struct DeficiencyObservation {
+  gpu::SliceProfile slice;
+  double slowdown = 1.0;
+};
+
+/// Least-squares fit of the RDF exponent; observations on 7g carry no
+/// information (log 1 = 0) and are ignored. Returns 0 when nothing usable.
+double fit_deficiency_alpha(
+    const std::vector<DeficiencyObservation>& observations) noexcept;
+
+/// One co-location observation: total contention pressure on the slice
+/// (including the probe job) and the probe's observed slowdown relative to
+/// its solo time on that slice.
+struct InterferenceObservation {
+  double pressure = 0.0;
+  double slowdown = 1.0;
+};
+
+/// Fits S(P) = max(P,1) + gamma·max(0, P−knee)² to the observations.
+/// `knee_candidates` defaults to a 1.0–3.0 sweep. Returns the engine's
+/// defaults when no observation exceeds the saturation point.
+gpu::InterferenceParams fit_interference(
+    const std::vector<InterferenceObservation>& observations,
+    const std::vector<double>& knee_candidates = {});
+
+/// Mean squared error of a parameter set against observations (exposed so
+/// callers can compare fits).
+double interference_mse(
+    const gpu::InterferenceParams& params,
+    const std::vector<InterferenceObservation>& observations) noexcept;
+
+}  // namespace protean::core

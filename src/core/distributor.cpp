@@ -1,0 +1,119 @@
+#include "core/distributor.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "core/slowdown.h"
+#include "gpu/mig.h"
+
+namespace protean::core {
+
+namespace {
+
+bool ascending_by_size(const gpu::Slice* a, const gpu::Slice* b) {
+  const int ua = gpu::traits(a->profile()).compute_units;
+  const int ub = gpu::traits(b->profile()).compute_units;
+  if (ua != ub) return ua < ub;
+  return a->id() < b->id();
+}
+
+gpu::JobSpec probe_spec(const workload::Batch& batch, const gpu::Slice& slice) {
+  return workload::job_spec_for(batch, slice.profile());
+}
+
+}  // namespace
+
+std::vector<TaggedSlice> JobDistributor::compute_tags(
+    std::vector<gpu::Slice*> slices, MemGb be_mem) {
+  std::sort(slices.begin(), slices.end(), ascending_by_size);
+  std::vector<TaggedSlice> tagged;
+  tagged.reserve(slices.size());
+  for (gpu::Slice* s : slices) tagged.push_back(TaggedSlice{s, 0.0});
+  // Algorithm 1 lines 2–8: fill tag values ascending until BE demand is
+  // exhausted.
+  for (TaggedSlice& ts : tagged) {
+    if (be_mem <= 0.0) break;
+    const MemGb avail = std::max(0.0, ts.slice->available_memory());
+    if (avail <= 0.0) {
+      ts.tag_value = 1.0;
+      continue;
+    }
+    ts.tag_value = std::min(1.0, be_mem / avail);
+    be_mem = std::max(0.0, be_mem - avail);
+  }
+  return tagged;
+}
+
+gpu::Slice* JobDistributor::choose_strict_slice(
+    const workload::Batch& batch, const std::vector<TaggedSlice>& tagged,
+    double be_fbr_density) {
+  gpu::Slice* best = nullptr;
+  double best_eta = std::numeric_limits<double>::infinity();
+  // Two passes: slices not fully claimed by BE work first (Algorithm 1's
+  // tag < 1 filter); if every admitting slice is BE-saturated — a BE
+  // backlog larger than GPU memory — strict requests still take the
+  // min-η slice. Reordering gives them priority, never starvation.
+  for (const bool ignore_tags : {false, true}) {
+    for (const TaggedSlice& ts : tagged) {
+      gpu::Slice& slice = *ts.slice;
+      if (!ignore_tags && ts.tag_value >= 1.0) continue;
+      if (!batch.model->fits(slice.profile())) continue;
+      if (!slice.can_admit(probe_spec(batch, slice))) continue;
+      // Expected interference from BE work earmarked for this slice: the
+      // tagged fraction of the slice's free memory times the queue's FBR
+      // density (FBR per GB).
+      const double tagged_fbr =
+          ts.tag_value * std::max(0.0, slice.available_memory()) *
+          be_fbr_density;
+      const double eta =
+          slowdown_factor(*batch.model, slice.profile(), slice.fbr_sum(),
+                          slice.sm_share_sum(), tagged_fbr);
+      if (eta < best_eta) {
+        best_eta = eta;
+        best = &slice;
+      }
+    }
+    if (best != nullptr) return best;
+  }
+  return nullptr;
+}
+
+gpu::Slice* JobDistributor::choose_best_effort_slice(
+    const workload::Batch& batch, const std::vector<TaggedSlice>& tagged,
+    bool protect_largest) {
+  // First Fit over ascending sizes: the smallest slice that can take the
+  // batch right now. While strict work is present the largest slice is
+  // reserved for it: BE spills onto it only when no smaller slice could
+  // *ever* host the batch (e.g. a 14 GB DPN 92 batch in a (4g,2g,1g)
+  // geometry) — otherwise the batch waits, per Guideline 1.
+  if (tagged.empty()) return nullptr;
+  const gpu::Slice* largest = tagged.back().slice;
+  bool fits_smaller = false;
+  for (const TaggedSlice& ts : tagged) {
+    gpu::Slice& slice = *ts.slice;
+    if (!batch.model->fits(slice.profile())) continue;
+    if (&slice != largest) fits_smaller = true;
+    if (protect_largest && &slice == largest && fits_smaller &&
+        tagged.size() > 1) {
+      continue;
+    }
+    if (slice.can_admit(probe_spec(batch, slice))) return &slice;
+  }
+  return nullptr;
+}
+
+double JobDistributor::be_fbr_density(
+    const std::deque<workload::Batch>& queue) {
+  double fbr = 0.0;
+  MemGb mem = 0.0;
+  for (const auto& b : queue) {
+    if (b.strict) continue;
+    fbr += b.model->fbr;
+    mem += b.model->mem_gb;
+  }
+  if (mem <= 0.0) return 0.0;
+  return fbr / mem;
+}
+
+}  // namespace protean::core

@@ -1,0 +1,53 @@
+// Job Distribution logic ⑤ — Algorithm 1 of the paper.
+//
+// Slices (ascending by size) are tagged with the fraction of their memory
+// that queued best-effort work will occupy. BE batches are packed first-fit
+// onto the fewest, smallest slices (Guideline 1); strict batches go to the
+// not-fully-BE slice minimizing Eq. 2's slowdown factor η (Guideline 2).
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "gpu/engine.h"
+#include "workload/batch.h"
+
+namespace protean::core {
+
+/// One scheduling round's view of a slice plus its Algorithm 1 tag value
+/// (fraction of available memory that queued BE work would occupy).
+struct TaggedSlice {
+  gpu::Slice* slice = nullptr;
+  double tag_value = 0.0;
+};
+
+class JobDistributor {
+ public:
+  /// Algorithm 1 lines 1–8: walks slices in ascending size order, spreading
+  /// `be_mem` GB of queued best-effort demand across them as tag values.
+  static std::vector<TaggedSlice> compute_tags(
+      std::vector<gpu::Slice*> slices, MemGb be_mem);
+
+  /// choose_strict_slice ⑦: among slices with tag_value < 1 that can admit
+  /// the batch, pick the one with the least η. The tag contributes expected
+  /// BE interference proportional to the tagged memory (`be_fbr_density` =
+  /// FBR per GB of queued BE work). Returns nullptr if nothing admits.
+  static gpu::Slice* choose_strict_slice(const workload::Batch& batch,
+                                         const std::vector<TaggedSlice>& tagged,
+                                         double be_fbr_density);
+
+  /// choose_best_effort_slice ⑧: First-Fit bin packing over slices in
+  /// ascending size order. When `protect_largest` is set (strict work is
+  /// present), the largest slice only takes BE batches that no smaller
+  /// slice could ever host. Returns nullptr if nothing admits (the batch
+  /// waits). With no strict demand, BE work may use the whole GPU.
+  static gpu::Slice* choose_best_effort_slice(
+      const workload::Batch& batch, const std::vector<TaggedSlice>& tagged,
+      bool protect_largest = true);
+
+  /// FBR per GB of the queued best-effort batches on a node, used to turn
+  /// tag values into expected interference. Zero when nothing is queued.
+  static double be_fbr_density(const std::deque<workload::Batch>& queue);
+};
+
+}  // namespace protean::core

@@ -1,0 +1,109 @@
+#include "core/protean.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace protean::core {
+
+ProteanScheduler::ProteanScheduler(ProteanOptions options)
+    : options_(std::move(options)) {
+  if (options_.oracle) options_.reconfig.oracle = true;
+}
+
+std::string ProteanScheduler::name() const {
+  if (options_.oracle) return "Oracle";
+  if (!options_.dynamic_reconfig) return "PROTEAN (static)";
+  if (!options_.use_eta) return "PROTEAN (no eta)";
+  if (!options_.reorder) return "PROTEAN (no reorder)";
+  return "PROTEAN";
+}
+
+gpu::Slice* ProteanScheduler::place(const workload::Batch& batch,
+                                    cluster::WorkerNode& node) {
+  auto slices = node.gpu().slices();
+  if (slices.empty()) return nullptr;  // reconfiguring
+  const auto tagged =
+      JobDistributor::compute_tags(std::move(slices), node.be_mem_queued());
+  if (batch.strict) {
+    if (!options_.use_eta) {
+      // Ablation: always take the largest admitting slice, ignoring the
+      // interference/deficiency trade-off of Eq. 2.
+      for (auto it = tagged.rbegin(); it != tagged.rend(); ++it) {
+        gpu::Slice& slice = *it->slice;
+        if (batch.model->fits(slice.profile()) &&
+            slice.can_admit(workload::job_spec_for(batch, slice.profile()))) {
+          return &slice;
+        }
+      }
+      return nullptr;
+    }
+    const double density = JobDistributor::be_fbr_density(node.queue());
+    return JobDistributor::choose_strict_slice(batch, tagged, density);
+  }
+  // The largest slice is only reserved while strict work is actually
+  // around (resident, queued, or seen recently); a 100%-BE workload may
+  // use the whole GPU (Table 5).
+  bool strict_present = !tagged.empty() &&
+                        tagged.back().slice->strict_jobs() > 0;
+  if (!strict_present && !node.queue().empty()) {
+    strict_present = node.queue().front().strict;
+  }
+  if (!strict_present) {
+    strict_present = batch.enqueued_at - node.last_strict_seen() < 3.0;
+  }
+  return JobDistributor::choose_best_effort_slice(batch, tagged,
+                                                  strict_present);
+}
+
+void ProteanScheduler::on_monitor(cluster::WorkerNode& node,
+                                  int& reconfig_budget) {
+  if (!options_.dynamic_reconfig) return;
+  auto [it, inserted] =
+      per_node_.try_emplace(node.id(), options_.reconfig);
+  Reconfigurator& reconfigurator = it->second;
+
+  QueueInfo info;
+  // Instantaneous BE footprint (catches backlogs) combined with the
+  // Little's-law estimate of steady concurrent demand (arrival rate ×
+  // service × footprint — robust when short BE jobs drain between ticks).
+  info.be_mem_demand = node.be_mem_queued();
+  info.be_batches = static_cast<int>(node.be_queued());
+  for (const gpu::Slice* slice :
+       const_cast<const gpu::Gpu&>(node.gpu()).slices()) {
+    info.be_mem_demand += slice->be_memory_in_use();
+  }
+  info.be_mem_demand =
+      std::max(info.be_mem_demand, node.take_be_demand_estimate());
+  info.be_batch_mem = node.last_be_batch_mem();
+  const workload::ModelProfile* be_model = node.last_be_model();
+  for (const auto& b : node.queue()) {
+    if (!b.strict) {
+      if (b.model->mem_gb > info.be_batch_mem) {
+        info.be_batch_mem = b.model->mem_gb;
+        be_model = b.model;
+      }
+    }
+  }
+  if (be_model != nullptr) {
+    info.be_rdf_2g = be_model->rdf(gpu::SliceProfile::k2g);
+    info.be_rdf_3g = be_model->rdf(gpu::SliceProfile::k3g);
+  }
+
+  const auto decision =
+      reconfigurator.evaluate(info, node.gpu().geometry());
+  if (!decision.reconfigure) return;
+  if (reconfig_budget <= 0 || node.gpu().reconfiguring()) return;
+  if (node.begin_reconfigure(decision.target)) {
+    --reconfig_budget;
+    LOG_DEBUG << "node " << node.id() << " reconfiguring to "
+              << decision.target.to_string();
+  }
+}
+
+const Reconfigurator* ProteanScheduler::reconfigurator(NodeId node) const {
+  const auto it = per_node_.find(node);
+  return it == per_node_.end() ? nullptr : &it->second;
+}
+
+}  // namespace protean::core

@@ -1,0 +1,69 @@
+// The PROTEAN scheduler: the paper's primary contribution, assembled from
+// the Job Distribution logic (Algorithm 1), the GPU Reconfigurator
+// (Algorithm 2), request reordering, and MPS+MIG execution.
+//
+// The Oracle variant (Section 6.2's final comparison) shares every policy
+// but evaluates geometry decisions with perfect knowledge of the current
+// demand (no EWMA lag, no wait counter); the harness additionally grants it
+// zero reconfiguration downtime.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "cluster/node.h"
+#include "cluster/scheduler.h"
+#include "core/distributor.h"
+#include "core/reconfig.h"
+
+namespace protean::core {
+
+struct ProteanOptions {
+  ReconfigConfig reconfig;
+  /// Initial geometry for every GPU. Defaults to Algorithm 2's decision for
+  /// zero best-effort demand, (4g,3g); Fig. 7's demo starts at (4g,2g,1g).
+  gpu::Geometry initial_geometry = gpu::Geometry::g4_3();
+  /// Request reordering (Section 4.1); ablation knob.
+  bool reorder = true;
+  /// Eq. 2-driven strict placement (Guideline 2); ablation knob — off
+  /// falls back to 'largest slice that admits' (the Section 2.2 straw man).
+  bool use_eta = true;
+  /// Dynamic reconfiguration (Section 4.4); ablation knob — off pins the
+  /// initial geometry for the whole run.
+  bool dynamic_reconfig = true;
+  /// Oracle mode (perfect prediction, immediate geometry application).
+  bool oracle = false;
+};
+
+class ProteanScheduler : public cluster::Scheduler {
+ public:
+  explicit ProteanScheduler(ProteanOptions options = {});
+
+  std::string name() const override;
+  gpu::SharingMode sharing_mode() const override {
+    return gpu::SharingMode::kMps;
+  }
+  gpu::Geometry initial_geometry() const override {
+    return options_.initial_geometry;
+  }
+  bool reorder_strict_first() const override { return options_.reorder; }
+  std::optional<cluster::DispatchPolicy> dispatch_policy() const override {
+    // The Dispatcher ② is a PROTEAN component: it spreads batches to the
+    // least-loaded worker so per-node bursts don't force co-location.
+    return cluster::DispatchPolicy::kLeastLoaded;
+  }
+
+  gpu::Slice* place(const workload::Batch& batch,
+                    cluster::WorkerNode& node) override;
+  void on_monitor(cluster::WorkerNode& node, int& reconfig_budget) override;
+
+  const ProteanOptions& options() const noexcept { return options_; }
+  /// Reconfigurator state for a node (tests / introspection).
+  const Reconfigurator* reconfigurator(NodeId node) const;
+
+ private:
+  ProteanOptions options_;
+  std::map<NodeId, Reconfigurator> per_node_;
+};
+
+}  // namespace protean::core

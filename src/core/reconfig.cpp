@@ -1,0 +1,97 @@
+#include "core/reconfig.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace protean::core {
+
+namespace {
+using gpu::Geometry;
+using gpu::SliceProfile;
+
+MemGb set_memory(const std::vector<SliceProfile>& profiles) {
+  MemGb total = 0.0;
+  for (SliceProfile p : profiles) total += gpu::memory_gb(p);
+  return total;
+}
+}  // namespace
+
+Reconfigurator::Reconfigurator(const ReconfigConfig& config)
+    : config_(config), ewma_(config.ewma_alpha) {
+  PROTEAN_CHECK_MSG(config_.wait_limit >= 0, "negative wait limit");
+  PROTEAN_CHECK_MSG(config_.t_low < config_.t_high, "thresholds inverted");
+}
+
+Geometry Reconfigurator::choose_geometry(MemGb pred_be_mem,
+                                         const QueueInfo& info,
+                                         const ReconfigConfig& config) {
+  // Algorithm 2 line 6: small slice sets considered in ascending memory.
+  static const std::vector<std::vector<SliceProfile>> kSmallSliceSets = {
+      {SliceProfile::k1g, SliceProfile::k2g},  // 15 GB
+      {SliceProfile::k3g},                     // 20 GB
+  };
+
+  const std::vector<SliceProfile>* chosen = nullptr;
+  double chosen_rdf = 1.0;
+  for (const auto& slice_set : kSmallSliceSets) {  // line 10
+    if (set_memory(slice_set) < pred_be_mem) continue;  // line 11 (c)
+    // One slice of the set must hold a single BE batch at all; a 14 GB
+    // DPN 92 batch disqualifies (1g,2g) outright.
+    MemGb largest = 0.0;
+    for (SliceProfile p : slice_set) {
+      largest = std::max(largest, gpu::memory_gb(p));
+    }
+    if (largest + 1e-9 < info.be_batch_mem) continue;
+    chosen = &slice_set;
+    chosen_rdf = slice_set.size() > 1 ? info.be_rdf_2g : info.be_rdf_3g;
+    break;
+  }
+  if (chosen == nullptr) {
+    // line 19-20 (found == False): BE footprint exceeds every small set.
+    return Geometry::g4_3();
+  }
+  // Steps d/e: potential occupancy of the chosen set against thresholds.
+  // The occupancy is deficiency-weighted: BE batches that run RDF× slower
+  // on the small slices hold their memory RDF× longer (profiling input,
+  // per the paper's threshold calculation).
+  const double occupancy =
+      pred_be_mem * std::max(1.0, chosen_rdf) / set_memory(*chosen);
+  if (occupancy < config.t_low || occupancy > config.t_high) {  // line 19 (f)
+    return Geometry::g4_3();
+  }
+  // Lines 22–23: append the 4g for strict requests.
+  std::vector<SliceProfile> final_slices = *chosen;
+  final_slices.push_back(SliceProfile::k4g);
+  Geometry g(std::move(final_slices));
+  PROTEAN_CHECK_MSG(g.valid(), "chosen geometry invalid");
+  return g;
+}
+
+Reconfigurator::Decision Reconfigurator::evaluate(const QueueInfo& info,
+                                                  const Geometry& current) {
+  // Line 8 (a): predict the upcoming BE demand.
+  ewma_.observe(info.be_mem_demand);
+  const MemGb pred =
+      config_.oracle ? info.be_mem_demand : ewma_.value();  // line 9 (b)
+
+  Decision decision;
+  decision.target = choose_geometry(pred, info, config_);
+
+  if (decision.target == current) {  // line 29-30
+    wait_ctr_ = 0;
+    decision.reconfigure = false;
+    return decision;
+  }
+  // Lines 24–28: require the mismatch to persist before paying downtime.
+  if (config_.oracle || wait_ctr_ >= config_.wait_limit) {  // line 25 (g)
+    decision.reconfigure = true;
+    wait_ctr_ = 0;
+  } else {
+    ++wait_ctr_;
+    decision.reconfigure = false;
+  }
+  return decision;
+}
+
+}  // namespace protean::core

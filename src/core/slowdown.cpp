@@ -1,0 +1,48 @@
+#include "core/slowdown.h"
+
+#include <algorithm>
+
+namespace protean::core {
+
+Duration eq1_exec_time(Duration solo_time, double own_fbr,
+                       double coresident_fbr) noexcept {
+  return solo_time * std::max(own_fbr + coresident_fbr, 1.0);
+}
+
+double slowdown_factor(const workload::ModelProfile& model,
+                       gpu::SliceProfile slice_profile, double resident_fbr,
+                       double resident_sm, double tagged_be_fbr) noexcept {
+  const double rdf = model.rdf(slice_profile);
+  const double sm_share = model.sm_share_on(slice_profile);
+  const double pressure = std::max(model.fbr + resident_fbr + tagged_be_fbr,
+                                   sm_share + resident_sm);
+  // Mirror the engine: the job's solo measurement already includes its own
+  // pressure, so η charges only the contention beyond it.
+  const double own = gpu::mps_slowdown(std::max(model.fbr, sm_share));
+  return rdf * gpu::mps_slowdown(pressure) / own;
+}
+
+Duration predicted_exec_time(const workload::ModelProfile& model,
+                             const gpu::Slice& slice,
+                             double tagged_be_fbr) noexcept {
+  return model.solo_time_7g *
+         slowdown_factor(model, slice.profile(), slice.fbr_sum(),
+                         slice.sm_share_sum(), tagged_be_fbr);
+}
+
+void FbrEstimator::observe(double others_fbr, double observed_slowdown) {
+  // Only the saturated branch of Eq. 1 carries information about the job's
+  // own FBR; slowdown 1.0 merely bounds fbr_own + others <= 1.
+  if (observed_slowdown > 1.0 + 1e-9) {
+    samples_.push_back(observed_slowdown - others_fbr);
+  }
+}
+
+double FbrEstimator::estimate() const noexcept {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double s : samples_) sum += s;
+  return std::max(0.0, sum / static_cast<double>(samples_.size()));
+}
+
+}  // namespace protean::core

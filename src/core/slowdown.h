@@ -1,0 +1,64 @@
+// Job slowdown modeling (Section 3).
+//
+// Re-purposes Prophet's MPS interference model for the hybrid MPS+MIG
+// setting. Equation 1 gives the execution time of a job co-located with
+// others; Equation 2 folds in the Resource Deficiency Factor (RDF) of the
+// candidate slice:
+//
+//   η = RDF × max{ bw_k·sm_k + Σ_i bw_i·sm_i , 1 }
+//
+// The module also provides the profiling-side FBR estimator the paper
+// describes: FBRs are recovered by solving the linear relations Eq. 1
+// induces across multiple observed co-locations.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "gpu/engine.h"
+#include "gpu/mig.h"
+#include "workload/model.h"
+
+namespace protean::core {
+
+/// Eq. 1: execution time of a job with the given solo time, own FBR, and
+/// total co-resident FBR.
+Duration eq1_exec_time(Duration solo_time, double own_fbr,
+                       double coresident_fbr) noexcept;
+
+/// Eq. 2's slowdown factor η for placing `model` on `slice_profile` where
+/// the resident jobs contribute `resident_fbr` bandwidth pressure and
+/// `resident_sm` compute pressure, and BE requests expected on the slice
+/// (Algorithm 1 tag values) contribute `tagged_be_fbr`.
+double slowdown_factor(const workload::ModelProfile& model,
+                       gpu::SliceProfile slice_profile, double resident_fbr,
+                       double resident_sm = 0.0,
+                       double tagged_be_fbr = 0.0) noexcept;
+
+/// Predicted execution time of `model` on a live slice given its current
+/// residents (used by choose_strict_slice and the Oracle sweeps).
+Duration predicted_exec_time(const workload::ModelProfile& model,
+                             const gpu::Slice& slice,
+                             double tagged_be_fbr = 0.0) noexcept;
+
+/// Recovers a job's FBR from observed co-location slowdowns by
+/// least-squares over the saturated branch of Eq. 1:
+///   slowdown_i ≈ fbr_own + others_fbr_i     (when the sum exceeds 1)
+/// This mirrors the paper's "averaging the values obtained from solving the
+/// linear equations derived from Equation 1 for multiple co-locations".
+class FbrEstimator {
+ public:
+  /// Records one profiling run: total FBR of co-residents and the observed
+  /// slowdown (exec_time / solo_time).
+  void observe(double others_fbr, double observed_slowdown);
+
+  /// Least-squares estimate of the job's own FBR; 0 if no usable samples.
+  double estimate() const noexcept;
+
+  std::size_t samples() const noexcept { return samples_.size(); }
+
+ private:
+  std::vector<double> samples_;  // per-observation fbr_own estimates
+};
+
+}  // namespace protean::core

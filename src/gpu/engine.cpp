@@ -1,0 +1,300 @@
+#include "gpu/engine.h"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+
+#include "common/log.h"
+
+namespace protean::gpu {
+
+namespace {
+constexpr double kWorkEpsilon = 1e-12;
+}
+
+double mps_slowdown(double pressure, const InterferenceParams& params) noexcept {
+  const double base = std::max(pressure, 1.0);
+  const double excess = std::max(0.0, pressure - params.thrash_knee);
+  return base + params.thrash_gamma * excess * excess;
+}
+
+// ---------------------------------------------------------------- Slice ----
+
+Slice::Slice(sim::Simulator& simulator, Gpu* owner, SliceId id,
+             SliceProfile profile, SharingMode mode,
+             InterferenceParams interference)
+    : sim_(simulator),
+      owner_(owner),
+      id_(id),
+      profile_(profile),
+      mode_(mode),
+      interference_(interference),
+      last_update_(simulator.now()),
+      util_last_update_(simulator.now()) {}
+
+Slice::~Slice() { sim_.cancel(completion_event_); }
+
+bool Slice::can_admit(const JobSpec& spec) const noexcept {
+  if (!accepting_) return false;
+  if (spec.mem_gb > available_memory() + 1e-9) return false;
+  if (mode_ == SharingMode::kTimeShare && !jobs_.empty()) return false;
+  return true;
+}
+
+double Slice::pressure() const noexcept { return std::max(fbr_sum_, sm_sum_); }
+
+double Slice::current_slowdown() const noexcept {
+  if (mode_ == SharingMode::kTimeShare) return 1.0;
+  return mps_slowdown(pressure(), interference_);
+}
+
+double Slice::job_rate(const Running& job) const noexcept {
+  if (mode_ == SharingMode::kTimeShare) return 1.0;
+  return std::min(1.0, job.solo_slowdown / current_slowdown());
+}
+
+void Slice::submit(const JobSpec& spec, CompletionCallback on_done) {
+  PROTEAN_CHECK_MSG(can_admit(spec), "submit() without can_admit()");
+  PROTEAN_CHECK_MSG(spec.solo_time > 0.0, "job with non-positive solo time");
+  settle();
+  const bool was_idle = jobs_.empty();
+  const double solo_slowdown =
+      mps_slowdown(std::max(spec.fbr, spec.sm_share), interference_);
+  Duration work = spec.solo_time;
+  if (mode_ == SharingMode::kTimeShare && spec.model_tag != last_model_tag_) {
+    // Switching to a different workload's container costs a context swap.
+    work += interference_.timeshare_overhead;
+  }
+  if (mode_ == SharingMode::kTimeShare) last_model_tag_ = spec.model_tag;
+  jobs_.push_back(
+      Running{spec, work, solo_slowdown, sim_.now(), std::move(on_done)});
+  mem_in_use_ += spec.mem_gb;
+  if (!spec.strict) be_mem_in_use_ += spec.mem_gb;
+  fbr_sum_ += spec.fbr;
+  sm_sum_ += spec.sm_share;
+  if (was_idle && owner_ != nullptr) owner_->on_slice_activity_change(true);
+  reschedule_completion();
+}
+
+void Slice::settle() {
+  const SimTime now = sim_.now();
+  const Duration elapsed = now - last_update_;
+  if (elapsed > 0.0 && !jobs_.empty()) {
+    for (Running& job : jobs_) {
+      job.remaining_work =
+          std::max(0.0, job.remaining_work - elapsed * job_rate(job));
+    }
+  }
+  // Utilization integrals.
+  const Duration util_elapsed = now - util_last_update_;
+  if (util_elapsed > 0.0) {
+    if (!jobs_.empty()) busy_integral_ += util_elapsed;
+    mem_integral_ += util_elapsed * mem_in_use_;
+  }
+  last_update_ = now;
+  util_last_update_ = now;
+}
+
+void Slice::reschedule_completion() {
+  sim_.cancel(completion_event_);
+  completion_event_ = sim::EventHandle();
+  if (jobs_.empty()) return;
+  double eta = std::numeric_limits<double>::infinity();
+  for (const Running& job : jobs_) {
+    eta = std::min(eta, std::max(0.0, job.remaining_work) / job_rate(job));
+  }
+  completion_event_ = sim_.schedule_after(eta, [this] {
+    completion_event_ = sim::EventHandle();
+    settle();
+    complete_front_runner();
+  });
+}
+
+void Slice::complete_front_runner() {
+  // Complete every job whose work has drained (ties complete together).
+  std::vector<Running> done;
+  for (auto it = jobs_.begin(); it != jobs_.end();) {
+    if (it->remaining_work <= kWorkEpsilon) {
+      done.push_back(std::move(*it));
+      it = jobs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  PROTEAN_DCHECK(!done.empty());
+  for (Running& job : done) {
+    mem_in_use_ -= job.spec.mem_gb;
+    if (!job.spec.strict) be_mem_in_use_ -= job.spec.mem_gb;
+    fbr_sum_ -= job.spec.fbr;
+    sm_sum_ -= job.spec.sm_share;
+  }
+  // Guard against floating-point drift.
+  if (jobs_.empty()) {
+    mem_in_use_ = 0.0;
+    be_mem_in_use_ = 0.0;
+    fbr_sum_ = 0.0;
+    sm_sum_ = 0.0;
+  } else {
+    mem_in_use_ = std::max(0.0, mem_in_use_);
+    be_mem_in_use_ = std::max(0.0, be_mem_in_use_);
+    fbr_sum_ = std::max(0.0, fbr_sum_);
+    sm_sum_ = std::max(0.0, sm_sum_);
+  }
+  const bool now_idle = jobs_.empty();
+  reschedule_completion();
+  for (Running& job : done) {
+    JobCompletion completion;
+    completion.id = job.spec.id;
+    completion.started_at = job.started_at;
+    completion.finished_at = sim_.now();
+    completion.exec_time = sim_.now() - job.started_at;
+    completion.solo_time = job.spec.solo_time;
+    if (job.on_done) job.on_done(completion);
+  }
+  if (owner_ != nullptr) {
+    if (now_idle) owner_->on_slice_activity_change(false);
+    owner_->on_job_complete();
+  }
+}
+
+std::size_t Slice::strict_jobs() const noexcept {
+  std::size_t count = 0;
+  for (const Running& job : jobs_) {
+    if (job.spec.strict) ++count;
+  }
+  return count;
+}
+
+void Slice::reserve_memory(MemGb gb) {
+  PROTEAN_CHECK_MSG(gb <= available_memory() + 1e-9,
+                    "reservation exceeds free memory");
+  settle();
+  reserved_gb_ += gb;
+  ++reservation_count_;
+}
+
+void Slice::release_reservation(MemGb gb) {
+  PROTEAN_CHECK_MSG(reservation_count_ > 0, "no reservation to release");
+  settle();
+  reserved_gb_ = std::max(0.0, reserved_gb_ - gb);
+  --reservation_count_;
+  if (reservation_count_ == 0) reserved_gb_ = 0.0;
+  if (owner_ != nullptr) owner_->on_job_complete();  // may unblock a drain
+}
+
+double Slice::busy_seconds() const noexcept {
+  double total = busy_integral_;
+  if (!jobs_.empty()) total += sim_.now() - util_last_update_;
+  return total;
+}
+
+double Slice::memory_gb_seconds() const noexcept {
+  return mem_integral_ + (sim_.now() - util_last_update_) * mem_in_use_;
+}
+
+// ------------------------------------------------------------------ Gpu ----
+
+Gpu::Gpu(sim::Simulator& simulator, GpuId id, Geometry geometry,
+         SharingMode mode, Duration reconfigure_time,
+         InterferenceParams interference)
+    : sim_(simulator),
+      id_(id),
+      geometry_(std::move(geometry)),
+      mode_(mode),
+      reconfigure_time_(reconfigure_time),
+      interference_(interference),
+      busy_last_update_(simulator.now()) {
+  PROTEAN_CHECK_MSG(geometry_.valid(), "invalid initial geometry");
+  build_slices();
+}
+
+void Gpu::build_slices() {
+  // Preserve utilization integrals of slices about to be destroyed.
+  for (const auto& s : slices_) mem_integral_retired_ += s->memory_gb_seconds();
+  slices_.clear();
+  slices_.reserve(geometry_.size());
+  for (SliceProfile profile : geometry_.slices()) {
+    slices_.push_back(std::make_unique<Slice>(
+        sim_, this, next_slice_id_++, profile, mode_, interference_));
+  }
+}
+
+std::vector<Slice*> Gpu::slices() {
+  std::vector<Slice*> out;
+  if (state_ != State::kReady && state_ != State::kDraining) return out;
+  out.reserve(slices_.size());
+  for (auto& s : slices_) out.push_back(s.get());
+  return out;
+}
+
+std::vector<const Slice*> Gpu::slices() const {
+  std::vector<const Slice*> out;
+  if (state_ != State::kReady && state_ != State::kDraining) return out;
+  out.reserve(slices_.size());
+  for (auto& s : slices_) out.push_back(s.get());
+  return out;
+}
+
+bool Gpu::request_reconfigure(const Geometry& target,
+                              std::function<void()> on_done) {
+  PROTEAN_CHECK_MSG(target.valid(), "invalid target geometry");
+  if (state_ != State::kReady) return false;
+  if (target == geometry_) {
+    if (on_done) on_done();
+    return true;
+  }
+  LOG_DEBUG << "GPU " << id_ << " reconfigure " << geometry_.to_string()
+            << " -> " << target.to_string();
+  target_geometry_ = target;
+  reconfig_done_ = std::move(on_done);
+  state_ = State::kDraining;
+  for (auto& s : slices_) s->set_accepting(false);
+  maybe_finish_drain();
+  return true;
+}
+
+void Gpu::maybe_finish_drain() {
+  if (state_ != State::kDraining) return;
+  for (auto& s : slices_) {
+    if (!s->idle() || s->reservations() > 0) return;
+  }
+  // All drained: take the MIG downtime, then swap the geometry.
+  state_ = State::kDown;
+  sim_.schedule_after(reconfigure_time_, [this] {
+    geometry_ = target_geometry_;
+    build_slices();
+    state_ = State::kReady;
+    ++reconfig_count_;
+    auto done = std::move(reconfig_done_);
+    reconfig_done_ = nullptr;
+    if (done) done();
+    if (on_capacity_) on_capacity_();
+  });
+}
+
+void Gpu::on_slice_activity_change(bool became_busy) {
+  const SimTime now = sim_.now();
+  if (busy_slices_ > 0) busy_integral_ += now - busy_last_update_;
+  busy_last_update_ = now;
+  busy_slices_ += became_busy ? 1 : -1;
+  PROTEAN_DCHECK(busy_slices_ >= 0);
+}
+
+void Gpu::on_job_complete() {
+  maybe_finish_drain();
+  if (on_capacity_) on_capacity_();
+}
+
+double Gpu::busy_seconds() const noexcept {
+  double total = busy_integral_;
+  if (busy_slices_ > 0) total += sim_.now() - busy_last_update_;
+  return total;
+}
+
+double Gpu::memory_gb_seconds() const noexcept {
+  double total = mem_integral_retired_;
+  for (const auto& s : slices_) total += s->memory_gb_seconds();
+  return total;
+}
+
+}  // namespace protean::gpu

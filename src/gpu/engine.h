@@ -1,0 +1,280 @@
+// GPU execution engine.
+//
+// Simulates job execution on MIG slices under two sharing modes:
+//
+//  * kTimeShare — one job at a time per slice (Molecule-beta / MIG-only);
+//    a job runs for exactly its solo time.
+//  * kMps — concurrent jobs spatially share the slice. The slice-wide
+//    contention pressure is
+//        P = max( Σ resident FBRs, Σ resident SM shares )
+//    and the slice slowdown is
+//        S(P) = max(P, 1) + γ · max(0, P − knee)²
+//    The FBR term is Prophet's bandwidth-contention model (Eq. 1 of the
+//    paper). The SM term captures MPS *compute* contention: MPS partitions
+//    the slice's SMs between clients (Fig. 1a), so kernels that can each
+//    occupy the whole slice (sm_share = 1, e.g. batch-128 vision models)
+//    processor-share it, while small kernels (LLM batch 4) pack without
+//    compute pressure. The quadratic term models the superlinear cache/TLB
+//    thrash of *excessive* consolidation the paper attributes to
+//    INFless/Llama-style whole-GPU packing; below `knee` total pressure the
+//    model is exactly additive (Eq. 1).
+//
+//    Each resident j progresses at rate min(1, S(p_j)/S(P)) where
+//    p_j = max(fbr_j, sm_share_j): a job's solo measurement already
+//    includes its own bandwidth ceiling, so jobs that alone saturate the
+//    bus (fbr ≥ 1) are only charged for contention *beyond* that.
+//    Pressure is re-evaluated on every arrival/departure.
+//
+// Resource deficiency (Eq. 2's RDF) is applied by the *caller*: the
+// `solo_time` field of a JobSpec is the job's solo latency on the target
+// slice, i.e. Solo_7g × RDF(slice). This keeps the engine model-agnostic.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "gpu/mig.h"
+#include "sim/simulator.h"
+
+namespace protean::gpu {
+
+enum class SharingMode { kTimeShare, kMps };
+
+/// Knobs of the MPS interference model (see file comment).
+struct InterferenceParams {
+  double thrash_gamma = 0.6;  ///< quadratic penalty strength
+  double thrash_knee = 1.5;   ///< pressure above which thrash kicks in
+  /// Per-batch overhead under time sharing (no MPS): context switch and
+  /// per-container launch costs between successive batches.
+  Duration timeshare_overhead = 0.030;
+};
+
+/// Slice slowdown S(P) for total contention pressure P.
+double mps_slowdown(double pressure,
+                    const InterferenceParams& params = {}) noexcept;
+
+/// Everything the engine needs to know about one unit of work (one request
+/// batch dispatched to a slice).
+struct JobSpec {
+  JobId id = 0;
+  Duration solo_time = 0.0;  ///< solo latency on this slice (RDF applied).
+  double fbr = 0.0;          ///< fractional bandwidth requirement (bw×sm).
+  double sm_share = 1.0;     ///< fraction of this slice's SMs the kernel
+                             ///< occupies: min(sm_req / compute_fraction, 1).
+  MemGb mem_gb = 0.0;        ///< GPU memory held while executing.
+  bool strict = false;       ///< latency class (for residency accounting).
+  /// Opaque workload identity; under time sharing the swap overhead is only
+  /// paid when the slice switches to a different workload's container.
+  const void* model_tag = nullptr;
+};
+
+/// Delivered to the submitter when a job finishes.
+struct JobCompletion {
+  JobId id = 0;
+  SimTime started_at = 0.0;
+  SimTime finished_at = 0.0;
+  /// Actual wall time spent executing (finished - started).
+  Duration exec_time = 0.0;
+  /// The job's solo time on the slice it ran on (for breakdown accounting).
+  Duration solo_time = 0.0;
+};
+
+using CompletionCallback = std::function<void(const JobCompletion&)>;
+
+class Gpu;  // forward
+
+/// One MIG instance. Owned by a Gpu; jobs are submitted by the node runtime.
+class Slice {
+ public:
+  Slice(sim::Simulator& simulator, Gpu* owner, SliceId id,
+        SliceProfile profile, SharingMode mode,
+        InterferenceParams interference = {});
+  ~Slice();
+  Slice(const Slice&) = delete;
+  Slice& operator=(const Slice&) = delete;
+
+  SliceId id() const noexcept { return id_; }
+  SliceProfile profile() const noexcept { return profile_; }
+  SharingMode mode() const noexcept { return mode_; }
+
+  /// True if the job fits in the slice's free memory right now and the
+  /// slice is accepting work (not draining for reconfiguration).
+  bool can_admit(const JobSpec& spec) const noexcept;
+
+  /// Starts executing the job immediately. Pre: can_admit(spec).
+  void submit(const JobSpec& spec, CompletionCallback on_done);
+
+  std::size_t running_jobs() const noexcept { return jobs_.size(); }
+  bool idle() const noexcept { return jobs_.empty(); }
+
+  MemGb memory_capacity() const noexcept { return memory_gb(profile_); }
+  MemGb memory_in_use() const noexcept { return mem_in_use_ + reserved_gb_; }
+  MemGb available_memory() const noexcept {
+    return memory_capacity() - memory_in_use();
+  }
+
+  /// Reserves memory ahead of job submission (models loading into a booting
+  /// container). Reservations count against admission capacity and block
+  /// reconfiguration drain, but do not contend for bandwidth.
+  void reserve_memory(MemGb gb);
+  void release_reservation(MemGb gb);
+  MemGb reserved_memory() const noexcept { return reserved_gb_; }
+  int reservations() const noexcept { return reservation_count_; }
+
+  /// Sum of FBRs of currently resident jobs (the Eq. 1 contention term).
+  double fbr_sum() const noexcept { return fbr_sum_; }
+  /// Sum of SM shares of currently resident jobs (compute pressure).
+  double sm_share_sum() const noexcept { return sm_sum_; }
+
+  /// Memory currently held by resident best-effort jobs.
+  MemGb be_memory_in_use() const noexcept { return be_mem_in_use_; }
+  /// Number of resident strict / best-effort jobs.
+  std::size_t strict_jobs() const noexcept;
+
+  /// Current slice-wide slowdown S(P). Meaningful in MPS mode; 1.0 under
+  /// time sharing.
+  double current_slowdown() const noexcept;
+  /// Total contention pressure P = max(Σfbr, Σsm_share).
+  double pressure() const noexcept;
+  const InterferenceParams& interference() const noexcept {
+    return interference_;
+  }
+
+  /// Blocks new admissions (used while the owning GPU drains for
+  /// reconfiguration). Running jobs continue to completion.
+  void set_accepting(bool accepting) noexcept { accepting_ = accepting; }
+  bool accepting() const noexcept { return accepting_; }
+
+  /// Time-integral of "slice has >=1 job running" (seconds), up to now.
+  double busy_seconds() const noexcept;
+  /// Time-integral of memory in use (GB·s), up to now.
+  double memory_gb_seconds() const noexcept;
+
+ private:
+  struct Running {
+    JobSpec spec;
+    Duration remaining_work;  // seconds of solo-time-equivalent work left
+    double solo_slowdown;     // S(p_j): the job's own solo pressure factor
+    SimTime started_at;
+    CompletionCallback on_done;
+  };
+
+  /// Progress rate of a resident job under the current pressure.
+  double job_rate(const Running& job) const noexcept;
+
+  /// Accounts progress since last_update_ at the previous slowdown, then
+  /// recomputes the next completion event.
+  void settle();
+  void reschedule_completion();
+  void complete_front_runner();
+
+  sim::Simulator& sim_;
+  Gpu* owner_;
+  SliceId id_;
+  SliceProfile profile_;
+  SharingMode mode_;
+  InterferenceParams interference_;
+  bool accepting_ = true;
+
+  std::vector<Running> jobs_;
+  MemGb mem_in_use_ = 0.0;
+  MemGb be_mem_in_use_ = 0.0;
+  MemGb reserved_gb_ = 0.0;
+  int reservation_count_ = 0;
+  double fbr_sum_ = 0.0;
+  double sm_sum_ = 0.0;
+  SimTime last_update_ = 0.0;
+  const void* last_model_tag_ = nullptr;
+  sim::EventHandle completion_event_;
+
+  // Utilization accounting.
+  double busy_integral_ = 0.0;
+  double mem_integral_ = 0.0;
+  SimTime util_last_update_ = 0.0;
+
+  friend class Gpu;
+};
+
+/// A whole physical GPU: a MIG geometry instantiated as runnable slices,
+/// plus the reconfiguration state machine (drain → downtime → new geometry).
+class Gpu {
+ public:
+  /// `reconfigure_time` is the MIG geometry-change downtime (~2 s in the
+  /// paper) during which no slice accepts or runs work.
+  Gpu(sim::Simulator& simulator, GpuId id, Geometry geometry, SharingMode mode,
+      Duration reconfigure_time = 2.0, InterferenceParams interference = {});
+  ~Gpu() = default;
+  Gpu(const Gpu&) = delete;
+  Gpu& operator=(const Gpu&) = delete;
+
+  GpuId id() const noexcept { return id_; }
+  const Geometry& geometry() const noexcept { return geometry_; }
+  SharingMode mode() const noexcept { return mode_; }
+
+  /// Live slices, descending by size. Empty while reconfiguring.
+  std::vector<Slice*> slices();
+  std::vector<const Slice*> slices() const;
+
+  bool reconfiguring() const noexcept { return state_ != State::kReady; }
+
+  /// Requests a geometry change. New submissions are refused immediately;
+  /// once all slices drain, the GPU is down for `reconfigure_time`, after
+  /// which the new geometry is live and `on_done` fires. Requesting the
+  /// current geometry is a no-op (on_done fires immediately).
+  /// Returns false (and does nothing) if a reconfiguration is in flight.
+  bool request_reconfigure(const Geometry& target,
+                           std::function<void()> on_done = {});
+
+  /// Invoked whenever capacity may have been freed: a job completed or a
+  /// reconfiguration finished. The node runtime uses this to drain queues.
+  void set_capacity_callback(std::function<void()> cb) {
+    on_capacity_ = std::move(cb);
+  }
+
+  /// Whole-GPU busy time (>=1 job anywhere), seconds up to now.
+  double busy_seconds() const noexcept;
+  /// Memory utilization integral across slices, GB·s up to now.
+  double memory_gb_seconds() const noexcept;
+  /// Total GPU memory (for normalizing memory utilization).
+  MemGb memory_capacity() const noexcept { return 40.0; }
+  /// Number of completed reconfigurations.
+  int reconfigurations() const noexcept { return reconfig_count_; }
+
+ private:
+  friend class Slice;
+  enum class State { kReady, kDraining, kDown };
+
+  void build_slices();
+  void on_slice_activity_change(bool became_busy);
+  void on_job_complete();
+  void maybe_finish_drain();
+
+  sim::Simulator& sim_;
+  GpuId id_;
+  Geometry geometry_;
+  SharingMode mode_;
+  Duration reconfigure_time_;
+  InterferenceParams interference_;
+
+  std::vector<std::unique_ptr<Slice>> slices_;
+  State state_ = State::kReady;
+  Geometry target_geometry_;
+  std::function<void()> reconfig_done_;
+  std::function<void()> on_capacity_;
+  int reconfig_count_ = 0;
+
+  // Whole-GPU busy accounting.
+  int busy_slices_ = 0;
+  double busy_integral_ = 0.0;
+  SimTime busy_last_update_ = 0.0;
+  // Memory integral carried over from slices destroyed by reconfiguration.
+  double mem_integral_retired_ = 0.0;
+
+  std::uint32_t next_slice_id_ = 0;
+};
+
+}  // namespace protean::gpu

@@ -1,0 +1,160 @@
+#include "harness/experiment.h"
+
+#include <algorithm>
+
+#include "cluster/cluster.h"
+#include "common/check.h"
+#include "sim/simulator.h"
+#include "trace/driver.h"
+#include "workload/model.h"
+
+namespace protean::harness {
+
+namespace {
+
+const workload::ModelProfile& model_by_name(const std::string& name) {
+  return workload::ModelCatalog::instance().by_name(name);
+}
+
+}  // namespace
+
+Report run_experiment(const ExperimentConfig& config) {
+  sim::Simulator sim;
+
+  auto scheduler = sched::make_scheduler(config.scheme);
+  cluster::ClusterConfig cluster_config = config.cluster;
+  if (config.scheme == sched::Scheme::kOracle) {
+    // Oracle pays no reconfiguration downtime (Section 6.2).
+    cluster_config.reconfigure_time = 0.0;
+  }
+  cluster_config.market.seed = config.seed ^ 0xC0FFEEULL;
+
+  cluster::Cluster deployment(sim, cluster_config, *scheduler);
+
+  trace::DriverConfig driver_config;
+  driver_config.trace = config.trace;
+  driver_config.trace.seed = config.seed;
+  driver_config.strict_model = &model_by_name(config.strict_model);
+  driver_config.strict_fraction = config.strict_fraction;
+  driver_config.be_rotation_period = config.be_rotation_period;
+  driver_config.seed = config.seed ^ 0xD417E5ULL;
+  driver_config.count_from = config.warmup;
+  deployment.collector().set_measure_from(config.warmup);
+  for (const auto& name : config.be_pool) {
+    driver_config.be_pool.push_back(&model_by_name(name));
+  }
+  for (const auto& [when, name] : config.be_schedule) {
+    driver_config.be_schedule.emplace_back(when, &model_by_name(name));
+  }
+  trace::WorkloadDriver driver(sim, driver_config, deployment.sink());
+
+  // Start in the steady state the paper measures: a long-running deployment
+  // already has warm containers for the active models on every node.
+  for (NodeId id = 0; id < cluster_config.node_count; ++id) {
+    deployment.node(id).prewarm(*driver_config.strict_model, 4);
+    for (const auto* be_model : driver.be_models()) {
+      deployment.node(id).prewarm(*be_model, 2);
+    }
+  }
+
+  deployment.start();
+  driver.start();
+
+  sim.run_until(config.trace.horizon);
+  // Utilization is measured over the loaded window, not the drain tail.
+  const double gpu_util = deployment.gpu_utilization_pct();
+  const double mem_util = deployment.memory_utilization_pct();
+
+  deployment.gateway().flush_all();
+  sim.run_until(config.trace.horizon + config.drain_grace);
+
+  const auto& collector = deployment.collector();
+
+  Report report;
+  report.scheme = scheduler->name();
+  report.strict_model = config.strict_model;
+  report.min_possible_ms = to_ms(driver_config.strict_model->solo_time_7g);
+  report.slo_ms = to_ms(driver_config.strict_model->slo_deadline(
+      cluster_config.slo_multiplier));
+
+  report.strict_emitted = driver.strict_emitted();
+  report.strict_completed = collector.strict_completed();
+  report.be_completed = collector.be_completed();
+
+  // SLO compliance; requests never served within the generous drain window
+  // are violations (they queued behind a collapsed backlog).
+  double compliant =
+      collector.slo_compliance_pct() / 100.0 *
+      static_cast<double>(collector.strict_completed());
+  double denom = static_cast<double>(collector.strict_completed());
+  if (config.count_unfinished_as_violations &&
+      driver.strict_emitted() > collector.strict_completed()) {
+    denom = static_cast<double>(driver.strict_emitted());
+  }
+  report.slo_compliance_pct = denom > 0.0 ? 100.0 * compliant / denom : 100.0;
+
+  report.strict_p50_ms = to_ms(collector.strict_percentile(50.0));
+  report.strict_p99_ms = to_ms(collector.strict_percentile(99.0));
+  report.strict_mean_ms = to_ms(collector.strict_mean());
+  report.be_p50_ms = to_ms(collector.be_percentile(50.0));
+  report.be_p99_ms = to_ms(collector.be_percentile(99.0));
+  report.tail_breakdown = collector.tail_breakdown(99.0);
+
+  const double gpu_seconds =
+      static_cast<double>(cluster_config.node_count) * config.trace.horizon;
+  report.throughput_strict =
+      static_cast<double>(collector.strict_completed()) / gpu_seconds;
+  report.goodput_strict = report.slo_compliance_pct / 100.0 *
+                          static_cast<double>(denom) / gpu_seconds;
+  report.throughput_total =
+      static_cast<double>(collector.strict_completed() +
+                          collector.be_completed()) /
+      gpu_seconds;
+  report.gpu_util_pct = gpu_util;
+  report.mem_util_pct = mem_util;
+
+  report.cold_starts = deployment.total_cold_starts();
+  report.dropped = collector.dropped();
+  report.reconfigurations = deployment.total_reconfigurations();
+
+  report.cost_usd = deployment.market().total_cost();
+  report.cost_on_demand_ref_usd =
+      deployment.market().on_demand_reference_cost();
+  report.evictions = deployment.market().evictions();
+
+  if (config.keep_latency_samples) {
+    report.strict_latencies = collector.strict_latencies();
+  }
+
+  deployment.stop();
+  return report;
+}
+
+std::vector<Report> run_schemes(ExperimentConfig config,
+                                const std::vector<sched::Scheme>& schemes) {
+  std::vector<Report> reports;
+  reports.reserve(schemes.size());
+  for (sched::Scheme scheme : schemes) {
+    config.scheme = scheme;
+    reports.push_back(run_experiment(config));
+  }
+  return reports;
+}
+
+ExperimentConfig primary_config(const std::string& strict_model,
+                                Duration horizon) {
+  ExperimentConfig config;
+  config.strict_model = strict_model;
+  config.trace.kind = trace::TraceKind::kWiki;
+  config.trace.target_rps = 5000.0;
+  config.trace.horizon = horizon;
+  config.cluster.node_count = 8;
+  const auto& model = model_by_name(strict_model);
+  if (model.iclass == workload::InterferenceClass::kVHI) {
+    // Language models run at 128 rps with batch size 4 (Section 5).
+    config.trace.target_rps = 128.0;
+  }
+  return config;
+}
+
+}  // namespace protean::harness

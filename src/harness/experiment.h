@@ -1,0 +1,96 @@
+// Experiment harness: configures a full deployment (trace → gateway →
+// cluster → GPUs → market) for one scheme, runs it, and distills the
+// metrics every paper table/figure reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/config.h"
+#include "metrics/collector.h"
+#include "sched/registry.h"
+#include "trace/trace.h"
+
+namespace protean::harness {
+
+struct ExperimentConfig {
+  sched::Scheme scheme = sched::Scheme::kProtean;
+
+  /// Strict-request model (by catalog name).
+  std::string strict_model = "ResNet 50";
+  double strict_fraction = 0.5;
+  /// Explicit BE pool (catalog names); empty = opposite-class pool.
+  std::vector<std::string> be_pool;
+  /// Explicit BE schedule (time, model name); overrides rotation.
+  std::vector<std::pair<SimTime, std::string>> be_schedule;
+  Duration be_rotation_period = 20.0;
+
+  trace::TraceConfig trace;
+  cluster::ClusterConfig cluster;
+
+  /// Measurement starts after this warmup (containers warm, queues steady);
+  /// the paper reports steady-state behaviour.
+  Duration warmup = 20.0;
+  /// Extra simulated time after the trace ends for in-flight work to drain.
+  Duration drain_grace = 15.0;
+  /// Count strict requests still unserved after the drain as SLO misses.
+  bool count_unfinished_as_violations = true;
+  /// Keep per-request strict latencies in the report (CDF figures).
+  bool keep_latency_samples = false;
+
+  std::uint64_t seed = 42;
+};
+
+struct Report {
+  std::string scheme;
+  std::string strict_model;
+
+  double slo_compliance_pct = 0.0;
+  double slo_ms = 0.0;            ///< the strict deadline, ms
+  double min_possible_ms = 0.0;   ///< strict model solo time on 7g, ms
+
+  double strict_p50_ms = 0.0;
+  double strict_p99_ms = 0.0;
+  double strict_mean_ms = 0.0;
+  double be_p50_ms = 0.0;
+  double be_p99_ms = 0.0;
+
+  metrics::Breakdown tail_breakdown;  ///< P99 attribution, seconds
+
+  double throughput_strict = 0.0;  ///< strict requests / GPU / s
+  double throughput_total = 0.0;   ///< all requests / GPU / s
+  /// Strict requests served *within their SLO* per GPU per second — the
+  /// throughput a backlogging scheme actually delivers.
+  double goodput_strict = 0.0;
+  double gpu_util_pct = 0.0;
+  double mem_util_pct = 0.0;
+
+  std::uint64_t strict_emitted = 0;
+  std::uint64_t strict_completed = 0;
+  std::uint64_t be_completed = 0;
+  std::uint64_t cold_starts = 0;
+  std::uint64_t dropped = 0;
+  int reconfigurations = 0;
+
+  double cost_usd = 0.0;
+  double cost_on_demand_ref_usd = 0.0;
+  int evictions = 0;
+
+  std::vector<float> strict_latencies;  ///< filled if keep_latency_samples
+};
+
+/// Runs one experiment end to end. Deterministic for a given config.
+Report run_experiment(const ExperimentConfig& config);
+
+/// Runs the same experiment for each scheme.
+std::vector<Report> run_schemes(ExperimentConfig config,
+                                const std::vector<sched::Scheme>& schemes);
+
+/// Convenience: a baseline primary-experiment config (Wiki trace, 8 nodes,
+/// 5000 rps, 50/50 mix) scaled to the given horizon.
+ExperimentConfig primary_config(const std::string& strict_model,
+                                Duration horizon = 120.0);
+
+}  // namespace protean::harness

@@ -1,0 +1,169 @@
+#include "harness/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "metrics/stats.h"
+
+namespace protean::harness {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string number_to_string(double d) {
+  if (std::isnan(d) || std::isinf(d)) return "null";
+  if (d == std::floor(d) && std::fabs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", d);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", d);
+  return buf;
+}
+
+void pad(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent * depth), ' ');
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  if (std::holds_alternative<std::nullptr_t>(value_)) {
+    out += "null";
+  } else if (const bool* b = std::get_if<bool>(&value_)) {
+    out += *b ? "true" : "false";
+  } else if (const double* d = std::get_if<double>(&value_)) {
+    out += number_to_string(*d);
+  } else if (const std::string* s = std::get_if<std::string>(&value_)) {
+    out += '"';
+    out += json_escape(*s);
+    out += '"';
+  } else if (const Array* a = std::get_if<Array>(&value_)) {
+    out += '[';
+    for (std::size_t i = 0; i < a->size(); ++i) {
+      if (i > 0) out += ',';
+      pad(out, indent, depth + 1);
+      (*a)[i].dump_to(out, indent, depth + 1);
+    }
+    if (!a->empty()) pad(out, indent, depth);
+    out += ']';
+  } else if (const Object* o = std::get_if<Object>(&value_)) {
+    out += '{';
+    for (std::size_t i = 0; i < o->size(); ++i) {
+      if (i > 0) out += ',';
+      pad(out, indent, depth + 1);
+      out += '"';
+      out += json_escape((*o)[i].first);
+      out += indent > 0 ? "\": " : "\":";
+      (*o)[i].second.dump_to(out, indent, depth + 1);
+    }
+    if (!o->empty()) pad(out, indent, depth);
+    out += '}';
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+Json report_to_json(const Report& report) {
+  Json::Object o;
+  o.emplace_back("scheme", report.scheme);
+  o.emplace_back("strict_model", report.strict_model);
+  o.emplace_back("slo_compliance_pct", report.slo_compliance_pct);
+  o.emplace_back("slo_ms", report.slo_ms);
+  o.emplace_back("min_possible_ms", report.min_possible_ms);
+  o.emplace_back("strict_p50_ms", report.strict_p50_ms);
+  o.emplace_back("strict_p99_ms", report.strict_p99_ms);
+  o.emplace_back("strict_mean_ms", report.strict_mean_ms);
+  o.emplace_back("be_p50_ms", report.be_p50_ms);
+  o.emplace_back("be_p99_ms", report.be_p99_ms);
+  {
+    Json::Object breakdown;
+    breakdown.emplace_back("queue_ms", report.tail_breakdown.queue * 1e3);
+    breakdown.emplace_back("cold_ms", report.tail_breakdown.cold * 1e3);
+    breakdown.emplace_back("min_time_ms", report.tail_breakdown.min_time * 1e3);
+    breakdown.emplace_back("deficiency_ms",
+                           report.tail_breakdown.deficiency * 1e3);
+    breakdown.emplace_back("interference_ms",
+                           report.tail_breakdown.interference * 1e3);
+    o.emplace_back("tail_breakdown", Json(std::move(breakdown)));
+  }
+  o.emplace_back("throughput_strict", report.throughput_strict);
+  o.emplace_back("goodput_strict", report.goodput_strict);
+  o.emplace_back("throughput_total", report.throughput_total);
+  o.emplace_back("gpu_util_pct", report.gpu_util_pct);
+  o.emplace_back("mem_util_pct", report.mem_util_pct);
+  o.emplace_back("strict_emitted", report.strict_emitted);
+  o.emplace_back("strict_completed", report.strict_completed);
+  o.emplace_back("be_completed", report.be_completed);
+  o.emplace_back("cold_starts", report.cold_starts);
+  o.emplace_back("dropped", report.dropped);
+  o.emplace_back("reconfigurations", report.reconfigurations);
+  o.emplace_back("cost_usd", report.cost_usd);
+  o.emplace_back("cost_on_demand_ref_usd", report.cost_on_demand_ref_usd);
+  o.emplace_back("evictions", report.evictions);
+  if (!report.strict_latencies.empty()) {
+    Json::Object percentiles;
+    for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.9}) {
+      char key[16];
+      std::snprintf(key, sizeof(key), "p%g", p);
+      percentiles.emplace_back(
+          key, to_ms(metrics::percentile(report.strict_latencies, p)));
+    }
+    o.emplace_back("strict_latency_percentiles_ms", Json(std::move(percentiles)));
+  }
+  return Json(std::move(o));
+}
+
+Json reports_to_json(const ExperimentConfig& config,
+                     const std::vector<Report>& reports) {
+  Json::Object run;
+  run.emplace_back("strict_model", config.strict_model);
+  run.emplace_back("trace", trace::to_string(config.trace.kind));
+  run.emplace_back("target_rps", config.trace.target_rps);
+  run.emplace_back("horizon_s", config.trace.horizon);
+  run.emplace_back("warmup_s", config.warmup);
+  run.emplace_back("nodes", static_cast<std::uint64_t>(config.cluster.node_count));
+  run.emplace_back("strict_fraction", config.strict_fraction);
+  run.emplace_back("slo_multiplier", config.cluster.slo_multiplier);
+  run.emplace_back("seed", static_cast<std::uint64_t>(config.seed));
+
+  Json::Array results;
+  results.reserve(reports.size());
+  for (const Report& r : reports) results.push_back(report_to_json(r));
+
+  Json::Object root;
+  root.emplace_back("config", Json(std::move(run)));
+  root.emplace_back("results", Json(std::move(results)));
+  return Json(std::move(root));
+}
+
+}  // namespace protean::harness

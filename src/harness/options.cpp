@@ -1,0 +1,274 @@
+#include "harness/options.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+
+#include "trace/io.h"
+#include "workload/model.h"
+
+namespace protean::harness {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+std::optional<double> parse_double(const std::string& s) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != s.size()) return std::nullopt;
+    return v;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<std::uint64_t> parse_u64(const std::string& s) {
+  try {
+    std::size_t pos = 0;
+    const unsigned long long v = std::stoull(s, &pos);
+    if (pos != s.size()) return std::nullopt;
+    return v;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+std::optional<sched::Scheme> scheme_from_alias(const std::string& alias) {
+  static const std::map<std::string, sched::Scheme> aliases = {
+      {"protean", sched::Scheme::kProtean},
+      {"oracle", sched::Scheme::kOracle},
+      {"infless", sched::Scheme::kInflessLlama},
+      {"infless/llama", sched::Scheme::kInflessLlama},
+      {"llama", sched::Scheme::kInflessLlama},
+      {"molecule", sched::Scheme::kMoleculeBeta},
+      {"naive", sched::Scheme::kNaiveSlicing},
+      {"naive-slicing", sched::Scheme::kNaiveSlicing},
+      {"mig-only", sched::Scheme::kMigOnly},
+      {"mps-mig", sched::Scheme::kMpsMig},
+      {"smart", sched::Scheme::kSmartMpsMig},
+      {"smart-mps-mig", sched::Scheme::kSmartMpsMig},
+      {"gpulet", sched::Scheme::kGpulet},
+      {"protean-static", sched::Scheme::kProteanStatic},
+      {"protean-no-reorder", sched::Scheme::kProteanNoReorder},
+      {"protean-no-eta", sched::Scheme::kProteanNoEta},
+  };
+  const auto it = aliases.find(lower(alias));
+  if (it == aliases.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string cli_usage() {
+  return R"(protean_sim — replay a serverless GPU-inference scenario
+
+Usage: protean_sim [options]
+
+Workload:
+  --model NAME          strict model (catalog name; default "ResNet 50")
+  --strict-frac F       fraction of strict requests (default 0.5)
+  --trace KIND          wiki | twitter | constant (default wiki)
+  --trace-file PATH     replay a "second,rps" CSV instead
+  --rps N               target mean rps (peak for twitter; default 5000,
+                        128 for language models)
+  --horizon S           trace length in seconds (default 120)
+  --warmup S            measurement warmup (default 20)
+
+Cluster:
+  --scheme NAME         protean | oracle | infless | molecule | naive |
+                        mig-only | mps-mig | smart | gpulet |
+                        protean-static | protean-no-reorder | protean-no-eta
+                        (repeatable; default protean)
+  --all-schemes         run the paper's four primary schemes
+  --nodes N             worker nodes (default 8)
+  --slo-mult M          SLO multiplier over solo latency (default 3)
+  --spot POLICY         on-demand | spot-only | hybrid (default on-demand)
+  --p-rev F             spot revocation probability (default 0)
+  --seed N              RNG seed (default 42)
+
+Output:
+  --json                emit a JSON document instead of a table
+  --list-models         print the model catalog and exit
+  --list-schemes        print scheme aliases and exit
+  --help                this text
+)";
+}
+
+CliParseResult parse_cli(const std::vector<std::string>& args) {
+  CliOptions opts;
+  opts.config = primary_config("ResNet 50");
+  opts.config.cluster.market.policy = spot::ProcurementPolicy::kOnDemandOnly;
+  opts.schemes.clear();
+
+  bool rps_given = false;
+  bool model_given = false;
+  std::string model_name = "ResNet 50";
+
+  auto fail = [](const std::string& message) {
+    CliParseResult r;
+    r.error = message;
+    return r;
+  };
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto next = [&](const char* flag) -> std::optional<std::string> {
+      if (i + 1 >= args.size()) return std::nullopt;
+      (void)flag;
+      return args[++i];
+    };
+
+    if (arg == "--help" || arg == "-h") {
+      opts.help = true;
+    } else if (arg == "--list-models") {
+      opts.list_models = true;
+    } else if (arg == "--list-schemes") {
+      opts.list_schemes = true;
+    } else if (arg == "--json") {
+      opts.json = true;
+    } else if (arg == "--all-schemes") {
+      for (auto scheme : sched::paper_schemes()) {
+        opts.schemes.push_back(scheme);
+      }
+    } else if (arg == "--scheme") {
+      const auto value = next("--scheme");
+      if (!value) return fail("--scheme needs a value");
+      const auto scheme = scheme_from_alias(*value);
+      if (!scheme) return fail("unknown scheme: " + *value);
+      opts.schemes.push_back(*scheme);
+    } else if (arg == "--model") {
+      const auto value = next("--model");
+      if (!value) return fail("--model needs a value");
+      if (workload::ModelCatalog::instance().find(*value) == nullptr) {
+        return fail("unknown model: " + *value +
+                    " (see --list-models)");
+      }
+      model_name = *value;
+      model_given = true;
+    } else if (arg == "--trace") {
+      const auto value = next("--trace");
+      if (!value) return fail("--trace needs a value");
+      const std::string kind = lower(*value);
+      if (kind == "wiki") {
+        opts.config.trace.kind = trace::TraceKind::kWiki;
+      } else if (kind == "twitter") {
+        opts.config.trace.kind = trace::TraceKind::kTwitter;
+        opts.config.trace.scale_to_peak = true;
+      } else if (kind == "constant") {
+        opts.config.trace.kind = trace::TraceKind::kConstant;
+      } else {
+        return fail("unknown trace kind: " + *value);
+      }
+    } else if (arg == "--trace-file") {
+      const auto value = next("--trace-file");
+      if (!value) return fail("--trace-file needs a value");
+      opts.trace_file = *value;
+    } else if (arg == "--rps") {
+      const auto value = next("--rps");
+      const auto rps = value ? parse_double(*value) : std::nullopt;
+      if (!rps || *rps <= 0.0) return fail("--rps needs a positive number");
+      opts.config.trace.target_rps = *rps;
+      rps_given = true;
+    } else if (arg == "--horizon") {
+      const auto value = next("--horizon");
+      const auto h = value ? parse_double(*value) : std::nullopt;
+      if (!h || *h <= 0.0) return fail("--horizon needs a positive number");
+      opts.config.trace.horizon = *h;
+    } else if (arg == "--warmup") {
+      const auto value = next("--warmup");
+      const auto w = value ? parse_double(*value) : std::nullopt;
+      if (!w || *w < 0.0) return fail("--warmup needs a non-negative number");
+      opts.config.warmup = *w;
+    } else if (arg == "--strict-frac") {
+      const auto value = next("--strict-frac");
+      const auto f = value ? parse_double(*value) : std::nullopt;
+      if (!f || *f < 0.0 || *f > 1.0) {
+        return fail("--strict-frac needs a value in [0, 1]");
+      }
+      opts.config.strict_fraction = *f;
+    } else if (arg == "--nodes") {
+      const auto value = next("--nodes");
+      const auto n = value ? parse_u64(*value) : std::nullopt;
+      if (!n || *n == 0 || *n > 1024) return fail("--nodes needs 1..1024");
+      opts.config.cluster.node_count = static_cast<std::uint32_t>(*n);
+    } else if (arg == "--slo-mult") {
+      const auto value = next("--slo-mult");
+      const auto m = value ? parse_double(*value) : std::nullopt;
+      if (!m || *m < 1.0) return fail("--slo-mult needs a value >= 1");
+      opts.config.cluster.slo_multiplier = *m;
+    } else if (arg == "--spot") {
+      const auto value = next("--spot");
+      if (!value) return fail("--spot needs a value");
+      const std::string policy = lower(*value);
+      if (policy == "on-demand") {
+        opts.config.cluster.market.policy =
+            spot::ProcurementPolicy::kOnDemandOnly;
+      } else if (policy == "spot-only") {
+        opts.config.cluster.market.policy = spot::ProcurementPolicy::kSpotOnly;
+      } else if (policy == "hybrid") {
+        opts.config.cluster.market.policy = spot::ProcurementPolicy::kHybrid;
+      } else {
+        return fail("unknown spot policy: " + *value);
+      }
+    } else if (arg == "--p-rev") {
+      const auto value = next("--p-rev");
+      const auto p = value ? parse_double(*value) : std::nullopt;
+      if (!p || *p < 0.0 || *p > 1.0) {
+        return fail("--p-rev needs a value in [0, 1]");
+      }
+      opts.config.cluster.market.p_rev = *p;
+    } else if (arg == "--seed") {
+      const auto value = next("--seed");
+      const auto seed = value ? parse_u64(*value) : std::nullopt;
+      if (!seed) return fail("--seed needs an unsigned integer");
+      opts.config.seed = *seed;
+    } else {
+      return fail("unknown option: " + arg + " (see --help)");
+    }
+  }
+
+  // Re-derive the model-dependent defaults primary_config applies.
+  const Duration horizon = opts.config.trace.horizon;
+  const double strict_fraction = opts.config.strict_fraction;
+  const auto kind = opts.config.trace.kind;
+  const bool to_peak = opts.config.trace.scale_to_peak;
+  const double rps = opts.config.trace.target_rps;
+  const auto cluster = opts.config.cluster;
+  const auto warmup = opts.config.warmup;
+  const auto seed = opts.config.seed;
+  opts.config = primary_config(model_name, horizon);
+  opts.config.strict_fraction = strict_fraction;
+  opts.config.trace.kind = kind;
+  opts.config.trace.scale_to_peak = to_peak;
+  opts.config.cluster = cluster;
+  opts.config.warmup = warmup;
+  opts.config.seed = seed;
+  if (rps_given) {
+    opts.config.trace.target_rps = rps;
+  }
+  (void)model_given;
+
+  if (!opts.trace_file.empty()) {
+    opts.config.trace.kind = trace::TraceKind::kTable;
+    try {
+      opts.config.trace.table = trace::load_rate_csv(opts.trace_file);
+    } catch (const std::exception& e) {
+      return fail(e.what());
+    }
+    if (!rps_given) opts.config.trace.target_rps = 0.0;  // keep raw rates
+  }
+  if (opts.schemes.empty()) opts.schemes.push_back(sched::Scheme::kProtean);
+
+  CliParseResult result;
+  result.options = std::move(opts);
+  return result;
+}
+
+}  // namespace protean::harness

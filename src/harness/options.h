@@ -1,0 +1,44 @@
+// Command-line option parsing for the `protean_sim` CLI.
+//
+// Kept in the library (rather than the tool's main.cpp) so it is unit
+// testable. Parsing is strict: unknown flags and malformed values are
+// errors, not warnings.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace protean::harness {
+
+struct CliOptions {
+  ExperimentConfig config;
+  std::vector<sched::Scheme> schemes = {sched::Scheme::kProtean};
+  bool json = false;
+  int json_indent = 2;
+  bool list_models = false;
+  bool list_schemes = false;
+  bool help = false;
+  /// Path of a "second,rps" CSV replayed instead of a synthetic trace.
+  std::string trace_file;
+};
+
+struct CliParseResult {
+  std::optional<CliOptions> options;  ///< set on success
+  std::string error;                  ///< set on failure
+};
+
+/// Parses CLI arguments (excluding argv[0]).
+CliParseResult parse_cli(const std::vector<std::string>& args);
+
+/// Maps a user-facing scheme alias ("protean", "infless", "molecule",
+/// "naive", "gpulet", "oracle", "mig-only", "mps-mig", "smart",
+/// "protean-static", "protean-no-reorder", "protean-no-eta") to a Scheme.
+std::optional<sched::Scheme> scheme_from_alias(const std::string& alias);
+
+/// The usage text printed by --help.
+std::string cli_usage();
+
+}  // namespace protean::harness

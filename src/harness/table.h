@@ -1,0 +1,50 @@
+// Fixed-width table printing for bench output (the "rows/series the paper
+// reports").
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace protean::harness {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> widths(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      widths[c] = header_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    auto line = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        os << (c == 0 ? "" : "  ");
+        os << cells[c];
+        if (c + 1 < cells.size()) {
+          os << std::string(widths[c] - std::min(widths[c], cells[c].size()),
+                            ' ');
+        }
+      }
+      os << '\n';
+    };
+    line(header_);
+    std::size_t total = 0;
+    for (std::size_t w : widths) total += w + 2;
+    os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+    for (const auto& row : rows_) line(row);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace protean::harness

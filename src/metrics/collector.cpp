@@ -1,0 +1,162 @@
+#include "metrics/collector.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace protean::metrics {
+
+void Collector::record(const workload::Batch& batch) {
+  PROTEAN_CHECK_MSG(batch.completed_at > 0.0, "batch not completed");
+  PROTEAN_CHECK_MSG(batch.count > 0, "empty batch");
+  if (batch.first_arrival < measure_from_) return;
+
+  const double lat_first = batch.completed_at - batch.first_arrival;
+  const double lat_last = batch.completed_at - batch.last_arrival;
+  PROTEAN_DCHECK(lat_first >= lat_last - 1e-9);
+
+  auto& sink = batch.strict ? strict_lat_ : be_lat_;
+  sink.reserve(sink.size() + static_cast<std::size_t>(batch.count));
+  for (int i = 0; i < batch.count; ++i) {
+    // Requests are spread uniformly over [first_arrival, last_arrival];
+    // request 0 is the earliest, i.e. the longest-waiting.
+    const double frac =
+        batch.count == 1
+            ? 0.0
+            : static_cast<double>(i) / static_cast<double>(batch.count - 1);
+    const double lat = lat_first + (lat_last - lat_first) * frac;
+    sink.push_back(static_cast<float>(lat));
+    if (batch.strict) {
+      ++strict_total_;
+      if (lat <= batch.slo + 1e-9) ++strict_compliant_;
+    } else {
+      ++be_total_;
+    }
+  }
+
+  BatchBreakdown bb;
+  bb.completed_at = batch.completed_at;
+  bb.worst_latency = lat_first;
+  bb.best_latency = lat_last;
+  bb.slo = batch.slo;
+  bb.model = batch.model;
+  bb.cold = batch.cold_start;
+  bb.queue = batch.queue_delay();
+  bb.min_time = batch.solo_min;
+  bb.deficiency = batch.deficiency_delay();
+  bb.interference = batch.interference_delay();
+  bb.count = batch.count;
+  bb.strict = batch.strict;
+  batches_.push_back(bb);
+}
+
+void Collector::record_dropped(bool strict, int count) {
+  dropped_ += static_cast<std::uint64_t>(count);
+  // A dropped strict request is an SLO violation by definition.
+  if (strict) strict_total_ += static_cast<std::uint64_t>(count);
+}
+
+double Collector::slo_compliance_pct() const noexcept {
+  if (strict_total_ == 0) return 100.0;
+  return 100.0 * static_cast<double>(strict_compliant_) /
+         static_cast<double>(strict_total_);
+}
+
+namespace {
+Breakdown average_over(const std::vector<const BatchBreakdown*>& batches) {
+  Breakdown out;
+  if (batches.empty()) return out;
+  for (const auto* b : batches) {
+    out.queue += b->queue;
+    out.cold += b->cold;
+    out.min_time += b->min_time;
+    out.deficiency += b->deficiency;
+    out.interference += b->interference;
+  }
+  const double n = static_cast<double>(batches.size());
+  out.queue /= n;
+  out.cold /= n;
+  out.min_time /= n;
+  out.deficiency /= n;
+  out.interference /= n;
+  return out;
+}
+}  // namespace
+
+Breakdown Collector::tail_breakdown(double p) const {
+  std::vector<float> strict_worst;
+  for (const auto& b : batches_) {
+    if (b.strict) strict_worst.push_back(static_cast<float>(b.worst_latency));
+  }
+  if (strict_worst.empty()) return {};
+  const double cutoff = percentile(strict_worst, p);
+  std::vector<const BatchBreakdown*> tail;
+  for (const auto& b : batches_) {
+    if (b.strict && b.worst_latency >= cutoff - 1e-12) tail.push_back(&b);
+  }
+  return average_over(tail);
+}
+
+std::vector<float> Collector::latencies_for(
+    const workload::ModelProfile* model, bool strict) const {
+  std::vector<float> out;
+  for (const auto& b : batches_) {
+    if (b.model != model || b.strict != strict) continue;
+    for (int i = 0; i < b.count; ++i) {
+      const double frac =
+          b.count == 1 ? 0.0
+                       : static_cast<double>(i) / static_cast<double>(b.count - 1);
+      out.push_back(static_cast<float>(
+          b.worst_latency + (b.best_latency - b.worst_latency) * frac));
+    }
+  }
+  return out;
+}
+
+double Collector::slo_compliance_pct_for(
+    const workload::ModelProfile* model) const {
+  std::uint64_t total = 0, compliant = 0;
+  for (const auto& b : batches_) {
+    if (b.model != model || !b.strict) continue;
+    for (int i = 0; i < b.count; ++i) {
+      const double frac =
+          b.count == 1 ? 0.0
+                       : static_cast<double>(i) / static_cast<double>(b.count - 1);
+      const double lat =
+          b.worst_latency + (b.best_latency - b.worst_latency) * frac;
+      ++total;
+      if (lat <= b.slo + 1e-9) ++compliant;
+    }
+  }
+  if (total == 0) return 100.0;
+  return 100.0 * static_cast<double>(compliant) / static_cast<double>(total);
+}
+
+Breakdown Collector::tail_breakdown_for(const workload::ModelProfile* model,
+                                        double p) const {
+  std::vector<float> worst;
+  for (const auto& b : batches_) {
+    if (b.model == model && b.strict) {
+      worst.push_back(static_cast<float>(b.worst_latency));
+    }
+  }
+  if (worst.empty()) return {};
+  const double cutoff = percentile(worst, p);
+  std::vector<const BatchBreakdown*> tail;
+  for (const auto& b : batches_) {
+    if (b.model == model && b.strict && b.worst_latency >= cutoff - 1e-12) {
+      tail.push_back(&b);
+    }
+  }
+  return average_over(tail);
+}
+
+Breakdown Collector::mean_breakdown() const {
+  std::vector<const BatchBreakdown*> all;
+  for (const auto& b : batches_) {
+    if (b.strict) all.push_back(&b);
+  }
+  return average_over(all);
+}
+
+}  // namespace protean::metrics

@@ -1,0 +1,122 @@
+// Metrics collection for experiment runs.
+//
+// The collector receives every completed Batch, expands it into per-request
+// end-to-end latencies (arrivals interpolated uniformly across the batch's
+// arrival span), tracks SLO compliance for strict requests, and keeps
+// per-batch latency breakdowns so that Fig. 2/6-style stacked-bar rows can
+// be reconstructed (queueing vs cold start vs resource deficiency vs
+// interference vs minimum possible time).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "metrics/stats.h"
+#include "workload/batch.h"
+
+namespace protean::metrics {
+
+/// Per-batch latency attribution (seconds). The components sum to the
+/// latency of the batch's earliest (= worst-off) request.
+struct BatchBreakdown {
+  SimTime completed_at = 0.0;
+  double worst_latency = 0.0;
+  double best_latency = 0.0;  // latency of the batch's latest request
+  double queue = 0.0;
+  double cold = 0.0;
+  double min_time = 0.0;      // solo on 7g: the "min possible time"
+  double deficiency = 0.0;    // RDF-induced slowdown
+  double interference = 0.0;  // MPS co-location slowdown
+  double slo = 0.0;           // relative deadline (strict only)
+  int count = 0;
+  bool strict = false;
+  const workload::ModelProfile* model = nullptr;
+};
+
+/// Aggregated latency attribution, e.g. averaged over the tail.
+struct Breakdown {
+  double queue = 0.0;
+  double cold = 0.0;
+  double min_time = 0.0;
+  double deficiency = 0.0;
+  double interference = 0.0;
+  double total() const noexcept {
+    return queue + cold + min_time + deficiency + interference;
+  }
+};
+
+class Collector {
+ public:
+  /// Batches whose earliest request arrived before this time are excluded
+  /// from every statistic (cold-start warmup transient; the paper reports
+  /// steady-state behaviour).
+  void set_measure_from(SimTime t) noexcept { measure_from_ = t; }
+  SimTime measure_from() const noexcept { return measure_from_; }
+
+  /// Records a completed batch. The batch must have completed_at set.
+  void record(const workload::Batch& batch);
+
+  /// Records a request that was dropped (e.g. VM evicted before service).
+  void record_dropped(bool strict, int count);
+
+  void record_cold_start() { ++cold_starts_; }
+
+  // ---- queries -----------------------------------------------------------
+
+  std::uint64_t strict_completed() const noexcept { return strict_total_; }
+  std::uint64_t be_completed() const noexcept { return be_total_; }
+  std::uint64_t dropped() const noexcept { return dropped_; }
+  std::uint64_t cold_starts() const noexcept { return cold_starts_; }
+
+  /// Percentage of strict requests that met their SLO deadline, in [0,100].
+  double slo_compliance_pct() const noexcept;
+
+  /// Latency percentile in seconds over strict (or BE) request latencies.
+  double strict_percentile(double p) const { return percentile(strict_lat_, p); }
+  double be_percentile(double p) const { return percentile(be_lat_, p); }
+  double strict_mean() const { return mean_f(strict_lat_); }
+  double be_mean() const { return mean_f(be_lat_); }
+
+  /// Full latency samples (seconds), for CDFs and significance tests.
+  const std::vector<float>& strict_latencies() const noexcept {
+    return strict_lat_;
+  }
+  const std::vector<float>& be_latencies() const noexcept { return be_lat_; }
+
+  /// Average breakdown over strict batches whose worst latency is at or
+  /// above the given percentile of strict batch latencies (the Fig. 6 tail
+  /// bars use p=99).
+  Breakdown tail_breakdown(double p) const;
+
+  /// Average breakdown over all strict batches.
+  Breakdown mean_breakdown() const;
+
+  const std::vector<BatchBreakdown>& batch_records() const noexcept {
+    return batches_;
+  }
+
+  // ---- per-model queries (multi-workload experiments, e.g. Fig. 2) -------
+
+  /// Per-request latencies of one (model, strictness) stream, seconds.
+  std::vector<float> latencies_for(const workload::ModelProfile* model,
+                                   bool strict) const;
+  /// SLO compliance over one model's strict requests, in [0,100].
+  double slo_compliance_pct_for(const workload::ModelProfile* model) const;
+  /// Tail breakdown restricted to one model's strict batches.
+  Breakdown tail_breakdown_for(const workload::ModelProfile* model,
+                               double p) const;
+
+ private:
+  std::vector<float> strict_lat_;
+  std::vector<float> be_lat_;
+  std::vector<BatchBreakdown> batches_;
+  std::uint64_t strict_total_ = 0;
+  std::uint64_t strict_compliant_ = 0;
+  std::uint64_t be_total_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t cold_starts_ = 0;
+  SimTime measure_from_ = 0.0;
+};
+
+}  // namespace protean::metrics

@@ -1,0 +1,85 @@
+#include "metrics/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace protean::metrics {
+
+Histogram::Histogram(double min_value, double max_value, double growth)
+    : min_value_(min_value),
+      max_value_(max_value),
+      log_growth_(std::log(growth)) {
+  PROTEAN_CHECK_MSG(min_value > 0.0 && max_value > min_value,
+                    "invalid histogram range");
+  PROTEAN_CHECK_MSG(growth > 1.0, "growth must exceed 1");
+  const auto buckets = static_cast<std::size_t>(
+      std::ceil(std::log(max_value / min_value) / log_growth_)) + 1;
+  buckets_.assign(buckets, 0);
+}
+
+std::size_t Histogram::index_for(double value) const noexcept {
+  if (value <= min_value_) return 0;
+  if (value >= max_value_) return buckets_.size() - 1;
+  const auto index = static_cast<std::size_t>(
+      std::log(value / min_value_) / log_growth_);
+  return std::min(index, buckets_.size() - 1);
+}
+
+void Histogram::record(double value, std::uint64_t count) noexcept {
+  if (count == 0) return;
+  buckets_[index_for(value)] += count;
+  total_ += count;
+  sum_ += std::clamp(value, min_value_, max_value_) *
+          static_cast<double>(count);
+}
+
+double Histogram::bucket_lower_bound(std::size_t index) const noexcept {
+  return min_value_ * std::exp(log_growth_ * static_cast<double>(index));
+}
+
+double Histogram::min() const noexcept {
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] > 0) return bucket_lower_bound(i);
+  }
+  return 0.0;
+}
+
+double Histogram::max() const noexcept {
+  for (std::size_t i = buckets_.size(); i-- > 0;) {
+    if (buckets_[i] > 0) return bucket_lower_bound(i + 1);
+  }
+  return 0.0;
+}
+
+double Histogram::mean() const noexcept {
+  return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_);
+}
+
+double Histogram::percentile(double p) const noexcept {
+  if (total_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(total_)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= std::max<std::uint64_t>(target, 1)) {
+      return bucket_lower_bound(i + 1);
+    }
+  }
+  return bucket_lower_bound(buckets_.size());
+}
+
+void Histogram::merge(const Histogram& other) {
+  PROTEAN_CHECK_MSG(other.buckets_.size() == buckets_.size() &&
+                        other.min_value_ == min_value_ &&
+                        other.log_growth_ == log_growth_,
+                    "incompatible histogram bucketing");
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  total_ += other.total_;
+  sum_ += other.sum_;
+}
+
+}  // namespace protean::metrics

@@ -1,0 +1,59 @@
+// Log-bucketed latency histogram.
+//
+// A compact HDR-style histogram for latency distributions: fixed relative
+// error per bucket (geometric bucket widths), O(1) record, O(buckets)
+// percentile queries. Used by long-horizon runs where keeping every sample
+// (Collector's float vectors) would be wasteful, and by the CLI's JSON
+// output.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace protean::metrics {
+
+class Histogram {
+ public:
+  /// `min_value`/`max_value` bound the recordable range (values clamp);
+  /// `growth` is the geometric bucket ratio (1.02 → ~2% relative error).
+  explicit Histogram(double min_value = 1e-4, double max_value = 1e4,
+                     double growth = 1.02);
+
+  void record(double value) noexcept { record(value, 1); }
+  void record(double value, std::uint64_t count) noexcept;
+
+  std::uint64_t count() const noexcept { return total_; }
+  bool empty() const noexcept { return total_ == 0; }
+
+  /// Smallest/largest recorded values (bucket-resolution, clamped).
+  double min() const noexcept;
+  double max() const noexcept;
+  double mean() const noexcept;
+
+  /// p in [0, 100]; returns the upper edge of the bucket containing the
+  /// p-th percentile sample. 0 when empty.
+  double percentile(double p) const noexcept;
+
+  /// Merges another histogram with identical bucketing.
+  void merge(const Histogram& other);
+
+  std::size_t bucket_count() const noexcept { return buckets_.size(); }
+  double bucket_lower_bound(std::size_t index) const noexcept;
+  std::uint64_t bucket_value(std::size_t index) const noexcept {
+    return buckets_.at(index);
+  }
+
+ private:
+  std::size_t index_for(double value) const noexcept;
+
+  double min_value_;
+  double max_value_;
+  double log_growth_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace protean::metrics

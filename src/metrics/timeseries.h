@@ -1,0 +1,73 @@
+// Fixed-width windowed time series.
+//
+// Records (time, value) observations into fixed-width buckets and exposes
+// per-bucket count / mean / max — the structure behind Fig. 7-style
+// timeline plots and any "metric over time" reporting.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace protean::metrics {
+
+class TimeSeries {
+ public:
+  /// `bucket_width` seconds per bucket, starting at t = 0.
+  explicit TimeSeries(Duration bucket_width) : width_(bucket_width) {
+    PROTEAN_CHECK_MSG(width_ > 0.0, "bucket width must be positive");
+  }
+
+  void record(SimTime when, double value) {
+    PROTEAN_CHECK_MSG(when >= 0.0, "negative timestamp");
+    const auto index = static_cast<std::size_t>(when / width_);
+    if (index >= buckets_.size()) buckets_.resize(index + 1);
+    Bucket& b = buckets_[index];
+    ++b.count;
+    b.sum += value;
+    b.max = b.count == 1 ? value : std::max(b.max, value);
+  }
+
+  Duration bucket_width() const noexcept { return width_; }
+  std::size_t bucket_count() const noexcept { return buckets_.size(); }
+
+  /// Start time of bucket `index`.
+  SimTime bucket_start(std::size_t index) const noexcept {
+    return static_cast<double>(index) * width_;
+  }
+
+  std::uint64_t count(std::size_t index) const noexcept {
+    return index < buckets_.size() ? buckets_[index].count : 0;
+  }
+  double mean(std::size_t index) const noexcept {
+    if (index >= buckets_.size() || buckets_[index].count == 0) return 0.0;
+    return buckets_[index].sum / static_cast<double>(buckets_[index].count);
+  }
+  double max(std::size_t index) const noexcept {
+    if (index >= buckets_.size() || buckets_[index].count == 0) return 0.0;
+    return buckets_[index].max;
+  }
+
+  /// Largest per-bucket mean across the series (0 when empty).
+  double peak_mean() const noexcept {
+    double peak = 0.0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      peak = std::max(peak, mean(i));
+    }
+    return peak;
+  }
+
+ private:
+  struct Bucket {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double max = 0.0;
+  };
+  Duration width_;
+  std::vector<Bucket> buckets_;
+};
+
+}  // namespace protean::metrics

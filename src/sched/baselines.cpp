@@ -1,0 +1,160 @@
+#include "sched/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace protean::sched {
+
+namespace {
+
+gpu::JobSpec probe(const workload::Batch& batch, const gpu::Slice& slice) {
+  return workload::job_spec_for(batch, slice.profile());
+}
+
+int slice_units(const gpu::Slice& slice) {
+  return gpu::traits(slice.profile()).compute_units;
+}
+
+/// The single slice of a whole-GPU geometry, or nullptr while reconfiguring.
+gpu::Slice* whole_gpu_slice(cluster::WorkerNode& node) {
+  auto slices = node.gpu().slices();
+  return slices.empty() ? nullptr : slices.front();
+}
+
+}  // namespace
+
+gpu::Slice* MoleculeBetaScheduler::place(const workload::Batch& batch,
+                                         cluster::WorkerNode& node) {
+  gpu::Slice* slice = whole_gpu_slice(node);
+  if (slice == nullptr || !slice->can_admit(probe(batch, *slice))) {
+    return nullptr;  // busy: time sharing queues behind the running batch
+  }
+  return slice;
+}
+
+gpu::Slice* InflessLlamaScheduler::place(const workload::Batch& batch,
+                                         cluster::WorkerNode& node) {
+  gpu::Slice* slice = whole_gpu_slice(node);
+  if (slice == nullptr || !slice->can_admit(probe(batch, *slice))) {
+    return nullptr;  // consolidate everything; only memory limits admission
+  }
+  return slice;
+}
+
+gpu::Slice* NaiveSlicingScheduler::place(const workload::Batch& batch,
+                                         cluster::WorkerNode& node) {
+  // Load balance by slice memory: route to the admitting slice with the
+  // most free memory, with no strict/BE distinction.
+  gpu::Slice* best = nullptr;
+  for (gpu::Slice* slice : node.gpu().slices()) {
+    if (!batch.model->fits(slice->profile())) continue;
+    if (!slice->can_admit(probe(batch, *slice))) continue;
+    if (best == nullptr ||
+        slice->available_memory() > best->available_memory()) {
+      best = slice;
+    }
+  }
+  return best;
+}
+
+gpu::Slice* MigOnlyScheduler::place(const workload::Batch& batch,
+                                    cluster::WorkerNode& node) {
+  // Requests are spread equally across slices; time sharing means a slice
+  // only admits when idle. Prefer the largest idle slice that fits.
+  gpu::Slice* best = nullptr;
+  for (gpu::Slice* slice : node.gpu().slices()) {
+    if (!batch.model->fits(slice->profile())) continue;
+    if (!slice->can_admit(probe(batch, *slice))) continue;
+    if (best == nullptr || slice_units(*slice) > slice_units(*best)) {
+      best = slice;
+    }
+  }
+  return best;
+}
+
+gpu::Slice* MpsMigScheduler::place(const workload::Batch& batch,
+                                   cluster::WorkerNode& node) {
+  // Even spread: the admitting slice with the fewest resident jobs
+  // (ties broken toward more free memory).
+  gpu::Slice* best = nullptr;
+  for (gpu::Slice* slice : node.gpu().slices()) {
+    if (!batch.model->fits(slice->profile())) continue;
+    if (!slice->can_admit(probe(batch, *slice))) continue;
+    if (best == nullptr || slice->running_jobs() < best->running_jobs() ||
+        (slice->running_jobs() == best->running_jobs() &&
+         slice->available_memory() > best->available_memory())) {
+      best = slice;
+    }
+  }
+  return best;
+}
+
+gpu::Slice* SmartMpsMigScheduler::place(const workload::Batch& batch,
+                                        cluster::WorkerNode& node) {
+  // Strict requests get the largest slice; BE requests are kept off it
+  // whenever any other slice can take them (Section 2.2 straw man).
+  auto slices = node.gpu().slices();
+  if (slices.empty()) return nullptr;
+  std::sort(slices.begin(), slices.end(),
+            [](const gpu::Slice* a, const gpu::Slice* b) {
+              return gpu::traits(a->profile()).compute_units >
+                     gpu::traits(b->profile()).compute_units;
+            });
+  if (batch.strict) {
+    for (gpu::Slice* slice : slices) {  // largest first
+      if (batch.model->fits(slice->profile()) &&
+          slice->can_admit(probe(batch, *slice))) {
+        return slice;
+      }
+    }
+    return nullptr;
+  }
+  // BE: smallest-first, excluding the largest slice unless it is the only
+  // option with room.
+  for (auto it = slices.rbegin(); it != slices.rend(); ++it) {
+    gpu::Slice* slice = *it;
+    if (slice == slices.front() && slices.size() > 1) continue;
+    if (batch.model->fits(slice->profile()) &&
+        slice->can_admit(probe(batch, *slice))) {
+      return slice;
+    }
+  }
+  return nullptr;
+}
+
+gpu::Slice* GpuletScheduler::place(const workload::Batch& batch,
+                                   cluster::WorkerNode& node) {
+  gpu::Slice* slice = whole_gpu_slice(node);
+  if (slice == nullptr) return nullptr;
+  // GPUlet carves the GPU into one strict and one BE SM partition; each
+  // partition serves one batch at a time (spatio-temporal sharing).
+  const std::size_t strict_resident = slice->strict_jobs();
+  const std::size_t be_resident = slice->running_jobs() - strict_resident;
+  if (batch.strict && strict_resident > 0) return nullptr;
+  if (!batch.strict && be_resident > 0) return nullptr;
+  const gpu::JobSpec spec = make_job(batch, *slice, 0);
+  return slice->can_admit(spec) ? slice : nullptr;
+}
+
+gpu::JobSpec GpuletScheduler::make_job(const workload::Batch& batch,
+                                       const gpu::Slice& slice,
+                                       JobId job_id) const {
+  gpu::JobSpec spec = cluster::Scheduler::make_job(batch, slice, job_id);
+  const double cap = batch.strict ? strict_cap_ : be_cap_;
+  // The batch's effective SM requirement (fill-scaled) against the cap:
+  // capping below the need stretches the solo time and shrinks the job's
+  // bandwidth draw and SM occupancy proportionally (FBR = bw×sm).
+  const double sm_need = batch.model->sm_req * batch.work_fraction();
+  const double sm_used = std::min(sm_need, cap);
+  spec.solo_time *= std::max(1.0, sm_need / cap);
+  // Capping SMs thins the *average* bandwidth draw less than linearly: the
+  // kernel's memory phases still burst at full rate (this is exactly why
+  // the paper finds cache/bandwidth interference survives SM partitioning).
+  spec.fbr *= std::sqrt(sm_used / std::max(sm_need, 1e-9));
+  spec.sm_share =
+      std::min(1.0, sm_used / gpu::compute_fraction(slice.profile()));
+  return spec;
+}
+
+}  // namespace protean::sched

@@ -1,0 +1,133 @@
+// Baseline request-serving policies the paper compares against (Section 5),
+// plus the straw-man schemes from the Section 2.2 motivation experiment.
+//
+//  * Molecule (beta)  — whole GPU, time sharing, no MPS.
+//  * INFless/Llama    — whole GPU, MPS consolidation of every batch.
+//  * Naive Slicing    — static MIG slices + MPS, requests load-balanced by
+//                       slice memory, no strict/BE awareness.
+//  * MIG Only         — static slices, time sharing per slice.
+//  * MPS+MIG          — static slices + MPS, batches spread evenly.
+//  * Smart MPS+MIG    — static slices + MPS; strict on the largest slice,
+//                       BE on the others (the Section 2.2 straw man).
+//  * GPUlet           — whole GPU, MPS with per-class SM caps (strategic
+//                       MPS-only usage, Section 6.2).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cluster/node.h"
+#include "cluster/scheduler.h"
+
+namespace protean::sched {
+
+class MoleculeBetaScheduler : public cluster::Scheduler {
+ public:
+  std::string name() const override { return "Molecule (beta)"; }
+  gpu::SharingMode sharing_mode() const override {
+    return gpu::SharingMode::kTimeShare;
+  }
+  gpu::Geometry initial_geometry() const override {
+    return gpu::Geometry::full();
+  }
+  gpu::Slice* place(const workload::Batch& batch,
+                    cluster::WorkerNode& node) override;
+};
+
+class InflessLlamaScheduler : public cluster::Scheduler {
+ public:
+  std::string name() const override { return "INFless/Llama"; }
+  gpu::Geometry initial_geometry() const override {
+    return gpu::Geometry::full();
+  }
+  std::optional<cluster::DispatchPolicy> dispatch_policy() const override {
+    // "Consolidate excessive workload batches on individual GPUs" (§1).
+    return cluster::DispatchPolicy::kConsolidate;
+  }
+  gpu::Slice* place(const workload::Batch& batch,
+                    cluster::WorkerNode& node) override;
+};
+
+class NaiveSlicingScheduler : public cluster::Scheduler {
+ public:
+  explicit NaiveSlicingScheduler(
+      gpu::Geometry geometry = gpu::Geometry::g4_2_1())
+      : geometry_(std::move(geometry)) {}
+  std::string name() const override { return "Naive Slicing"; }
+  gpu::Geometry initial_geometry() const override { return geometry_; }
+  gpu::Slice* place(const workload::Batch& batch,
+                    cluster::WorkerNode& node) override;
+
+ private:
+  gpu::Geometry geometry_;
+};
+
+class MigOnlyScheduler : public cluster::Scheduler {
+ public:
+  explicit MigOnlyScheduler(gpu::Geometry geometry = gpu::Geometry::g4_3())
+      : geometry_(std::move(geometry)) {}
+  std::string name() const override { return "MIG Only"; }
+  gpu::SharingMode sharing_mode() const override {
+    return gpu::SharingMode::kTimeShare;
+  }
+  gpu::Geometry initial_geometry() const override { return geometry_; }
+  gpu::Slice* place(const workload::Batch& batch,
+                    cluster::WorkerNode& node) override;
+
+ private:
+  gpu::Geometry geometry_;
+};
+
+class MpsMigScheduler : public cluster::Scheduler {
+ public:
+  explicit MpsMigScheduler(gpu::Geometry geometry = gpu::Geometry::g4_3())
+      : geometry_(std::move(geometry)) {}
+  std::string name() const override { return "MPS+MIG"; }
+  gpu::Geometry initial_geometry() const override { return geometry_; }
+  gpu::Slice* place(const workload::Batch& batch,
+                    cluster::WorkerNode& node) override;
+
+ private:
+  gpu::Geometry geometry_;
+};
+
+class SmartMpsMigScheduler : public cluster::Scheduler {
+ public:
+  explicit SmartMpsMigScheduler(gpu::Geometry geometry = gpu::Geometry::g4_3())
+      : geometry_(std::move(geometry)) {}
+  std::string name() const override { return "'Smart' MPS+MIG"; }
+  gpu::Geometry initial_geometry() const override { return geometry_; }
+  bool reorder_strict_first() const override { return true; }
+  gpu::Slice* place(const workload::Batch& batch,
+                    cluster::WorkerNode& node) override;
+
+ private:
+  gpu::Geometry geometry_;
+};
+
+class GpuletScheduler : public cluster::Scheduler {
+ public:
+  /// SM caps per Section 6.2: strict requests get a ~60–65% upper bound,
+  /// BE requests the remainder.
+  GpuletScheduler(double strict_sm_cap = 0.625, double be_sm_cap = 0.375)
+      : strict_cap_(strict_sm_cap), be_cap_(be_sm_cap) {}
+  std::string name() const override { return "GPUlet"; }
+  gpu::Geometry initial_geometry() const override {
+    return gpu::Geometry::full();
+  }
+  std::optional<cluster::DispatchPolicy> dispatch_policy() const override {
+    // GPUlet schedules strategically (its scheduler sizes SM partitions per
+    // job); it balances load rather than over-consolidating.
+    return cluster::DispatchPolicy::kLeastLoaded;
+  }
+  gpu::Slice* place(const workload::Batch& batch,
+                    cluster::WorkerNode& node) override;
+  gpu::JobSpec make_job(const workload::Batch& batch, const gpu::Slice& slice,
+                        JobId job_id) const override;
+
+ private:
+  double strict_cap_;
+  double be_cap_;
+};
+
+}  // namespace protean::sched

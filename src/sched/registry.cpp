@@ -1,0 +1,80 @@
+#include "sched/registry.h"
+
+#include <stdexcept>
+
+#include "sched/baselines.h"
+
+namespace protean::sched {
+
+const char* scheme_name(Scheme scheme) noexcept {
+  switch (scheme) {
+    case Scheme::kMoleculeBeta: return "Molecule (beta)";
+    case Scheme::kInflessLlama: return "INFless/Llama";
+    case Scheme::kNaiveSlicing: return "Naive Slicing";
+    case Scheme::kMigOnly: return "MIG Only";
+    case Scheme::kMpsMig: return "MPS+MIG";
+    case Scheme::kSmartMpsMig: return "'Smart' MPS+MIG";
+    case Scheme::kGpulet: return "GPUlet";
+    case Scheme::kProtean: return "PROTEAN";
+    case Scheme::kProteanNoReorder: return "PROTEAN (no reorder)";
+    case Scheme::kProteanStatic: return "PROTEAN (static)";
+    case Scheme::kProteanNoEta: return "PROTEAN (no eta)";
+    case Scheme::kOracle: return "Oracle";
+  }
+  return "?";
+}
+
+std::unique_ptr<cluster::Scheduler> make_scheduler(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kMoleculeBeta:
+      return std::make_unique<MoleculeBetaScheduler>();
+    case Scheme::kInflessLlama:
+      return std::make_unique<InflessLlamaScheduler>();
+    case Scheme::kNaiveSlicing:
+      return std::make_unique<NaiveSlicingScheduler>();
+    case Scheme::kMigOnly:
+      return std::make_unique<MigOnlyScheduler>();
+    case Scheme::kMpsMig:
+      return std::make_unique<MpsMigScheduler>();
+    case Scheme::kSmartMpsMig:
+      return std::make_unique<SmartMpsMigScheduler>();
+    case Scheme::kGpulet:
+      return std::make_unique<GpuletScheduler>();
+    case Scheme::kProtean:
+      return std::make_unique<core::ProteanScheduler>();
+    case Scheme::kProteanNoReorder: {
+      core::ProteanOptions options;
+      options.reorder = false;
+      return std::make_unique<core::ProteanScheduler>(options);
+    }
+    case Scheme::kProteanStatic: {
+      core::ProteanOptions options;
+      options.dynamic_reconfig = false;
+      options.initial_geometry = gpu::Geometry::g4_3();
+      return std::make_unique<core::ProteanScheduler>(options);
+    }
+    case Scheme::kProteanNoEta: {
+      core::ProteanOptions options;
+      options.use_eta = false;
+      return std::make_unique<core::ProteanScheduler>(options);
+    }
+    case Scheme::kOracle: {
+      core::ProteanOptions options;
+      options.oracle = true;
+      return std::make_unique<core::ProteanScheduler>(options);
+    }
+  }
+  throw std::invalid_argument("unknown scheme");
+}
+
+std::vector<Scheme> paper_schemes() {
+  return {Scheme::kMoleculeBeta, Scheme::kNaiveSlicing, Scheme::kInflessLlama,
+          Scheme::kProtean};
+}
+
+std::vector<Scheme> motivation_schemes() {
+  return {Scheme::kMoleculeBeta, Scheme::kInflessLlama, Scheme::kMigOnly,
+          Scheme::kMpsMig, Scheme::kSmartMpsMig};
+}
+
+}  // namespace protean::sched

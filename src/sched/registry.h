@@ -1,0 +1,39 @@
+// Scheme registry: names and factories for every evaluated policy, so the
+// harness and benches can enumerate them the way the paper's figures do.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/scheduler.h"
+#include "core/protean.h"
+
+namespace protean::sched {
+
+enum class Scheme {
+  kMoleculeBeta,   ///< "Molecule (beta)" / "No MPS or MIG"
+  kInflessLlama,   ///< "INFless/Llama" / "MPS Only"
+  kNaiveSlicing,
+  kMigOnly,
+  kMpsMig,
+  kSmartMpsMig,
+  kGpulet,
+  kProtean,
+  kProteanNoReorder,  ///< ablation: reordering disabled
+  kProteanStatic,     ///< ablation: dynamic reconfiguration disabled
+  kProteanNoEta,      ///< ablation: Eq. 2 placement replaced by largest-first
+  kOracle,
+};
+
+const char* scheme_name(Scheme scheme) noexcept;
+
+std::unique_ptr<cluster::Scheduler> make_scheduler(Scheme scheme);
+
+/// The four schemes of the paper's primary evaluation (Figs. 5–15 order).
+std::vector<Scheme> paper_schemes();
+
+/// The five schemes of the Section 2.2 motivation experiment (Fig. 2).
+std::vector<Scheme> motivation_schemes();
+
+}  // namespace protean::sched

@@ -1,0 +1,109 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+namespace protean::sim {
+
+EventHandle Simulator::schedule_at(SimTime when, Callback cb) {
+  PROTEAN_CHECK_MSG(when >= now_, "cannot schedule into the past");
+  PROTEAN_CHECK_MSG(static_cast<bool>(cb), "null event callback");
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(Event{when, seq, std::move(cb)});
+  ++live_events_;
+  return EventHandle(seq);
+}
+
+bool Simulator::cancel(EventHandle handle) {
+  if (!handle.valid()) return false;
+  // We cannot remove from the middle of a priority queue; record a tombstone
+  // that pop paths skip. The tombstone list is pruned lazily.
+  if (handle.id() >= next_seq_) return false;
+  if (is_cancelled(handle.id())) return false;
+  cancelled_.push_back(handle.id());
+  if (live_events_ == 0) {
+    cancelled_.pop_back();
+    return false;
+  }
+  --live_events_;
+  return true;
+}
+
+bool Simulator::is_cancelled(std::uint64_t seq) const {
+  return std::find(cancelled_.begin(), cancelled_.end(), seq) !=
+         cancelled_.end();
+}
+
+void Simulator::pop_cancelled() {
+  while (!queue_.empty()) {
+    const auto it =
+        std::find(cancelled_.begin(), cancelled_.end(), queue_.top().seq);
+    if (it == cancelled_.end()) break;
+    cancelled_.erase(it);
+    queue_.pop();
+  }
+}
+
+bool Simulator::step() {
+  pop_cancelled();
+  if (queue_.empty()) return false;
+  // Move the event out before popping so the callback may schedule freely.
+  Event event = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  PROTEAN_DCHECK(event.when >= now_);
+  now_ = event.when;
+  --live_events_;
+  ++executed_;
+  event.cb();
+  return true;
+}
+
+std::size_t Simulator::run_until(SimTime until) {
+  std::size_t count = 0;
+  for (;;) {
+    pop_cancelled();
+    if (queue_.empty() || queue_.top().when > until) break;
+    step();
+    ++count;
+  }
+  // Advance the clock to the horizon even if no event landed exactly there,
+  // so back-to-back run_until calls observe monotonic time.
+  if (until > now_) now_ = until;
+  return count;
+}
+
+std::size_t Simulator::run_to_completion() {
+  std::size_t count = 0;
+  while (step()) ++count;
+  return count;
+}
+
+PeriodicTask::PeriodicTask(Simulator& simulator, Duration period,
+                           std::function<void()> callback,
+                           bool fire_immediately)
+    : sim_(simulator), period_(period), callback_(std::move(callback)) {
+  PROTEAN_CHECK_MSG(period_ > 0.0, "period must be positive");
+  PROTEAN_CHECK_MSG(static_cast<bool>(callback_), "null periodic callback");
+  if (fire_immediately) {
+    pending_ = sim_.schedule_after(0.0, [this] {
+      callback_();
+      if (running_) arm();
+    });
+  } else {
+    arm();
+  }
+}
+
+void PeriodicTask::arm() {
+  pending_ = sim_.schedule_after(period_, [this] {
+    callback_();
+    if (running_) arm();
+  });
+}
+
+void PeriodicTask::stop() {
+  if (!running_) return;
+  running_ = false;
+  sim_.cancel(pending_);
+}
+
+}  // namespace protean::sim

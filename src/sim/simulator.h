@@ -1,0 +1,121 @@
+// Discrete-event simulation core.
+//
+// The simulator owns a virtual clock and a priority queue of events. All
+// substrates (GPU engine, cluster, spot market, trace generator) schedule
+// callbacks on it. Events scheduled at the same timestamp fire in FIFO order
+// of scheduling, which makes runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace protean::sim {
+
+/// Handle that allows a scheduled event to be cancelled.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  bool valid() const noexcept { return id_ != 0; }
+  std::uint64_t id() const noexcept { return id_; }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time in seconds.
+  SimTime now() const noexcept { return now_; }
+
+  /// Schedules `cb` to run at absolute time `when` (must be >= now()).
+  EventHandle schedule_at(SimTime when, Callback cb);
+
+  /// Schedules `cb` to run `delay` seconds from now (delay >= 0).
+  EventHandle schedule_after(Duration delay, Callback cb) {
+    PROTEAN_CHECK_MSG(delay >= 0.0, "negative delay");
+    return schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Cancels a pending event. Returns true if the event was still pending.
+  bool cancel(EventHandle handle);
+
+  /// Runs events until the queue drains or the clock passes `until`.
+  /// Returns the number of events executed.
+  std::size_t run_until(SimTime until);
+
+  /// Runs until the queue is completely drained.
+  std::size_t run_to_completion();
+
+  /// Executes the single earliest pending event; returns false if none.
+  bool step();
+
+  /// Number of events currently pending (cancelled tombstones excluded).
+  std::size_t pending() const noexcept { return live_events_; }
+
+  /// Total events executed since construction.
+  std::uint64_t executed() const noexcept { return executed_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;  // FIFO tiebreak + cancellation key.
+    Callback cb;
+
+    // Min-heap: earlier time first, then earlier sequence number.
+    bool operator>(const Event& other) const noexcept {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  bool is_cancelled(std::uint64_t seq) const;
+  void pop_cancelled();
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<std::uint64_t> cancelled_;  // sorted set would be overkill
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 1;
+  std::size_t live_events_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+/// Repeatedly invokes a callback every `period` seconds until stopped.
+/// The callback observes the simulator clock; the first tick fires at
+/// `start + period` unless `fire_immediately` is set.
+class PeriodicTask {
+ public:
+  PeriodicTask(Simulator& simulator, Duration period,
+               std::function<void()> callback, bool fire_immediately = false);
+  ~PeriodicTask() { stop(); }
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void stop();
+  bool running() const noexcept { return running_; }
+  Duration period() const noexcept { return period_; }
+
+ private:
+  void arm();
+
+  Simulator& sim_;
+  Duration period_;
+  std::function<void()> callback_;
+  EventHandle pending_;
+  bool running_ = true;
+};
+
+}  // namespace protean::sim

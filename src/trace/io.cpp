@@ -1,0 +1,125 @@
+#include "trace/io.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/check.h"
+
+namespace protean::trace {
+
+namespace {
+
+bool is_blank_or_comment(const std::string& line) {
+  for (char c : line) {
+    if (c == '#') return true;
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<double> parse_rate_csv(std::istream& in) {
+  std::vector<double> rates;
+  std::string line;
+  long expected_second = 0;
+  bool first_data_line = true;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (is_blank_or_comment(line)) continue;
+    std::istringstream fields(line);
+    std::string sec_field, rate_field;
+    if (!std::getline(fields, sec_field, ',') ||
+        !std::getline(fields, rate_field)) {
+      throw std::invalid_argument("rate CSV line " + std::to_string(line_no) +
+                                  ": expected 'second,rps'");
+    }
+    long second;
+    double rate;
+    try {
+      second = std::stol(sec_field);
+      rate = std::stod(rate_field);
+    } catch (const std::exception&) {
+      if (first_data_line) {
+        first_data_line = false;  // tolerate a header row
+        continue;
+      }
+      throw std::invalid_argument("rate CSV line " + std::to_string(line_no) +
+                                  ": non-numeric fields");
+    }
+    first_data_line = false;
+    if (second < expected_second) {
+      throw std::invalid_argument("rate CSV line " + std::to_string(line_no) +
+                                  ": seconds must be increasing");
+    }
+    if (rate < 0.0) {
+      throw std::invalid_argument("rate CSV line " + std::to_string(line_no) +
+                                  ": negative rate");
+    }
+    // Fill gaps by holding the previous rate.
+    const double hold = rates.empty() ? rate : rates.back();
+    while (expected_second < second) {
+      rates.push_back(hold);
+      ++expected_second;
+    }
+    rates.push_back(rate);
+    ++expected_second;
+  }
+  if (rates.empty()) {
+    throw std::invalid_argument("rate CSV contains no data rows");
+  }
+  return rates;
+}
+
+std::vector<double> load_rate_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::invalid_argument("cannot open rate CSV: " + path);
+  return parse_rate_csv(in);
+}
+
+void save_rate_csv(std::ostream& out, const std::vector<double>& rates) {
+  out << "second,rps\n";
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    out << i << ',' << rates[i] << '\n';
+  }
+}
+
+void save_rate_csv(const std::string& path, const std::vector<double>& rates) {
+  std::ofstream out(path);
+  if (!out) throw std::invalid_argument("cannot open for write: " + path);
+  save_rate_csv(out, rates);
+}
+
+TableTrace::TableTrace(std::vector<double> rates)
+    : TableTrace(std::move(rates), Config{}) {}
+
+TableTrace::TableTrace(std::vector<double> rates, const Config& config)
+    : rates_(std::move(rates)) {
+  PROTEAN_CHECK_MSG(!rates_.empty(), "empty rate table");
+  if (config.target_rps > 0.0) {
+    const double sum = std::accumulate(rates_.begin(), rates_.end(), 0.0);
+    const double mean = sum / static_cast<double>(rates_.size());
+    const double peak = *std::max_element(rates_.begin(), rates_.end());
+    const double base = config.scale_to_peak ? peak : mean;
+    PROTEAN_CHECK_MSG(base > 0.0, "cannot rescale an all-zero table");
+    const double scale = config.target_rps / base;
+    for (double& r : rates_) r *= scale;
+  }
+  mean_ = std::accumulate(rates_.begin(), rates_.end(), 0.0) /
+          static_cast<double>(rates_.size());
+  peak_ = *std::max_element(rates_.begin(), rates_.end());
+}
+
+double TableTrace::rate_at(SimTime t) const noexcept {
+  if (t < 0.0) return rates_.front();
+  auto idx = static_cast<std::size_t>(t);
+  if (idx >= rates_.size()) idx = rates_.size() - 1;
+  return rates_[idx];
+}
+
+}  // namespace protean::trace

@@ -1,0 +1,58 @@
+// Rate-trace file I/O.
+//
+// A rate trace can be exported to / replayed from a two-column CSV
+// ("second,rps", header optional), so real production traces (Wikipedia
+// pageview dumps, Twitter firehose aggregations) can be fed to the
+// simulator once aggregated to per-second request counts.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace protean::trace {
+
+/// Parses a "second,rps" CSV stream (header line allowed; blank lines and
+/// '#' comments skipped). Seconds must be non-negative and strictly
+/// increasing; gaps hold the previous rate. Throws std::invalid_argument
+/// on malformed input.
+std::vector<double> parse_rate_csv(std::istream& in);
+
+/// Reads a rate table from a CSV file. Throws on I/O or parse errors.
+std::vector<double> load_rate_csv(const std::string& path);
+
+/// Writes a rate table as "second,rps" CSV.
+void save_rate_csv(std::ostream& out, const std::vector<double>& rates);
+void save_rate_csv(const std::string& path, const std::vector<double>& rates);
+
+/// A RateTrace backed by an explicit per-second table (e.g. loaded from
+/// CSV), optionally rescaled to a target mean or peak.
+class TableTrace {
+ public:
+  struct Config {
+    /// Rescale so the mean (or peak, if scale_to_peak) hits this value;
+    /// <= 0 keeps the table as-is.
+    double target_rps = 0.0;
+    bool scale_to_peak = false;
+  };
+
+  explicit TableTrace(std::vector<double> rates);
+  TableTrace(std::vector<double> rates, const Config& config);
+
+  double rate_at(SimTime t) const noexcept;
+  double mean_rate() const noexcept { return mean_; }
+  double peak_rate() const noexcept { return peak_; }
+  Duration horizon() const noexcept {
+    return static_cast<Duration>(rates_.size());
+  }
+  const std::vector<double>& table() const noexcept { return rates_; }
+
+ private:
+  std::vector<double> rates_;
+  double mean_ = 0.0;
+  double peak_ = 0.0;
+};
+
+}  // namespace protean::trace

@@ -1,0 +1,54 @@
+// Fluent builder for user-defined model profiles.
+//
+// Downstream users deploy their own models; the builder validates the
+// physical ranges the simulator assumes (positive latency, footprint within
+// a GPU, FBR/SM bounds) and derives sensible defaults (interference class
+// from the FBR, deficiency alpha from the interference class) so a minimal
+// description is enough:
+//
+//   auto model = workload::ModelBuilder("my-detector")
+//                    .batch_size(64)
+//                    .solo_latency_ms(120)
+//                    .memory_gb(5.0)
+//                    .fbr(0.7)
+//                    .build();
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "workload/model.h"
+
+namespace protean::workload {
+
+class ModelBuilder {
+ public:
+  explicit ModelBuilder(std::string name);
+
+  ModelBuilder& domain(Domain domain) noexcept;
+  ModelBuilder& batch_size(int batch) noexcept;
+  ModelBuilder& solo_latency_ms(double ms) noexcept;
+  ModelBuilder& memory_gb(MemGb gb) noexcept;
+  ModelBuilder& fbr(double fbr) noexcept;
+  ModelBuilder& sm_requirement(double sm_req) noexcept;
+  ModelBuilder& deficiency_alpha(double alpha) noexcept;
+  ModelBuilder& interference_class(InterferenceClass iclass) noexcept;
+
+  /// Validates and returns the profile. Throws std::invalid_argument with
+  /// a field-specific message when a value is missing or out of range.
+  ModelProfile build() const;
+
+  /// Derives the interference class Fig. 3 would assign to this FBR.
+  static InterferenceClass classify_fbr(double fbr) noexcept;
+
+ private:
+  ModelProfile profile_;
+  bool has_latency_ = false;
+  bool has_memory_ = false;
+  bool has_fbr_ = false;
+  std::optional<InterferenceClass> explicit_class_;
+  std::optional<double> explicit_alpha_;
+  std::optional<double> explicit_sm_;
+};
+
+}  // namespace protean::workload

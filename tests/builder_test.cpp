@@ -1,0 +1,102 @@
+// Tests for the custom model builder.
+#include "workload/builder.h"
+
+#include <gtest/gtest.h>
+
+namespace protean::workload {
+namespace {
+
+ModelBuilder minimal() {
+  return std::move(ModelBuilder("custom-model")
+                       .solo_latency_ms(100.0)
+                       .memory_gb(4.0)
+                       .fbr(0.6));
+}
+
+TEST(ModelBuilder, MinimalDescriptionBuilds) {
+  const ModelProfile m = minimal().build();
+  EXPECT_EQ(m.name, "custom-model");
+  EXPECT_EQ(m.batch_size, 128);
+  EXPECT_NEAR(m.solo_time_7g, 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(m.mem_gb, 4.0);
+  EXPECT_DOUBLE_EQ(m.fbr, 0.6);
+}
+
+TEST(ModelBuilder, DerivesInterferenceClassFromFbr) {
+  EXPECT_EQ(ModelBuilder::classify_fbr(0.3), InterferenceClass::kLI);
+  EXPECT_EQ(ModelBuilder::classify_fbr(0.8), InterferenceClass::kHI);
+  EXPECT_EQ(ModelBuilder::classify_fbr(1.2), InterferenceClass::kVHI);
+  EXPECT_EQ(minimal().build().iclass, InterferenceClass::kHI);
+}
+
+TEST(ModelBuilder, DerivesAlphaFromClass) {
+  const auto li = ModelBuilder("li").solo_latency_ms(50).memory_gb(2).fbr(0.3).build();
+  const auto hi = ModelBuilder("hi").solo_latency_ms(50).memory_gb(2).fbr(0.9).build();
+  EXPECT_LT(li.deficiency_alpha, hi.deficiency_alpha);
+}
+
+TEST(ModelBuilder, DerivesSmRequirementFromFbr) {
+  const auto light = ModelBuilder("l").solo_latency_ms(50).memory_gb(2).fbr(0.2).build();
+  const auto heavy = ModelBuilder("h").solo_latency_ms(50).memory_gb(2).fbr(1.2).build();
+  EXPECT_LT(light.sm_req, heavy.sm_req);
+  EXPECT_LE(heavy.sm_req, 1.0);
+}
+
+TEST(ModelBuilder, ExplicitOverridesWin) {
+  const auto m = ModelBuilder("x")
+                     .solo_latency_ms(50)
+                     .memory_gb(2)
+                     .fbr(0.3)
+                     .interference_class(InterferenceClass::kVHI)
+                     .deficiency_alpha(0.9)
+                     .sm_requirement(0.25)
+                     .batch_size(4)
+                     .domain(Domain::kLanguage)
+                     .build();
+  EXPECT_EQ(m.iclass, InterferenceClass::kVHI);
+  EXPECT_DOUBLE_EQ(m.deficiency_alpha, 0.9);
+  EXPECT_DOUBLE_EQ(m.sm_req, 0.25);
+  EXPECT_EQ(m.batch_size, 4);
+  EXPECT_EQ(m.domain, Domain::kLanguage);
+}
+
+TEST(ModelBuilder, BuiltProfileWorksWithSliceMath) {
+  const auto m = minimal().build();
+  EXPECT_DOUBLE_EQ(m.rdf(gpu::SliceProfile::k7g), 1.0);
+  EXPECT_GT(m.rdf(gpu::SliceProfile::k1g), 1.0);
+  EXPECT_TRUE(m.fits(gpu::SliceProfile::k1g));
+  EXPECT_NEAR(m.slo_deadline(), 0.3, 1e-12);
+}
+
+TEST(ModelBuilder, RejectsMissingFields) {
+  EXPECT_THROW(ModelBuilder("x").memory_gb(2).fbr(0.5).build(),
+               std::invalid_argument);
+  EXPECT_THROW(ModelBuilder("x").solo_latency_ms(50).fbr(0.5).build(),
+               std::invalid_argument);
+  EXPECT_THROW(ModelBuilder("x").solo_latency_ms(50).memory_gb(2).build(),
+               std::invalid_argument);
+}
+
+TEST(ModelBuilder, RejectsOutOfRangeValues) {
+  EXPECT_THROW(ModelBuilder(""), std::invalid_argument);
+  EXPECT_THROW(minimal().batch_size(0).build(), std::invalid_argument);
+  EXPECT_THROW(minimal().solo_latency_ms(-1).build(), std::invalid_argument);
+  EXPECT_THROW(minimal().solo_latency_ms(60000).build(), std::invalid_argument);
+  EXPECT_THROW(minimal().memory_gb(50).build(), std::invalid_argument);
+  EXPECT_THROW(minimal().fbr(2.0).build(), std::invalid_argument);
+  EXPECT_THROW(minimal().sm_requirement(1.5).build(), std::invalid_argument);
+  EXPECT_THROW(minimal().deficiency_alpha(2.0).build(), std::invalid_argument);
+}
+
+TEST(ModelBuilder, ErrorsNameTheField) {
+  try {
+    ModelBuilder("x").memory_gb(2).fbr(0.5).build();
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("solo_latency_ms"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace protean::workload

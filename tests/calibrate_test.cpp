@@ -1,0 +1,103 @@
+// Tests for the profiling-side calibration routines.
+#include "core/calibrate.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workload/model.h"
+
+namespace protean::core {
+namespace {
+
+using gpu::SliceProfile;
+
+TEST(FitAlpha, RecoversExactExponent) {
+  const double alpha = 0.45;
+  std::vector<DeficiencyObservation> obs;
+  for (auto slice : {SliceProfile::k1g, SliceProfile::k2g, SliceProfile::k3g,
+                     SliceProfile::k4g}) {
+    obs.push_back({slice, std::pow(1.0 / gpu::compute_fraction(slice), alpha)});
+  }
+  EXPECT_NEAR(fit_deficiency_alpha(obs), alpha, 1e-9);
+}
+
+TEST(FitAlpha, RecoversCatalogAlphasFromTheirOwnCurves) {
+  for (const auto& model : workload::ModelCatalog::instance().all()) {
+    std::vector<DeficiencyObservation> obs;
+    for (auto slice :
+         {SliceProfile::k1g, SliceProfile::k2g, SliceProfile::k4g}) {
+      obs.push_back({slice, model.rdf(slice)});
+    }
+    EXPECT_NEAR(fit_deficiency_alpha(obs), model.deficiency_alpha, 1e-6)
+        << model.name;
+  }
+}
+
+TEST(FitAlpha, RobustToNoise) {
+  const double alpha = 0.6;
+  std::vector<DeficiencyObservation> obs;
+  double wiggle = 0.97;
+  for (auto slice : {SliceProfile::k1g, SliceProfile::k2g, SliceProfile::k3g}) {
+    obs.push_back(
+        {slice, std::pow(1.0 / gpu::compute_fraction(slice), alpha) * wiggle});
+    wiggle = 2.0 - wiggle;  // alternate 0.97 / 1.03
+  }
+  EXPECT_NEAR(fit_deficiency_alpha(obs), alpha, 0.05);
+}
+
+TEST(FitAlpha, IgnoresFullGpuAndBadSamples) {
+  std::vector<DeficiencyObservation> obs = {
+      {SliceProfile::k7g, 1.0},   // no information
+      {SliceProfile::k2g, -1.0},  // invalid
+  };
+  EXPECT_DOUBLE_EQ(fit_deficiency_alpha(obs), 0.0);
+}
+
+TEST(FitAlpha, ClampsToPhysicalRange) {
+  std::vector<DeficiencyObservation> obs = {{SliceProfile::k1g, 100.0}};
+  EXPECT_LE(fit_deficiency_alpha(obs), 1.0);
+}
+
+TEST(FitInterference, RecoversKnownKnobs) {
+  gpu::InterferenceParams truth;
+  truth.thrash_gamma = 0.6;
+  truth.thrash_knee = 1.5;
+  std::vector<InterferenceObservation> obs;
+  for (double p = 0.5; p <= 5.0; p += 0.25) {
+    obs.push_back({p, gpu::mps_slowdown(p, truth)});
+  }
+  const auto fitted = fit_interference(obs);
+  EXPECT_NEAR(fitted.thrash_gamma, truth.thrash_gamma, 0.05);
+  EXPECT_NEAR(fitted.thrash_knee, truth.thrash_knee, 0.15);
+  EXPECT_LT(interference_mse(fitted, obs), 1e-3);
+}
+
+TEST(FitInterference, LinearObservationsKeepDefaults) {
+  std::vector<InterferenceObservation> obs;
+  for (double p = 0.5; p <= 1.4; p += 0.1) {
+    obs.push_back({p, std::max(p, 1.0)});
+  }
+  const auto fitted = fit_interference(obs);
+  const gpu::InterferenceParams defaults;
+  EXPECT_DOUBLE_EQ(fitted.thrash_gamma, defaults.thrash_gamma);
+  EXPECT_DOUBLE_EQ(fitted.thrash_knee, defaults.thrash_knee);
+}
+
+TEST(FitInterference, MseIsZeroForPerfectFit) {
+  gpu::InterferenceParams params;
+  std::vector<InterferenceObservation> obs = {
+      {2.0, gpu::mps_slowdown(2.0, params)},
+      {3.0, gpu::mps_slowdown(3.0, params)},
+  };
+  EXPECT_NEAR(interference_mse(params, obs), 0.0, 1e-12);
+}
+
+TEST(FitInterference, EmptyObservationsAreSafe) {
+  const auto fitted = fit_interference({});
+  EXPECT_GT(fitted.thrash_gamma, 0.0);
+  EXPECT_DOUBLE_EQ(interference_mse(fitted, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace protean::core

@@ -1,0 +1,365 @@
+// Tests for the GPU execution engine: MPS processor sharing per Eq. 1 +
+// compute pressure + thrash, time sharing, reservations, reconfiguration.
+#include "gpu/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace protean::gpu {
+namespace {
+
+JobSpec job(JobId id, Duration solo, double fbr, double sm, MemGb mem,
+            bool strict = false) {
+  JobSpec spec;
+  spec.id = id;
+  spec.solo_time = solo;
+  spec.fbr = fbr;
+  spec.sm_share = sm;
+  spec.mem_gb = mem;
+  spec.strict = strict;
+  return spec;
+}
+
+struct Done {
+  std::vector<JobCompletion> completions;
+  CompletionCallback cb() {
+    return [this](const JobCompletion& c) { completions.push_back(c); };
+  }
+};
+
+TEST(MpsSlowdown, IdentityBelowSaturation) {
+  EXPECT_DOUBLE_EQ(mps_slowdown(0.3), 1.0);
+  EXPECT_DOUBLE_EQ(mps_slowdown(1.0), 1.0);
+}
+
+TEST(MpsSlowdown, LinearBetweenOneAndKnee) {
+  InterferenceParams p;  // knee 1.5
+  EXPECT_DOUBLE_EQ(mps_slowdown(1.2, p), 1.2);
+  EXPECT_DOUBLE_EQ(mps_slowdown(1.5, p), 1.5);
+}
+
+TEST(MpsSlowdown, QuadraticThrashAboveKnee) {
+  InterferenceParams p;
+  p.thrash_gamma = 0.6;
+  p.thrash_knee = 1.5;
+  EXPECT_NEAR(mps_slowdown(2.5, p), 2.5 + 0.6 * 1.0, 1e-12);
+  EXPECT_NEAR(mps_slowdown(3.5, p), 3.5 + 0.6 * 4.0, 1e-12);
+}
+
+TEST(Slice, SoloJobRunsAtSoloTime) {
+  sim::Simulator sim;
+  Slice slice(sim, nullptr, 0, SliceProfile::k7g, SharingMode::kMps);
+  Done done;
+  slice.submit(job(1, 0.2, 0.9, 1.0, 5.0), done.cb());
+  sim.run_to_completion();
+  ASSERT_EQ(done.completions.size(), 1u);
+  EXPECT_NEAR(done.completions[0].exec_time, 0.2, 1e-9);
+  EXPECT_TRUE(slice.idle());
+}
+
+TEST(Slice, SoloBandwidthSaturatedJobStillRunsAtSoloTime) {
+  // fbr > 1: the solo measurement already includes the job's own ceiling.
+  sim::Simulator sim;
+  Slice slice(sim, nullptr, 0, SliceProfile::k7g, SharingMode::kMps);
+  Done done;
+  slice.submit(job(1, 0.3, 1.35, 0.5, 8.0), done.cb());
+  sim.run_to_completion();
+  ASSERT_EQ(done.completions.size(), 1u);
+  EXPECT_NEAR(done.completions[0].exec_time, 0.3, 1e-9);
+}
+
+TEST(Slice, TwoComputeBoundJobsProcessorShare) {
+  sim::Simulator sim;
+  InterferenceParams params;
+  params.thrash_gamma = 0.0;  // pure additive for exact math
+  Slice slice(sim, nullptr, 0, SliceProfile::k7g, SharingMode::kMps, params);
+  Done done;
+  slice.submit(job(1, 0.1, 0.2, 1.0, 1.0), done.cb());
+  slice.submit(job(2, 0.1, 0.2, 1.0, 1.0), done.cb());
+  sim.run_to_completion();
+  // Pressure = 2 (SM) > fbr sum 0.4: both run at rate 1/2 -> 0.2 s.
+  ASSERT_EQ(done.completions.size(), 2u);
+  EXPECT_NEAR(done.completions[0].exec_time, 0.2, 1e-9);
+  EXPECT_NEAR(done.completions[1].exec_time, 0.2, 1e-9);
+}
+
+TEST(Slice, SmallKernelsPackWithoutComputeContention) {
+  sim::Simulator sim;
+  Slice slice(sim, nullptr, 0, SliceProfile::k7g, SharingMode::kMps);
+  Done done;
+  slice.submit(job(1, 0.1, 0.3, 0.3, 1.0), done.cb());
+  slice.submit(job(2, 0.1, 0.3, 0.3, 1.0), done.cb());
+  sim.run_to_completion();
+  // Total pressure max(0.6, 0.6) < 1: no slowdown at all.
+  for (const auto& c : done.completions) {
+    EXPECT_NEAR(c.exec_time, 0.1, 1e-9);
+  }
+}
+
+TEST(Slice, BandwidthContentionFollowsEq1) {
+  sim::Simulator sim;
+  InterferenceParams params;
+  params.thrash_gamma = 0.0;
+  Slice slice(sim, nullptr, 0, SliceProfile::k7g, SharingMode::kMps, params);
+  Done done;
+  // Two jobs, each fbr 0.8, tiny SM share: S = max(1.6, 0.4, 1) = 1.6.
+  slice.submit(job(1, 0.1, 0.8, 0.2, 1.0), done.cb());
+  slice.submit(job(2, 0.1, 0.8, 0.2, 1.0), done.cb());
+  sim.run_to_completion();
+  for (const auto& c : done.completions) {
+    EXPECT_NEAR(c.exec_time, 0.16, 1e-9);
+  }
+}
+
+TEST(Slice, LateArrivalSlowsResident) {
+  sim::Simulator sim;
+  InterferenceParams params;
+  params.thrash_gamma = 0.0;
+  Slice slice(sim, nullptr, 0, SliceProfile::k7g, SharingMode::kMps, params);
+  Done done;
+  slice.submit(job(1, 0.2, 0.1, 1.0, 1.0), done.cb());
+  sim.schedule_at(0.1, [&] {
+    slice.submit(job(2, 0.2, 0.1, 1.0, 1.0), done.cb());
+  });
+  sim.run_to_completion();
+  ASSERT_EQ(done.completions.size(), 2u);
+  // Job 1: 0.1 s solo (half its work) then shares at rate 1/2 for the
+  // remaining 0.1 s of work -> finishes at 0.3.
+  EXPECT_NEAR(done.completions[0].finished_at, 0.3, 1e-9);
+  EXPECT_EQ(done.completions[0].id, 1u);
+  // Job 2: shares from 0.1 to 0.3 (progress 0.1), then runs alone for the
+  // remaining 0.1 -> finishes at 0.4.
+  EXPECT_NEAR(done.completions[1].finished_at, 0.4, 1e-9);
+}
+
+TEST(Slice, SaturatedJobNormalizedAgainstOwnPressure) {
+  sim::Simulator sim;
+  InterferenceParams params;
+  params.thrash_gamma = 0.0;
+  Slice slice(sim, nullptr, 0, SliceProfile::k7g, SharingMode::kMps, params);
+  Done done;
+  // Two bus-saturating jobs (fbr 1.3 each): S_total = 2.6, own = 1.3 ->
+  // each at rate 0.5 -> 2x solo.
+  slice.submit(job(1, 0.2, 1.3, 0.4, 1.0), done.cb());
+  slice.submit(job(2, 0.2, 1.3, 0.4, 1.0), done.cb());
+  sim.run_to_completion();
+  for (const auto& c : done.completions) {
+    EXPECT_NEAR(c.exec_time, 0.4, 1e-9);
+  }
+}
+
+TEST(Slice, MemoryAdmissionControl) {
+  sim::Simulator sim;
+  Slice slice(sim, nullptr, 0, SliceProfile::k2g, SharingMode::kMps);  // 10 GB
+  Done done;
+  EXPECT_TRUE(slice.can_admit(job(1, 0.1, 0.1, 0.1, 6.0)));
+  slice.submit(job(1, 0.1, 0.1, 0.1, 6.0), done.cb());
+  EXPECT_FALSE(slice.can_admit(job(2, 0.1, 0.1, 0.1, 6.0)));
+  EXPECT_TRUE(slice.can_admit(job(3, 0.1, 0.1, 0.1, 4.0)));
+  sim.run_to_completion();
+  EXPECT_TRUE(slice.can_admit(job(2, 0.1, 0.1, 0.1, 6.0)));
+}
+
+TEST(Slice, TimeShareRejectsSecondJob) {
+  sim::Simulator sim;
+  Slice slice(sim, nullptr, 0, SliceProfile::k7g, SharingMode::kTimeShare);
+  Done done;
+  slice.submit(job(1, 0.1, 0.9, 1.0, 1.0), done.cb());
+  EXPECT_FALSE(slice.can_admit(job(2, 0.1, 0.9, 1.0, 1.0)));
+  sim.run_to_completion();
+  EXPECT_TRUE(slice.can_admit(job(2, 0.1, 0.9, 1.0, 1.0)));
+}
+
+TEST(Slice, TimeSharePaysSwapOverheadOnModelSwitch) {
+  sim::Simulator sim;
+  InterferenceParams params;
+  params.timeshare_overhead = 0.05;
+  Slice slice(sim, nullptr, 0, SliceProfile::k7g, SharingMode::kTimeShare,
+              params);
+  Done done;
+  static const int model_a = 0, model_b = 0;
+  JobSpec first = job(1, 0.1, 0.9, 1.0, 1.0);
+  first.model_tag = &model_a;
+  slice.submit(first, done.cb());
+  sim.run_to_completion();
+  ASSERT_EQ(done.completions.size(), 1u);
+  // Fresh slice: the first container launch pays the swap.
+  EXPECT_NEAR(done.completions[0].exec_time, 0.15, 1e-9);
+
+  // Same model again: container reused, no swap.
+  slice.submit(first, done.cb());
+  sim.run_to_completion();
+  EXPECT_NEAR(done.completions[1].exec_time, 0.1, 1e-9);
+
+  // Different model: swap paid again.
+  JobSpec second = job(2, 0.1, 0.9, 1.0, 1.0);
+  second.model_tag = &model_b;
+  slice.submit(second, done.cb());
+  sim.run_to_completion();
+  EXPECT_NEAR(done.completions[2].exec_time, 0.15, 1e-9);
+}
+
+TEST(Slice, ReservationsBlockAdmissionWithoutContention) {
+  sim::Simulator sim;
+  Slice slice(sim, nullptr, 0, SliceProfile::k2g, SharingMode::kMps);
+  slice.reserve_memory(8.0);
+  EXPECT_FALSE(slice.can_admit(job(1, 0.1, 0.1, 0.1, 5.0)));
+  EXPECT_DOUBLE_EQ(slice.current_slowdown(), 1.0);
+  slice.release_reservation(8.0);
+  EXPECT_TRUE(slice.can_admit(job(1, 0.1, 0.1, 0.1, 5.0)));
+}
+
+TEST(Slice, OverReservationThrows) {
+  sim::Simulator sim;
+  Slice slice(sim, nullptr, 0, SliceProfile::k1g, SharingMode::kMps);  // 5 GB
+  EXPECT_THROW(slice.reserve_memory(6.0), std::logic_error);
+}
+
+TEST(Slice, BusySecondsTracksActiveTime) {
+  sim::Simulator sim;
+  Slice slice(sim, nullptr, 0, SliceProfile::k7g, SharingMode::kMps);
+  Done done;
+  slice.submit(job(1, 0.5, 0.2, 0.2, 1.0), done.cb());
+  sim.run_until(2.0);
+  EXPECT_NEAR(slice.busy_seconds(), 0.5, 1e-9);
+}
+
+TEST(Slice, MemoryIntegralTracksResidency) {
+  sim::Simulator sim;
+  Slice slice(sim, nullptr, 0, SliceProfile::k7g, SharingMode::kMps);
+  Done done;
+  slice.submit(job(1, 0.5, 0.2, 0.2, 8.0), done.cb());
+  sim.run_until(2.0);
+  EXPECT_NEAR(slice.memory_gb_seconds(), 4.0, 1e-9);
+}
+
+TEST(Slice, StrictAccountingSeparatesClasses) {
+  sim::Simulator sim;
+  Slice slice(sim, nullptr, 0, SliceProfile::k7g, SharingMode::kMps);
+  Done done;
+  slice.submit(job(1, 0.2, 0.1, 0.1, 6.0, /*strict=*/true), done.cb());
+  slice.submit(job(2, 0.2, 0.1, 0.1, 4.0, /*strict=*/false), done.cb());
+  EXPECT_EQ(slice.strict_jobs(), 1u);
+  EXPECT_DOUBLE_EQ(slice.be_memory_in_use(), 4.0);
+  sim.run_to_completion();
+  EXPECT_DOUBLE_EQ(slice.be_memory_in_use(), 0.0);
+}
+
+TEST(Gpu, BuildsSlicesFromGeometry) {
+  sim::Simulator sim;
+  Gpu gpu(sim, 0, Geometry::g4_2_1(), SharingMode::kMps);
+  auto slices = gpu.slices();
+  ASSERT_EQ(slices.size(), 3u);
+  EXPECT_EQ(slices[0]->profile(), SliceProfile::k4g);
+  EXPECT_EQ(slices[1]->profile(), SliceProfile::k2g);
+  EXPECT_EQ(slices[2]->profile(), SliceProfile::k1g);
+}
+
+TEST(Gpu, InvalidGeometryThrows) {
+  sim::Simulator sim;
+  EXPECT_THROW(Gpu(sim, 0, Geometry{SliceProfile::k4g, SliceProfile::k4g},
+                   SharingMode::kMps),
+               std::logic_error);
+}
+
+TEST(Gpu, ReconfigureToSameGeometryIsImmediate) {
+  sim::Simulator sim;
+  Gpu gpu(sim, 0, Geometry::g4_3(), SharingMode::kMps);
+  bool done = false;
+  EXPECT_TRUE(gpu.request_reconfigure(Geometry::g4_3(), [&] { done = true; }));
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(gpu.reconfiguring());
+  EXPECT_EQ(gpu.reconfigurations(), 0);
+}
+
+TEST(Gpu, ReconfigureTakesDowntimeWhenIdle) {
+  sim::Simulator sim;
+  Gpu gpu(sim, 0, Geometry::g4_3(), SharingMode::kMps, 2.0);
+  SimTime done_at = -1.0;
+  gpu.request_reconfigure(Geometry::g4_2_1(), [&] { done_at = sim.now(); });
+  EXPECT_TRUE(gpu.reconfiguring());
+  sim.run_to_completion();
+  EXPECT_DOUBLE_EQ(done_at, 2.0);
+  EXPECT_EQ(gpu.geometry(), Geometry::g4_2_1());
+  EXPECT_EQ(gpu.reconfigurations(), 1);
+}
+
+TEST(Gpu, ReconfigureWaitsForRunningJobs) {
+  sim::Simulator sim;
+  Gpu gpu(sim, 0, Geometry::g4_3(), SharingMode::kMps, 2.0);
+  Done done;
+  gpu.slices()[0]->submit(job(1, 1.0, 0.2, 0.5, 1.0), done.cb());
+  SimTime done_at = -1.0;
+  gpu.request_reconfigure(Geometry::full(), [&] { done_at = sim.now(); });
+  // New work is refused during the drain.
+  EXPECT_FALSE(gpu.slices()[1]->can_admit(job(2, 0.1, 0.1, 0.1, 1.0)));
+  sim.run_to_completion();
+  // Job ends at 1.0, then 2 s downtime.
+  EXPECT_DOUBLE_EQ(done_at, 3.0);
+  EXPECT_EQ(gpu.geometry(), Geometry::full());
+}
+
+TEST(Gpu, ReconfigureWaitsForReservations) {
+  sim::Simulator sim;
+  Gpu gpu(sim, 0, Geometry::g4_3(), SharingMode::kMps, 2.0);
+  gpu.slices()[0]->reserve_memory(5.0);
+  SimTime done_at = -1.0;
+  gpu.request_reconfigure(Geometry::full(), [&] { done_at = sim.now(); });
+  sim.schedule_at(1.0, [&] { gpu.slices()[0]->release_reservation(5.0); });
+  sim.run_to_completion();
+  EXPECT_DOUBLE_EQ(done_at, 3.0);
+}
+
+TEST(Gpu, SecondReconfigureWhileInFlightIsRejected) {
+  sim::Simulator sim;
+  Gpu gpu(sim, 0, Geometry::g4_3(), SharingMode::kMps, 2.0);
+  EXPECT_TRUE(gpu.request_reconfigure(Geometry::full()));
+  EXPECT_FALSE(gpu.request_reconfigure(Geometry::g4_2_1()));
+  sim.run_to_completion();
+  EXPECT_EQ(gpu.geometry(), Geometry::full());
+}
+
+TEST(Gpu, CapacityCallbackFiresOnCompletionAndReconfig) {
+  sim::Simulator sim;
+  Gpu gpu(sim, 0, Geometry::g4_3(), SharingMode::kMps, 1.0);
+  int calls = 0;
+  gpu.set_capacity_callback([&] { ++calls; });
+  Done done;
+  gpu.slices()[0]->submit(job(1, 0.5, 0.2, 0.5, 1.0), done.cb());
+  sim.run_to_completion();
+  EXPECT_GE(calls, 1);
+  const int after_job = calls;
+  gpu.request_reconfigure(Geometry::full());
+  sim.run_to_completion();
+  EXPECT_GT(calls, after_job);
+}
+
+TEST(Gpu, BusySecondsAggregatesAcrossSlices) {
+  sim::Simulator sim;
+  Gpu gpu(sim, 0, Geometry::g4_3(), SharingMode::kMps);
+  Done done;
+  // Overlapping jobs on both slices: whole-GPU busy time is the union.
+  gpu.slices()[0]->submit(job(1, 0.4, 0.2, 0.5, 1.0), done.cb());
+  gpu.slices()[1]->submit(job(2, 0.6, 0.2, 0.5, 1.0), done.cb());
+  sim.run_until(2.0);
+  EXPECT_NEAR(gpu.busy_seconds(), 0.6, 1e-9);
+}
+
+TEST(Gpu, MemoryIntegralSurvivesReconfiguration) {
+  sim::Simulator sim;
+  Gpu gpu(sim, 0, Geometry::g4_3(), SharingMode::kMps, 1.0);
+  Done done;
+  gpu.slices()[0]->submit(job(1, 0.5, 0.2, 0.5, 10.0), done.cb());
+  sim.run_until(1.0);
+  const double before = gpu.memory_gb_seconds();
+  EXPECT_NEAR(before, 5.0, 1e-9);
+  gpu.request_reconfigure(Geometry::full());
+  sim.run_to_completion();
+  EXPECT_GE(gpu.memory_gb_seconds(), before - 1e-9);
+}
+
+}  // namespace
+}  // namespace protean::gpu

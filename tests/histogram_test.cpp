@@ -1,0 +1,119 @@
+// Tests for the log-bucketed histogram.
+#include "metrics/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace protean::metrics {
+namespace {
+
+TEST(Histogram, StartsEmpty) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, RecordsAndCounts) {
+  Histogram h;
+  h.record(0.1);
+  h.record(0.2, 3);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_FALSE(h.empty());
+}
+
+TEST(Histogram, MeanIsExactForInRangeValues) {
+  Histogram h;
+  h.record(1.0);
+  h.record(3.0);
+  EXPECT_NEAR(h.mean(), 2.0, 1e-12);
+}
+
+TEST(Histogram, PercentileWithinRelativeError) {
+  Histogram h(1e-4, 1e4, 1.02);
+  std::mt19937 rng(7);
+  std::vector<double> values;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = std::exponential_distribution<double>(10.0)(rng) + 0.001;
+    values.push_back(v);
+    h.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double p : {50.0, 90.0, 99.0}) {
+    const double exact =
+        values[static_cast<std::size_t>(p / 100.0 * (values.size() - 1))];
+    const double approx = h.percentile(p);
+    EXPECT_NEAR(approx / exact, 1.0, 0.05) << "p" << p;
+  }
+}
+
+TEST(Histogram, PercentileIsMonotone) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(i * 0.001);
+  double prev = 0.0;
+  for (double p = 0.0; p <= 100.0; p += 5.0) {
+    const double value = h.percentile(p);
+    EXPECT_GE(value, prev);
+    prev = value;
+  }
+}
+
+TEST(Histogram, ClampsOutOfRangeValues) {
+  Histogram h(0.001, 10.0);
+  h.record(1e-9);
+  h.record(1e9);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_LE(h.max(), 10.0 * 1.05);
+  EXPECT_GE(h.min(), 0.0009);
+}
+
+TEST(Histogram, MinMaxBracketRecordedValues) {
+  Histogram h;
+  h.record(0.05);
+  h.record(2.0);
+  EXPECT_LE(h.min(), 0.05);
+  EXPECT_GE(h.max(), 2.0);
+  EXPECT_NEAR(h.min(), 0.05, 0.05 * 0.03);
+  EXPECT_NEAR(h.max(), 2.0, 2.0 * 0.03);
+}
+
+TEST(Histogram, MergeCombinesCounts) {
+  Histogram a, b;
+  a.record(0.1, 10);
+  b.record(10.0, 10);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 20u);
+  EXPECT_LE(a.percentile(25.0), 0.2);
+  EXPECT_GE(a.percentile(75.0), 5.0);
+}
+
+TEST(Histogram, MergeRejectsIncompatibleBucketing) {
+  Histogram a(1e-4, 1e4, 1.02);
+  Histogram b(1e-3, 1e4, 1.02);
+  EXPECT_THROW(a.merge(b), std::logic_error);
+}
+
+TEST(Histogram, InvalidConfigThrows) {
+  EXPECT_THROW(Histogram(0.0, 1.0), std::logic_error);
+  EXPECT_THROW(Histogram(1.0, 0.5), std::logic_error);
+  EXPECT_THROW(Histogram(0.1, 1.0, 1.0), std::logic_error);
+}
+
+TEST(Histogram, ZeroCountRecordIsNoop) {
+  Histogram h;
+  h.record(1.0, 0);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(Histogram, P0AndP100AreBounds) {
+  Histogram h;
+  h.record(0.5);
+  h.record(5.0);
+  EXPECT_LE(h.percentile(0.0), h.percentile(100.0));
+  EXPECT_NEAR(h.percentile(100.0), 5.0, 5.0 * 0.03);
+}
+
+}  // namespace
+}  // namespace protean::metrics

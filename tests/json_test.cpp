@@ -1,0 +1,102 @@
+// Tests for the JSON writer and report serialization.
+#include "harness/json.h"
+
+#include <gtest/gtest.h>
+
+namespace protean::harness {
+namespace {
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(Json(nullptr).dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(3.5).dump(), "3.5");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, IntegersStayIntegers) {
+  EXPECT_EQ(Json(1000000.0).dump(), "1000000");
+  EXPECT_EQ(Json(std::uint64_t{123456789}).dump(), "123456789");
+}
+
+TEST(Json, NonFiniteNumbersBecomeNull) {
+  EXPECT_EQ(Json(std::nan("")).dump(), "null");
+  EXPECT_EQ(Json(1.0 / 0.0).dump(), "null");
+}
+
+TEST(Json, EscapesStrings) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(json_escape("tab\there"), "tab\\there");
+  EXPECT_EQ(json_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, ArraysAndObjectsCompact) {
+  Json::Array arr{Json(1), Json("two"), Json(nullptr)};
+  EXPECT_EQ(Json(arr).dump(), "[1,\"two\",null]");
+
+  Json::Object obj;
+  obj.emplace_back("a", Json(1));
+  obj.emplace_back("b", Json(Json::Array{Json(2)}));
+  EXPECT_EQ(Json(std::move(obj)).dump(), "{\"a\":1,\"b\":[2]}");
+}
+
+TEST(Json, IndentedOutputIsStable) {
+  Json::Object obj;
+  obj.emplace_back("x", Json(1));
+  const std::string out = Json(std::move(obj)).dump(2);
+  EXPECT_EQ(out, "{\n  \"x\": 1\n}");
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(Json(Json::Array{}).dump(), "[]");
+  EXPECT_EQ(Json(Json::Object{}).dump(), "{}");
+  EXPECT_EQ(Json(Json::Array{}).dump(2), "[]");
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  Json::Object obj;
+  obj.emplace_back("z", Json(1));
+  obj.emplace_back("a", Json(2));
+  EXPECT_EQ(Json(std::move(obj)).dump(), "{\"z\":1,\"a\":2}");
+}
+
+TEST(ReportJson, ContainsKeyFields) {
+  Report report;
+  report.scheme = "PROTEAN";
+  report.strict_model = "ResNet 50";
+  report.slo_compliance_pct = 99.5;
+  report.strict_p99_ms = 289.0;
+  const std::string out = report_to_json(report).dump();
+  EXPECT_NE(out.find("\"scheme\":\"PROTEAN\""), std::string::npos);
+  EXPECT_NE(out.find("\"slo_compliance_pct\":99.5"), std::string::npos);
+  EXPECT_NE(out.find("\"strict_p99_ms\":289"), std::string::npos);
+  EXPECT_NE(out.find("tail_breakdown"), std::string::npos);
+}
+
+TEST(ReportJson, PercentilesOnlyWithSamples) {
+  Report report;
+  EXPECT_EQ(report_to_json(report).dump().find("latency_percentiles"),
+            std::string::npos);
+  report.strict_latencies = {0.1f, 0.2f, 0.3f};
+  EXPECT_NE(report_to_json(report).dump().find("latency_percentiles"),
+            std::string::npos);
+}
+
+TEST(ReportJson, BatchSerializationIncludesConfig) {
+  ExperimentConfig config = primary_config("ResNet 50", 30.0);
+  std::vector<Report> reports(2);
+  reports[0].scheme = "A";
+  reports[1].scheme = "B";
+  const std::string out = reports_to_json(config, reports).dump();
+  EXPECT_NE(out.find("\"config\""), std::string::npos);
+  EXPECT_NE(out.find("\"results\""), std::string::npos);
+  EXPECT_NE(out.find("\"target_rps\":5000"), std::string::npos);
+  EXPECT_NE(out.find("\"scheme\":\"A\""), std::string::npos);
+  EXPECT_NE(out.find("\"scheme\":\"B\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace protean::harness

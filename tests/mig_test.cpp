@@ -1,0 +1,156 @@
+// Tests for MIG profiles and geometry validity (Table 2 + A100 slot rules).
+#include "gpu/mig.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace protean::gpu {
+namespace {
+
+TEST(ProfileTraits, MatchTable2) {
+  EXPECT_EQ(traits(SliceProfile::k7g).compute_units, 7);
+  EXPECT_DOUBLE_EQ(traits(SliceProfile::k7g).memory_gb, 40.0);
+  EXPECT_EQ(traits(SliceProfile::k7g).max_count, 1);
+
+  EXPECT_EQ(traits(SliceProfile::k4g).compute_units, 4);
+  EXPECT_DOUBLE_EQ(traits(SliceProfile::k4g).memory_gb, 20.0);
+  EXPECT_EQ(traits(SliceProfile::k4g).max_count, 1);
+
+  EXPECT_EQ(traits(SliceProfile::k3g).compute_units, 3);
+  EXPECT_DOUBLE_EQ(traits(SliceProfile::k3g).memory_gb, 20.0);
+  EXPECT_EQ(traits(SliceProfile::k3g).max_count, 2);
+
+  EXPECT_EQ(traits(SliceProfile::k2g).compute_units, 2);
+  EXPECT_DOUBLE_EQ(traits(SliceProfile::k2g).memory_gb, 10.0);
+  EXPECT_EQ(traits(SliceProfile::k2g).max_count, 3);
+
+  EXPECT_EQ(traits(SliceProfile::k1g).compute_units, 1);
+  EXPECT_DOUBLE_EQ(traits(SliceProfile::k1g).memory_gb, 5.0);
+  EXPECT_EQ(traits(SliceProfile::k1g).max_count, 7);
+}
+
+TEST(ProfileTraits, ComputeFractionsAreSevenths) {
+  EXPECT_DOUBLE_EQ(compute_fraction(SliceProfile::k1g), 1.0 / 7.0);
+  EXPECT_DOUBLE_EQ(compute_fraction(SliceProfile::k4g), 4.0 / 7.0);
+  EXPECT_DOUBLE_EQ(compute_fraction(SliceProfile::k7g), 1.0);
+}
+
+TEST(ProfileTraits, CacheFractionsAreEighths) {
+  EXPECT_DOUBLE_EQ(cache_fraction(SliceProfile::k1g), 1.0 / 8.0);
+  EXPECT_DOUBLE_EQ(cache_fraction(SliceProfile::k3g), 4.0 / 8.0);
+  EXPECT_DOUBLE_EQ(cache_fraction(SliceProfile::k7g), 1.0);
+}
+
+TEST(ParseProfile, AcceptsShortAndLongNames) {
+  EXPECT_EQ(parse_profile("1g"), SliceProfile::k1g);
+  EXPECT_EQ(parse_profile("4g.20gb"), SliceProfile::k4g);
+  EXPECT_EQ(parse_profile("7g"), SliceProfile::k7g);
+  EXPECT_THROW(parse_profile("5g"), std::invalid_argument);
+  EXPECT_THROW(parse_profile(""), std::invalid_argument);
+}
+
+TEST(Geometry, CanonicalOrderIsDescending) {
+  Geometry g{SliceProfile::k1g, SliceProfile::k4g, SliceProfile::k2g};
+  EXPECT_EQ(g[0], SliceProfile::k4g);
+  EXPECT_EQ(g[1], SliceProfile::k2g);
+  EXPECT_EQ(g[2], SliceProfile::k1g);
+}
+
+TEST(Geometry, EqualityIsMultisetEquality) {
+  Geometry a{SliceProfile::k4g, SliceProfile::k3g};
+  Geometry b{SliceProfile::k3g, SliceProfile::k4g};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, Geometry::full());
+}
+
+TEST(Geometry, PaperGeometriesAreValid) {
+  EXPECT_TRUE(Geometry::full().valid());
+  EXPECT_TRUE(Geometry::g4_3().valid());
+  EXPECT_TRUE(Geometry::g4_2_1().valid());
+  EXPECT_TRUE(Geometry::g3_3().valid());
+}
+
+TEST(Geometry, SevenOnesIsValid) {
+  Geometry g(std::vector<SliceProfile>(7, SliceProfile::k1g));
+  EXPECT_TRUE(g.valid());
+}
+
+TEST(Geometry, OverfullGeometriesAreInvalid) {
+  // Two 4g slices: 8 slots but max_count(4g) == 1.
+  EXPECT_FALSE(Geometry({SliceProfile::k4g, SliceProfile::k4g}).valid());
+  // 7g plus anything is invalid.
+  EXPECT_FALSE(Geometry({SliceProfile::k7g, SliceProfile::k1g}).valid());
+  // 3g+3g+2g = 10 slots > 8.
+  EXPECT_FALSE(
+      Geometry({SliceProfile::k3g, SliceProfile::k3g, SliceProfile::k2g})
+          .valid());
+  // Eight 1g slices exceeds max_count 7.
+  EXPECT_FALSE(Geometry(std::vector<SliceProfile>(8, SliceProfile::k1g)).valid());
+  // Empty geometry is invalid.
+  EXPECT_FALSE(Geometry{}.valid());
+}
+
+TEST(Geometry, TotalsAreSums) {
+  Geometry g = Geometry::g4_2_1();
+  EXPECT_EQ(g.total_compute_units(), 7);
+  EXPECT_EQ(g.total_memory_slots(), 7);
+  EXPECT_DOUBLE_EQ(g.total_memory_gb(), 35.0);
+}
+
+TEST(Geometry, ToStringListsDescending) {
+  EXPECT_EQ(Geometry::g4_3().to_string(), "(4g,3g)");
+  EXPECT_EQ(Geometry::g4_2_1().to_string(), "(4g,2g,1g)");
+  EXPECT_EQ(Geometry::full().to_string(), "(7g)");
+}
+
+TEST(Geometry, AllValidIsNonEmptyAndUnique) {
+  const auto& all = Geometry::all_valid();
+  EXPECT_GT(all.size(), 10u);
+  std::set<std::string> names;
+  for (const auto& g : all) names.insert(g.to_string());
+  EXPECT_EQ(names.size(), all.size());
+}
+
+TEST(Geometry, AllValidContainsPaperGeometries) {
+  const auto& all = Geometry::all_valid();
+  auto contains = [&](const Geometry& g) {
+    for (const auto& x : all) {
+      if (x == g) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(contains(Geometry::full()));
+  EXPECT_TRUE(contains(Geometry::g4_3()));
+  EXPECT_TRUE(contains(Geometry::g4_2_1()));
+  EXPECT_TRUE(contains(Geometry::g3_3()));
+}
+
+// Property test: every enumerated geometry obeys the slot and count rules.
+class AllGeometriesTest : public ::testing::TestWithParam<Geometry> {};
+
+TEST_P(AllGeometriesTest, ObeysSlotModel) {
+  const Geometry& g = GetParam();
+  EXPECT_TRUE(g.valid());
+  EXPECT_LE(g.total_memory_slots(), 8);
+  EXPECT_GE(g.size(), 1u);
+  int counts[5] = {0, 0, 0, 0, 0};
+  for (SliceProfile p : g.slices()) ++counts[static_cast<int>(p)];
+  for (SliceProfile p : kAllProfiles) {
+    EXPECT_LE(counts[static_cast<int>(p)], traits(p).max_count);
+  }
+}
+
+TEST_P(AllGeometriesTest, MemoryNeverExceedsGpu) {
+  EXPECT_LE(GetParam().total_memory_gb(), 40.0 + 1e-9);
+}
+
+TEST_P(AllGeometriesTest, ComputeUnitsNeverExceedSeven) {
+  EXPECT_LE(GetParam().total_compute_units(), 7);
+}
+
+INSTANTIATE_TEST_SUITE_P(EveryValidGeometry, AllGeometriesTest,
+                         ::testing::ValuesIn(Geometry::all_valid()));
+
+}  // namespace
+}  // namespace protean::gpu

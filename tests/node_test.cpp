@@ -1,0 +1,225 @@
+// Tests for the worker node: queueing, reordering, container lifecycle,
+// eviction/restore.
+#include "cluster/node.h"
+
+#include <gtest/gtest.h>
+
+#include "metrics/collector.h"
+#include "sched/baselines.h"
+
+namespace protean::cluster {
+namespace {
+
+using workload::Batch;
+using workload::ModelCatalog;
+using workload::ModelProfile;
+
+const ModelProfile& resnet() {
+  return ModelCatalog::instance().by_name("ResNet 50");
+}
+const ModelProfile& mobilenet() {
+  return ModelCatalog::instance().by_name("MobileNet");
+}
+
+Batch make_batch(const ModelProfile& model, bool strict, SimTime arrival,
+                 BatchId id = 0) {
+  Batch b;
+  b.id = id;
+  b.model = &model;
+  b.strict = strict;
+  b.count = model.batch_size;
+  b.first_arrival = arrival;
+  b.last_arrival = arrival + 0.05;
+  b.formed_at = arrival + 0.05;
+  b.slo = strict ? model.slo_deadline() : kNeverTime;
+  return b;
+}
+
+struct Fixture {
+  sim::Simulator sim;
+  ClusterConfig config;
+  sched::InflessLlamaScheduler scheduler;  // permissive MPS on 7g
+  metrics::Collector collector;
+  std::unique_ptr<WorkerNode> node;
+
+  explicit Fixture(Duration cold_start = 0.0) {
+    config.cold_start = cold_start;
+    node = std::make_unique<WorkerNode>(sim, 0, config, scheduler, collector);
+  }
+};
+
+TEST(WorkerNode, ServesABatchEndToEnd) {
+  Fixture f;
+  f.node->prewarm(resnet(), 1);
+  f.node->enqueue(make_batch(resnet(), true, 0.0));
+  f.sim.run_until(f.sim.now() + 30.0);
+  EXPECT_EQ(f.node->batches_served(), 1u);
+  EXPECT_EQ(f.collector.strict_completed(),
+            static_cast<std::uint64_t>(resnet().batch_size));
+  EXPECT_EQ(f.node->cold_starts(), 0u);
+}
+
+TEST(WorkerNode, ColdStartDelaysFirstBatch) {
+  Fixture f(/*cold_start=*/2.0);
+  f.node->enqueue(make_batch(resnet(), true, 0.0));
+  f.sim.run_until(f.sim.now() + 30.0);
+  EXPECT_EQ(f.node->cold_starts(), 1u);
+  ASSERT_EQ(f.collector.batch_records().size(), 1u);
+  EXPECT_NEAR(f.collector.batch_records()[0].cold, 2.0, 1e-9);
+  // Completion = cold start + solo exec.
+  EXPECT_GE(f.sim.now(), 2.0 + resnet().solo_time_7g - 1e-9);
+}
+
+TEST(WorkerNode, WarmContainerReusedAcrossBatches) {
+  Fixture f(/*cold_start=*/2.0);
+  f.node->prewarm(resnet(), 1);
+  f.node->enqueue(make_batch(resnet(), true, 0.0));
+  f.sim.run_until(f.sim.now() + 30.0);
+  f.node->enqueue(make_batch(resnet(), true, f.sim.now()));
+  f.sim.run_until(f.sim.now() + 30.0);
+  EXPECT_EQ(f.node->batches_served(), 2u);
+  EXPECT_EQ(f.node->cold_starts(), 0u);
+}
+
+TEST(WorkerNode, ConcurrentSameModelBatchesWaitForSpare) {
+  Fixture f(/*cold_start=*/2.0);
+  f.node->prewarm(resnet(), 1);
+  // Two batches at once, one container: the second waits while a spare
+  // boots in the background (reactive scale-up) or the first frees.
+  f.node->enqueue(make_batch(resnet(), true, 0.0, 1));
+  f.node->enqueue(make_batch(resnet(), true, 0.0, 2));
+  f.sim.run_until(f.sim.now() + 30.0);
+  EXPECT_EQ(f.node->batches_served(), 2u);
+  EXPECT_EQ(f.node->cold_starts(), 1u);  // the background spare
+  // Neither batch paid the cold start on its critical path.
+  for (const auto& record : f.collector.batch_records()) {
+    EXPECT_DOUBLE_EQ(record.cold, 0.0);
+  }
+}
+
+TEST(WorkerNode, KeepAliveZeroColdStartsEveryBatch) {
+  Fixture f(/*cold_start=*/1.0);
+  f.config.keep_alive = 0.0;
+  f.node->enqueue(make_batch(resnet(), true, 0.0));
+  f.sim.run_until(f.sim.now() + 30.0);
+  f.node->enqueue(make_batch(resnet(), true, f.sim.now()));
+  f.sim.run_until(f.sim.now() + 30.0);
+  EXPECT_EQ(f.node->batches_served(), 2u);
+  EXPECT_GE(f.node->cold_starts(), 2u);
+}
+
+TEST(WorkerNode, ReaperTerminatesIdleContainers) {
+  Fixture f;
+  f.config.keep_alive = 10.0;
+  f.node->prewarm(mobilenet(), 3);
+  EXPECT_EQ(f.node->warm_containers(), 3);
+  f.sim.run_until(f.config.keep_alive + 2 * f.config.reaper_interval);
+  EXPECT_EQ(f.node->warm_containers(), 0);
+}
+
+TEST(WorkerNode, BeMemQueuedSumsBestEffortOnly) {
+  Fixture f;
+  // No containers and a full slice would be needed to keep them queued;
+  // use a draining GPU trick instead: fill the slice first.
+  f.node->prewarm(resnet(), 8);
+  f.node->prewarm(mobilenet(), 8);
+  // Occupy queue by not running: mark gpu slices non-accepting.
+  for (auto* slice : f.node->gpu().slices()) slice->set_accepting(false);
+  f.node->enqueue(make_batch(resnet(), true, 0.0));
+  f.node->enqueue(make_batch(mobilenet(), false, 0.0));
+  f.node->enqueue(make_batch(mobilenet(), false, 0.0));
+  EXPECT_DOUBLE_EQ(f.node->be_mem_queued(), 2 * mobilenet().mem_gb);
+  EXPECT_EQ(f.node->be_queued(), 2u);
+  EXPECT_EQ(f.node->queued(), 3u);
+}
+
+TEST(WorkerNode, TakeQueueFlushesPendingBatches) {
+  Fixture f;
+  for (auto* slice : f.node->gpu().slices()) slice->set_accepting(false);
+  f.node->enqueue(make_batch(resnet(), true, 0.0));
+  f.node->enqueue(make_batch(mobilenet(), false, 0.0));
+  auto flushed = f.node->take_queue();
+  EXPECT_EQ(flushed.size(), 2u);
+  EXPECT_EQ(f.node->queued(), 0u);
+  EXPECT_DOUBLE_EQ(f.node->outstanding_work(), 0.0);
+}
+
+TEST(WorkerNode, EvictDropsRunningWorkAndRestoreRecovers) {
+  Fixture f;
+  f.node->prewarm(resnet(), 1);
+  f.node->enqueue(make_batch(resnet(), true, 0.0));
+  EXPECT_EQ(f.node->running(), 1u);
+  auto flushed = f.node->evict();
+  EXPECT_TRUE(flushed.empty());
+  EXPECT_FALSE(f.node->up());
+  EXPECT_EQ(f.node->dropped_jobs(), 1u);
+  f.sim.run_until(f.sim.now() + 30.0);
+  EXPECT_EQ(f.node->batches_served(), 0u);
+
+  f.node->restore();
+  EXPECT_TRUE(f.node->up());
+  EXPECT_EQ(f.node->warm_containers(), 0);  // new VM: cold pool
+  f.node->enqueue(make_batch(resnet(), true, f.sim.now()));
+  f.sim.run_until(f.sim.now() + 30.0);
+  EXPECT_EQ(f.node->batches_served(), 1u);
+}
+
+TEST(WorkerNode, EvictionDuringColdBootIsSafe) {
+  Fixture f(/*cold_start=*/5.0);
+  f.node->enqueue(make_batch(resnet(), true, 0.0));
+  f.sim.run_until(1.0);  // container still booting, memory reserved
+  f.node->evict();
+  f.node->restore();
+  f.sim.run_until(f.sim.now() + 30.0);  // orphaned boot continuation must not fire
+  EXPECT_EQ(f.node->batches_served(), 0u);
+}
+
+TEST(WorkerNode, OutstandingWorkTracksQueueAndRunning) {
+  Fixture f;
+  f.node->prewarm(resnet(), 2);
+  f.node->enqueue(make_batch(resnet(), true, 0.0));
+  EXPECT_NEAR(f.node->outstanding_work(), resnet().solo_time_7g, 1e-9);
+  f.sim.run_until(f.sim.now() + 30.0);
+  EXPECT_NEAR(f.node->outstanding_work(), 0.0, 1e-9);
+}
+
+TEST(WorkerNode, EstimatedPressureCountsResidentsAndQueue) {
+  Fixture f;
+  f.node->prewarm(resnet(), 4);
+  f.node->enqueue(make_batch(resnet(), true, 0.0));
+  const double one = f.node->estimated_pressure();
+  EXPECT_NEAR(one, std::max(resnet().fbr, resnet().sm_req), 1e-9);
+  f.sim.run_until(f.sim.now() + 30.0);
+  EXPECT_NEAR(f.node->estimated_pressure(), 0.0, 1e-9);
+}
+
+class ReorderFixture {
+ public:
+  sim::Simulator sim;
+  ClusterConfig config;
+  sched::SmartMpsMigScheduler scheduler;  // reorders strict first
+  metrics::Collector collector;
+  std::unique_ptr<WorkerNode> node;
+
+  ReorderFixture() {
+    node = std::make_unique<WorkerNode>(sim, 0, config, scheduler, collector);
+    for (auto* slice : node->gpu().slices()) slice->set_accepting(false);
+  }
+};
+
+TEST(WorkerNode, ReorderPutsStrictAheadOfBe) {
+  ReorderFixture f;
+  f.node->enqueue(make_batch(mobilenet(), false, 0.0, 1));
+  f.node->enqueue(make_batch(mobilenet(), false, 0.0, 2));
+  f.node->enqueue(make_batch(resnet(), true, 0.0, 3));
+  f.node->enqueue(make_batch(resnet(), true, 0.0, 4));
+  const auto& q = f.node->queue();
+  ASSERT_EQ(q.size(), 4u);
+  EXPECT_EQ(q[0].id, 3u);
+  EXPECT_EQ(q[1].id, 4u);  // strict stay FIFO among themselves
+  EXPECT_EQ(q[2].id, 1u);
+  EXPECT_EQ(q[3].id, 2u);
+}
+
+}  // namespace
+}  // namespace protean::cluster

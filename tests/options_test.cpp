@@ -1,0 +1,122 @@
+// Tests for the CLI option parser.
+#include "harness/options.h"
+
+#include <gtest/gtest.h>
+
+namespace protean::harness {
+namespace {
+
+CliOptions must_parse(const std::vector<std::string>& args) {
+  auto result = parse_cli(args);
+  EXPECT_TRUE(result.options) << result.error;
+  return std::move(*result.options);
+}
+
+std::string must_fail(const std::vector<std::string>& args) {
+  auto result = parse_cli(args);
+  EXPECT_FALSE(result.options);
+  return result.error;
+}
+
+TEST(Cli, DefaultsMatchPrimaryConfig) {
+  const auto opts = must_parse({});
+  EXPECT_EQ(opts.config.strict_model, "ResNet 50");
+  EXPECT_EQ(opts.config.cluster.node_count, 8u);
+  EXPECT_DOUBLE_EQ(opts.config.trace.target_rps, 5000.0);
+  EXPECT_EQ(opts.schemes, std::vector<sched::Scheme>{sched::Scheme::kProtean});
+  EXPECT_FALSE(opts.json);
+  EXPECT_EQ(opts.config.cluster.market.policy,
+            spot::ProcurementPolicy::kOnDemandOnly);
+}
+
+TEST(Cli, SchemeAliases) {
+  EXPECT_EQ(scheme_from_alias("protean"), sched::Scheme::kProtean);
+  EXPECT_EQ(scheme_from_alias("INFless"), sched::Scheme::kInflessLlama);
+  EXPECT_EQ(scheme_from_alias("Molecule"), sched::Scheme::kMoleculeBeta);
+  EXPECT_EQ(scheme_from_alias("protean-no-eta"),
+            sched::Scheme::kProteanNoEta);
+  EXPECT_EQ(scheme_from_alias("bogus"), std::nullopt);
+}
+
+TEST(Cli, SchemeFlagIsRepeatable) {
+  const auto opts =
+      must_parse({"--scheme", "protean", "--scheme", "molecule"});
+  ASSERT_EQ(opts.schemes.size(), 2u);
+  EXPECT_EQ(opts.schemes[1], sched::Scheme::kMoleculeBeta);
+}
+
+TEST(Cli, AllSchemesExpandsPaperList) {
+  const auto opts = must_parse({"--all-schemes"});
+  EXPECT_EQ(opts.schemes.size(), 4u);
+}
+
+TEST(Cli, ModelSelectionAdjustsLanguageRate) {
+  const auto opts = must_parse({"--model", "ALBERT"});
+  EXPECT_EQ(opts.config.strict_model, "ALBERT");
+  EXPECT_DOUBLE_EQ(opts.config.trace.target_rps, 128.0);
+}
+
+TEST(Cli, ExplicitRpsOverridesModelDefault) {
+  const auto opts = must_parse({"--model", "ALBERT", "--rps", "256"});
+  EXPECT_DOUBLE_EQ(opts.config.trace.target_rps, 256.0);
+}
+
+TEST(Cli, UnknownModelFails) {
+  EXPECT_NE(must_fail({"--model", "GPT-9"}).find("unknown model"),
+            std::string::npos);
+}
+
+TEST(Cli, TwitterTraceScalesToPeak) {
+  const auto opts = must_parse({"--trace", "twitter"});
+  EXPECT_EQ(opts.config.trace.kind, trace::TraceKind::kTwitter);
+  EXPECT_TRUE(opts.config.trace.scale_to_peak);
+}
+
+TEST(Cli, NumericValidation) {
+  EXPECT_FALSE(parse_cli({"--rps", "-5"}).options);
+  EXPECT_FALSE(parse_cli({"--rps", "abc"}).options);
+  EXPECT_FALSE(parse_cli({"--strict-frac", "1.5"}).options);
+  EXPECT_FALSE(parse_cli({"--nodes", "0"}).options);
+  EXPECT_FALSE(parse_cli({"--slo-mult", "0.5"}).options);
+  EXPECT_FALSE(parse_cli({"--p-rev", "2"}).options);
+  EXPECT_FALSE(parse_cli({"--horizon"}).options);  // missing value
+}
+
+TEST(Cli, UnknownFlagFails) {
+  EXPECT_NE(must_fail({"--frobnicate"}).find("unknown option"),
+            std::string::npos);
+}
+
+TEST(Cli, SpotPolicyAndPrev) {
+  const auto opts = must_parse({"--spot", "hybrid", "--p-rev", "0.354"});
+  EXPECT_EQ(opts.config.cluster.market.policy,
+            spot::ProcurementPolicy::kHybrid);
+  EXPECT_DOUBLE_EQ(opts.config.cluster.market.p_rev, 0.354);
+}
+
+TEST(Cli, ClusterKnobsApply) {
+  const auto opts = must_parse({"--nodes", "4", "--slo-mult", "2",
+                                "--horizon", "30", "--warmup", "5",
+                                "--strict-frac", "0.75", "--seed", "7"});
+  EXPECT_EQ(opts.config.cluster.node_count, 4u);
+  EXPECT_DOUBLE_EQ(opts.config.cluster.slo_multiplier, 2.0);
+  EXPECT_DOUBLE_EQ(opts.config.trace.horizon, 30.0);
+  EXPECT_DOUBLE_EQ(opts.config.warmup, 5.0);
+  EXPECT_DOUBLE_EQ(opts.config.strict_fraction, 0.75);
+  EXPECT_EQ(opts.config.seed, 7u);
+}
+
+TEST(Cli, HelpAndListFlags) {
+  EXPECT_TRUE(must_parse({"--help"}).help);
+  EXPECT_TRUE(must_parse({"--list-models"}).list_models);
+  EXPECT_TRUE(must_parse({"--list-schemes"}).list_schemes);
+  EXPECT_FALSE(cli_usage().empty());
+}
+
+TEST(Cli, MissingTraceFileFails) {
+  const std::string error = must_fail({"--trace-file", "/no/such/file.csv"});
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace protean::harness

@@ -1,0 +1,161 @@
+// Tests for the GPU Reconfigurator (Algorithm 2).
+#include "core/reconfig.h"
+
+#include <gtest/gtest.h>
+
+namespace protean::core {
+namespace {
+
+using gpu::Geometry;
+
+ReconfigConfig config() {
+  ReconfigConfig c;
+  c.t_low = 0.10;
+  c.t_high = 0.90;
+  c.wait_limit = 3;
+  return c;
+}
+
+QueueInfo qinfo(MemGb batch_mem, double rdf_2g = 1.0, double rdf_3g = 1.0) {
+  QueueInfo info;
+  info.be_batch_mem = batch_mem;
+  info.be_rdf_2g = rdf_2g;
+  info.be_rdf_3g = rdf_3g;
+  return info;
+}
+
+TEST(ChooseGeometry, TinyBeDemandPrefersConsolidated43) {
+  // Occupancy below T_low: the 3g's performance beats isolating a sliver
+  // of BE work on (2g,1g).
+  EXPECT_EQ(Reconfigurator::choose_geometry(0.5, qinfo(0.5), config()),
+            Geometry::g4_3());
+}
+
+TEST(ChooseGeometry, ModerateBeDemandPicksSmallSliceSet) {
+  // 6 GB onto (1g,2g): occupancy 0.4 within thresholds -> (4g,2g,1g).
+  EXPECT_EQ(Reconfigurator::choose_geometry(6.0, qinfo(3.0), config()),
+            Geometry::g4_2_1());
+}
+
+TEST(ChooseGeometry, HighOccupancyFallsBackTo43) {
+  // 14.5 GB on (1g,2g) would be 97% occupied (> T_high).
+  EXPECT_EQ(Reconfigurator::choose_geometry(14.5, qinfo(3.0), config()),
+            Geometry::g4_3());
+}
+
+TEST(ChooseGeometry, MidDemandLandsOn3gPlus4g) {
+  // 17 GB: (1g,2g) cannot hold it; [3g] can at 85% occupancy -> (4g,3g).
+  EXPECT_EQ(Reconfigurator::choose_geometry(17.0, qinfo(6.0), config()),
+            Geometry::g4_3());
+}
+
+TEST(ChooseGeometry, OverflowingBeDemandFallsBackTo43) {
+  EXPECT_EQ(Reconfigurator::choose_geometry(35.0, qinfo(6.0), config()),
+            Geometry::g4_3());
+}
+
+TEST(ChooseGeometry, LargeBatchDisqualifiesSmallSet) {
+  // 8 GB of demand would fit (1g,2g), but a 14 GB DPN 92 batch cannot run
+  // on either slice: the set is skipped.
+  EXPECT_EQ(Reconfigurator::choose_geometry(8.0, qinfo(14.0), config()),
+            Geometry::g4_3());
+}
+
+TEST(ChooseGeometry, DeficiencyWeightedOccupancyAvoidsSmallSlices) {
+  // 6 GB of an ALBERT-like model (RDF ~3 on a 2g) effectively occupies
+  // (1g,2g) >90%: Algorithm 2 consolidates on (4g,3g) instead.
+  EXPECT_EQ(Reconfigurator::choose_geometry(6.0, qinfo(4.0, 3.1, 2.15),
+                                            config()),
+            Geometry::g4_3());
+}
+
+TEST(Reconfigurator, WaitsForPersistentMismatch) {
+  Reconfigurator r(config());
+  QueueInfo info;
+  info.be_mem_demand = 6.0;  // wants (4g,2g,1g)
+  info.be_batch_mem = 3.0;
+
+  // Current geometry is (4g,3g): three mismatches increment the counter...
+  for (int i = 0; i < 3; ++i) {
+    const auto d = r.evaluate(info, Geometry::g4_3());
+    EXPECT_FALSE(d.reconfigure) << "round " << i;
+  }
+  // ...the fourth triggers.
+  const auto d = r.evaluate(info, Geometry::g4_3());
+  EXPECT_TRUE(d.reconfigure);
+  EXPECT_EQ(d.target, Geometry::g4_2_1());
+}
+
+TEST(Reconfigurator, MatchResetsWaitCounter) {
+  Reconfigurator r(config());
+  QueueInfo wants_421;
+  wants_421.be_mem_demand = 6.0;
+  wants_421.be_batch_mem = 3.0;
+
+  r.evaluate(wants_421, Geometry::g4_3());
+  r.evaluate(wants_421, Geometry::g4_3());
+  EXPECT_EQ(r.wait_counter(), 2);
+  // Geometry now matches the decision: counter resets.
+  r.evaluate(wants_421, Geometry::g4_2_1());
+  EXPECT_EQ(r.wait_counter(), 0);
+}
+
+TEST(Reconfigurator, EwmaSmoothsDemandSpikes) {
+  ReconfigConfig c = config();
+  c.ewma_alpha = 0.2;
+  Reconfigurator r(c);
+  QueueInfo quiet;
+  quiet.be_mem_demand = 6.0;
+  quiet.be_batch_mem = 3.0;
+  for (int i = 0; i < 20; ++i) r.evaluate(quiet, Geometry::g4_2_1());
+  EXPECT_NEAR(r.predicted_be_mem(), 6.0, 0.1);
+
+  // One 30 GB spike barely moves the prediction.
+  QueueInfo spike = quiet;
+  spike.be_mem_demand = 30.0;
+  const auto d = r.evaluate(spike, Geometry::g4_2_1());
+  EXPECT_LT(r.predicted_be_mem(), 12.0);
+  EXPECT_FALSE(d.reconfigure);
+}
+
+TEST(Reconfigurator, OracleReactsImmediately) {
+  ReconfigConfig c = config();
+  c.oracle = true;
+  Reconfigurator r(c);
+  QueueInfo info;
+  info.be_mem_demand = 6.0;
+  info.be_batch_mem = 3.0;
+  const auto d = r.evaluate(info, Geometry::g4_3());
+  EXPECT_TRUE(d.reconfigure);  // no wait counter
+  EXPECT_EQ(d.target, Geometry::g4_2_1());
+}
+
+TEST(Reconfigurator, StableDemandNeverReconfigures) {
+  Reconfigurator r(config());
+  QueueInfo info;
+  info.be_mem_demand = 6.0;
+  info.be_batch_mem = 3.0;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(r.evaluate(info, Geometry::g4_2_1()).reconfigure);
+  }
+}
+
+TEST(Reconfigurator, InvalidThresholdsThrow) {
+  ReconfigConfig c = config();
+  c.t_low = 0.95;
+  EXPECT_THROW(Reconfigurator{c}, std::logic_error);
+}
+
+TEST(Reconfigurator, TargetsAreAlwaysValidGeometries) {
+  Reconfigurator r(config());
+  for (double demand : {0.0, 2.0, 5.0, 8.0, 12.0, 14.0, 18.0, 25.0, 40.0}) {
+    QueueInfo info;
+    info.be_mem_demand = demand;
+    info.be_batch_mem = 4.0;
+    const auto d = r.evaluate(info, Geometry::full());
+    EXPECT_TRUE(d.target.valid()) << "demand " << demand;
+  }
+}
+
+}  // namespace
+}  // namespace protean::core

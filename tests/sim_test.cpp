@@ -1,0 +1,194 @@
+// Unit tests for the discrete-event simulation core.
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace protean::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, ExecutesEventAtScheduledTime) {
+  Simulator sim;
+  SimTime fired_at = -1.0;
+  sim.schedule_at(5.0, [&] { fired_at = sim.now(); });
+  sim.run_to_completion();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulator, ScheduleAfterUsesRelativeDelay) {
+  Simulator sim;
+  sim.schedule_at(2.0, [&] {
+    sim.schedule_after(3.0, [&] { EXPECT_DOUBLE_EQ(sim.now(), 5.0); });
+  });
+  sim.run_to_completion();
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, SimultaneousEventsFireInFifoOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run_to_completion();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, SchedulingIntoThePastThrows) {
+  Simulator sim;
+  sim.schedule_at(5.0, [] {});
+  sim.run_to_completion();
+  EXPECT_THROW(sim.schedule_at(1.0, [] {}), std::logic_error);
+}
+
+TEST(Simulator, NegativeDelayThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_after(-1.0, [] {}), std::logic_error);
+}
+
+TEST(Simulator, NullCallbackThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_at(1.0, Simulator::Callback{}), std::logic_error);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  auto handle = sim.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(handle));
+  sim.run_to_completion();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelTwiceReturnsFalse) {
+  Simulator sim;
+  auto handle = sim.schedule_at(1.0, [] {});
+  EXPECT_TRUE(sim.cancel(handle));
+  EXPECT_FALSE(sim.cancel(handle));
+  sim.run_to_completion();
+}
+
+TEST(Simulator, CancelInvalidHandleReturnsFalse) {
+  Simulator sim;
+  EXPECT_FALSE(sim.cancel(EventHandle{}));
+}
+
+TEST(Simulator, RunUntilStopsAtHorizonAndAdvancesClock) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(1.0, [&] { ++count; });
+  sim.schedule_at(9.0, [&] { ++count; });
+  sim.run_until(5.0);
+  EXPECT_EQ(count, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  sim.run_until(10.0);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, RunUntilExecutesEventExactlyAtHorizon) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_at(5.0, [&] { fired = true; });
+  sim.run_until(5.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, EventsMayScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.schedule_after(1.0, recurse);
+  };
+  sim.schedule_after(1.0, recurse);
+  sim.run_to_completion();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulator, PendingCountsLiveEventsOnly) {
+  Simulator sim;
+  auto h1 = sim.schedule_at(1.0, [] {});
+  sim.schedule_at(2.0, [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(h1);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run_to_completion();
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, ExecutedCounterIncrements) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_at(static_cast<double>(i), [] {});
+  sim.run_to_completion();
+  EXPECT_EQ(sim.executed(), 7u);
+}
+
+TEST(PeriodicTask, FiresAtFixedPeriod) {
+  Simulator sim;
+  std::vector<SimTime> fires;
+  PeriodicTask task(sim, 2.0, [&] { fires.push_back(sim.now()); });
+  sim.run_until(7.0);
+  ASSERT_EQ(fires.size(), 3u);
+  EXPECT_DOUBLE_EQ(fires[0], 2.0);
+  EXPECT_DOUBLE_EQ(fires[1], 4.0);
+  EXPECT_DOUBLE_EQ(fires[2], 6.0);
+}
+
+TEST(PeriodicTask, FireImmediatelyStartsAtZero) {
+  Simulator sim;
+  std::vector<SimTime> fires;
+  PeriodicTask task(sim, 2.0, [&] { fires.push_back(sim.now()); },
+                    /*fire_immediately=*/true);
+  sim.run_until(3.0);
+  ASSERT_EQ(fires.size(), 2u);
+  EXPECT_DOUBLE_EQ(fires[0], 0.0);
+  EXPECT_DOUBLE_EQ(fires[1], 2.0);
+}
+
+TEST(PeriodicTask, StopCancelsFutureFirings) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTask task(sim, 1.0, [&] {
+    if (++count == 3) task.stop();
+  });
+  sim.run_until(10.0);
+  EXPECT_EQ(count, 3);
+  EXPECT_FALSE(task.running());
+}
+
+TEST(PeriodicTask, DestructorStopsTask) {
+  Simulator sim;
+  int count = 0;
+  {
+    PeriodicTask task(sim, 1.0, [&] { ++count; });
+    sim.run_until(2.5);
+  }
+  sim.run_until(10.0);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(PeriodicTask, InvalidPeriodThrows) {
+  Simulator sim;
+  EXPECT_THROW(PeriodicTask(sim, 0.0, [] {}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace protean::sim

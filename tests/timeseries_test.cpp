@@ -1,0 +1,62 @@
+// Tests for the windowed time series.
+#include "metrics/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace protean::metrics {
+namespace {
+
+TEST(TimeSeries, BucketsByWidth) {
+  TimeSeries ts(5.0);
+  ts.record(0.1, 1.0);
+  ts.record(4.9, 3.0);
+  ts.record(5.0, 10.0);
+  EXPECT_EQ(ts.bucket_count(), 2u);
+  EXPECT_EQ(ts.count(0), 2u);
+  EXPECT_EQ(ts.count(1), 1u);
+  EXPECT_DOUBLE_EQ(ts.bucket_start(1), 5.0);
+}
+
+TEST(TimeSeries, MeanAndMaxPerBucket) {
+  TimeSeries ts(1.0);
+  ts.record(0.2, 2.0);
+  ts.record(0.8, 4.0);
+  EXPECT_DOUBLE_EQ(ts.mean(0), 3.0);
+  EXPECT_DOUBLE_EQ(ts.max(0), 4.0);
+}
+
+TEST(TimeSeries, MaxHandlesNegativeValues) {
+  TimeSeries ts(1.0);
+  ts.record(0.1, -5.0);
+  ts.record(0.2, -2.0);
+  EXPECT_DOUBLE_EQ(ts.max(0), -2.0);
+}
+
+TEST(TimeSeries, EmptyBucketsReadAsZero) {
+  TimeSeries ts(1.0);
+  ts.record(10.5, 7.0);
+  EXPECT_EQ(ts.count(3), 0u);
+  EXPECT_DOUBLE_EQ(ts.mean(3), 0.0);
+  EXPECT_DOUBLE_EQ(ts.max(3), 0.0);
+  EXPECT_EQ(ts.count(99), 0u);  // out of range is safe
+}
+
+TEST(TimeSeries, PeakMeanScansAllBuckets) {
+  TimeSeries ts(1.0);
+  ts.record(0.5, 1.0);
+  ts.record(3.5, 9.0);
+  ts.record(3.6, 11.0);
+  EXPECT_DOUBLE_EQ(ts.peak_mean(), 10.0);
+  EXPECT_DOUBLE_EQ(TimeSeries(1.0).peak_mean(), 0.0);
+}
+
+TEST(TimeSeries, RejectsInvalidInput) {
+  EXPECT_THROW(TimeSeries(0.0), std::logic_error);
+  TimeSeries ts(1.0);
+  EXPECT_THROW(ts.record(-1.0, 1.0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace protean::metrics

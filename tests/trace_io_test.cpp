@@ -1,0 +1,133 @@
+// Tests for rate-trace CSV I/O and table-backed traces.
+#include "trace/io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace protean::trace {
+namespace {
+
+TEST(RateCsv, ParsesSimpleTable) {
+  std::istringstream in("second,rps\n0,100\n1,200\n2,150\n");
+  const auto rates = parse_rate_csv(in);
+  ASSERT_EQ(rates.size(), 3u);
+  EXPECT_DOUBLE_EQ(rates[0], 100.0);
+  EXPECT_DOUBLE_EQ(rates[1], 200.0);
+  EXPECT_DOUBLE_EQ(rates[2], 150.0);
+}
+
+TEST(RateCsv, HeaderIsOptional) {
+  std::istringstream in("0,100\n1,200\n");
+  EXPECT_EQ(parse_rate_csv(in).size(), 2u);
+}
+
+TEST(RateCsv, SkipsCommentsAndBlankLines) {
+  std::istringstream in("# a comment\n\n0,100\n\n# more\n1,50\n");
+  EXPECT_EQ(parse_rate_csv(in).size(), 2u);
+}
+
+TEST(RateCsv, GapsHoldPreviousRate) {
+  std::istringstream in("0,100\n3,400\n");
+  const auto rates = parse_rate_csv(in);
+  ASSERT_EQ(rates.size(), 4u);
+  EXPECT_DOUBLE_EQ(rates[1], 100.0);
+  EXPECT_DOUBLE_EQ(rates[2], 100.0);
+  EXPECT_DOUBLE_EQ(rates[3], 400.0);
+}
+
+TEST(RateCsv, RejectsMalformedInput) {
+  {
+    std::istringstream in("0,100\n0,200\n");  // non-increasing
+    EXPECT_THROW(parse_rate_csv(in), std::invalid_argument);
+  }
+  {
+    std::istringstream in("0,-5\n");  // negative rate
+    EXPECT_THROW(parse_rate_csv(in), std::invalid_argument);
+  }
+  {
+    std::istringstream in("justone\n");  // missing column
+    EXPECT_THROW(parse_rate_csv(in), std::invalid_argument);
+  }
+  {
+    std::istringstream in("header,row\n");  // only a header
+    EXPECT_THROW(parse_rate_csv(in), std::invalid_argument);
+  }
+  {
+    std::istringstream in("0,100\nx,y\n");  // non-numeric mid-file
+    EXPECT_THROW(parse_rate_csv(in), std::invalid_argument);
+  }
+}
+
+TEST(RateCsv, RoundTripsThroughSave) {
+  const std::vector<double> rates = {10.5, 20.0, 15.25};
+  std::ostringstream out;
+  save_rate_csv(out, rates);
+  std::istringstream in(out.str());
+  EXPECT_EQ(parse_rate_csv(in), rates);
+}
+
+TEST(RateCsv, FileRoundTrip) {
+  const std::string path = "/tmp/protean_rate_io_test.csv";
+  const std::vector<double> rates = {1.0, 2.0, 3.0};
+  save_rate_csv(path, rates);
+  EXPECT_EQ(load_rate_csv(path), rates);
+  EXPECT_THROW(load_rate_csv("/no/such/dir/x.csv"), std::invalid_argument);
+}
+
+TEST(TableTrace, KeepsRawRatesByDefault) {
+  TableTrace trace({100.0, 200.0, 300.0});
+  EXPECT_DOUBLE_EQ(trace.mean_rate(), 200.0);
+  EXPECT_DOUBLE_EQ(trace.peak_rate(), 300.0);
+  EXPECT_DOUBLE_EQ(trace.rate_at(1.5), 200.0);
+  EXPECT_DOUBLE_EQ(trace.horizon(), 3.0);
+}
+
+TEST(TableTrace, RescalesToTargetMean) {
+  TableTrace::Config config;
+  config.target_rps = 1000.0;
+  TableTrace trace({100.0, 300.0}, config);
+  EXPECT_NEAR(trace.mean_rate(), 1000.0, 1e-9);
+  EXPECT_NEAR(trace.peak_rate(), 1500.0, 1e-9);
+}
+
+TEST(TableTrace, RescalesToTargetPeak) {
+  TableTrace::Config config;
+  config.target_rps = 600.0;
+  config.scale_to_peak = true;
+  TableTrace trace({100.0, 300.0}, config);
+  EXPECT_NEAR(trace.peak_rate(), 600.0, 1e-9);
+}
+
+TEST(TableTrace, EmptyTableThrows) {
+  EXPECT_THROW(TableTrace(std::vector<double>{}), std::logic_error);
+}
+
+TEST(RateTraceTable, FeedsRateTraceViaConfig) {
+  TraceConfig config;
+  config.kind = TraceKind::kTable;
+  config.table = {50.0, 150.0};
+  config.target_rps = 0.0;  // keep raw
+  RateTrace trace(config);
+  EXPECT_DOUBLE_EQ(trace.rate_at(0.0), 50.0);
+  EXPECT_DOUBLE_EQ(trace.rate_at(1.0), 150.0);
+  EXPECT_DOUBLE_EQ(trace.horizon(), 2.0);
+}
+
+TEST(RateTraceTable, RescalesWhenTargetGiven) {
+  TraceConfig config;
+  config.kind = TraceKind::kTable;
+  config.table = {50.0, 150.0};
+  config.target_rps = 200.0;
+  RateTrace trace(config);
+  EXPECT_NEAR(trace.mean_rate(), 200.0, 1e-9);
+}
+
+TEST(RateTraceTable, EmptyTableRejected) {
+  TraceConfig config;
+  config.kind = TraceKind::kTable;
+  EXPECT_THROW(RateTrace{config}, std::logic_error);
+}
+
+}  // namespace
+}  // namespace protean::trace

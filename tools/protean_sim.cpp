@@ -1,0 +1,88 @@
+// protean_sim — CLI for replaying serverless GPU-inference scenarios.
+//
+//   protean_sim --all-schemes --model "VGG 19" --horizon 60
+//   protean_sim --scheme protean --trace twitter --json > out.json
+//   protean_sim --scheme protean --trace-file trace.csv --nodes 4
+#include <cstdio>
+
+#include "common/strfmt.h"
+#include "harness/json.h"
+#include "harness/options.h"
+#include "harness/table.h"
+#include "workload/model.h"
+
+using namespace protean;
+
+namespace {
+
+void list_models() {
+  harness::Table table({"Model", "Domain", "Class", "Batch", "Solo (ms)",
+                        "Memory (GB)", "FBR"});
+  for (const auto& m : workload::ModelCatalog::instance().all()) {
+    table.add_row({m.name, to_string(m.domain), to_string(m.iclass),
+                   strfmt("%d", m.batch_size),
+                   strfmt("%.0f", to_ms(m.solo_time_7g)),
+                   strfmt("%.1f", m.mem_gb), strfmt("%.2f", m.fbr)});
+  }
+  table.print();
+}
+
+void list_schemes() {
+  std::printf(
+      "protean, oracle, infless, molecule, naive, mig-only, mps-mig,\n"
+      "smart, gpulet, protean-static, protean-no-reorder, protean-no-eta\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  auto parsed = harness::parse_cli(args);
+  if (!parsed.options) {
+    std::fprintf(stderr, "error: %s\n", parsed.error.c_str());
+    return 2;
+  }
+  harness::CliOptions opts = std::move(*parsed.options);
+  if (opts.help) {
+    std::fputs(harness::cli_usage().c_str(), stdout);
+    return 0;
+  }
+  if (opts.list_models) {
+    list_models();
+    return 0;
+  }
+  if (opts.list_schemes) {
+    list_schemes();
+    return 0;
+  }
+
+  if (opts.json) opts.config.keep_latency_samples = true;
+  const auto reports = harness::run_schemes(opts.config, opts.schemes);
+
+  if (opts.json) {
+    std::printf("%s\n",
+                harness::reports_to_json(opts.config, reports)
+                    .dump(opts.json_indent)
+                    .c_str());
+    return 0;
+  }
+
+  std::printf("strict model: %s   trace: %s @ %.0f rps   nodes: %u   "
+              "SLO: %.0fx\n\n",
+              opts.config.strict_model.c_str(),
+              trace::to_string(opts.config.trace.kind),
+              opts.config.trace.target_rps, opts.config.cluster.node_count,
+              opts.config.cluster.slo_multiplier);
+  harness::Table table({"Scheme", "SLO compliance", "P50 (ms)", "P99 (ms)",
+                        "BE P99 (ms)", "GPU util", "Cost ($)"});
+  for (const auto& r : reports) {
+    table.add_row({r.scheme, strfmt("%.2f%%", r.slo_compliance_pct),
+                   strfmt("%.0f", r.strict_p50_ms),
+                   strfmt("%.0f", r.strict_p99_ms),
+                   strfmt("%.0f", r.be_p99_ms),
+                   strfmt("%.1f%%", r.gpu_util_pct),
+                   strfmt("%.2f", r.cost_usd)});
+  }
+  table.print();
+  return 0;
+}
