@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_protean.dir/bench_ablation_protean.cpp.o"
+  "CMakeFiles/bench_ablation_protean.dir/bench_ablation_protean.cpp.o.d"
+  "bench_ablation_protean"
+  "bench_ablation_protean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_protean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_throughput_util.dir/bench_fig10_throughput_util.cpp.o"
+  "CMakeFiles/bench_fig10_throughput_util.dir/bench_fig10_throughput_util.cpp.o.d"
+  "bench_fig10_throughput_util"
+  "bench_fig10_throughput_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_throughput_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

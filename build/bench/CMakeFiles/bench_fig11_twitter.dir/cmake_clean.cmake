@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_twitter.dir/bench_fig11_twitter.cpp.o"
+  "CMakeFiles/bench_fig11_twitter.dir/bench_fig11_twitter.cpp.o.d"
+  "bench_fig11_twitter"
+  "bench_fig11_twitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_twitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

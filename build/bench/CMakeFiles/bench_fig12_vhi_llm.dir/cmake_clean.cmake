@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_vhi_llm.dir/bench_fig12_vhi_llm.cpp.o"
+  "CMakeFiles/bench_fig12_vhi_llm.dir/bench_fig12_vhi_llm.cpp.o.d"
+  "bench_fig12_vhi_llm"
+  "bench_fig12_vhi_llm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_vhi_llm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

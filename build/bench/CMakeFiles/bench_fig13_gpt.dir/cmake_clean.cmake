@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_gpt.dir/bench_fig13_gpt.cpp.o"
+  "CMakeFiles/bench_fig13_gpt.dir/bench_fig13_gpt.cpp.o.d"
+  "bench_fig13_gpt"
+  "bench_fig13_gpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_gpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

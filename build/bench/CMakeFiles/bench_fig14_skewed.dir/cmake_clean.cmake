@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_skewed.dir/bench_fig14_skewed.cpp.o"
+  "CMakeFiles/bench_fig14_skewed.dir/bench_fig14_skewed.cpp.o.d"
+  "bench_fig14_skewed"
+  "bench_fig14_skewed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_skewed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

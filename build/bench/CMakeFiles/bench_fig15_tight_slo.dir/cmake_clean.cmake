@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_tight_slo.dir/bench_fig15_tight_slo.cpp.o"
+  "CMakeFiles/bench_fig15_tight_slo.dir/bench_fig15_tight_slo.cpp.o.d"
+  "bench_fig15_tight_slo"
+  "bench_fig15_tight_slo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_tight_slo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_gpulet.dir/bench_fig16_gpulet.cpp.o"
+  "CMakeFiles/bench_fig16_gpulet.dir/bench_fig16_gpulet.cpp.o.d"
+  "bench_fig16_gpulet"
+  "bench_fig16_gpulet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_gpulet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_oracle.dir/bench_fig17_oracle.cpp.o"
+  "CMakeFiles/bench_fig17_oracle.dir/bench_fig17_oracle.cpp.o.d"
+  "bench_fig17_oracle"
+  "bench_fig17_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

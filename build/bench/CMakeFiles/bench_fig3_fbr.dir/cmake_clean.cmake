@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_fbr.dir/bench_fig3_fbr.cpp.o"
+  "CMakeFiles/bench_fig3_fbr.dir/bench_fig3_fbr.cpp.o.d"
+  "bench_fig3_fbr"
+  "bench_fig3_fbr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_fbr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

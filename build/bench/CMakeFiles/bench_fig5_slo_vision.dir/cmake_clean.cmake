@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_slo_vision.dir/bench_fig5_slo_vision.cpp.o"
+  "CMakeFiles/bench_fig5_slo_vision.dir/bench_fig5_slo_vision.cpp.o.d"
+  "bench_fig5_slo_vision"
+  "bench_fig5_slo_vision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_slo_vision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

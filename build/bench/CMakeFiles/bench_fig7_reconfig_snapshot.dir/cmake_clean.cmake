@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_reconfig_snapshot.dir/bench_fig7_reconfig_snapshot.cpp.o"
+  "CMakeFiles/bench_fig7_reconfig_snapshot.dir/bench_fig7_reconfig_snapshot.cpp.o.d"
+  "bench_fig7_reconfig_snapshot"
+  "bench_fig7_reconfig_snapshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_reconfig_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig7_reconfig_snapshot.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_latency_cdf.dir/bench_fig8_latency_cdf.cpp.o"
+  "CMakeFiles/bench_fig8_latency_cdf.dir/bench_fig8_latency_cdf.cpp.o.d"
+  "bench_fig8_latency_cdf"
+  "bench_fig8_latency_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_latency_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

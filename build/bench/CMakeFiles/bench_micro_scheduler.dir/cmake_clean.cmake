@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_scheduler.dir/bench_micro_scheduler.cpp.o"
+  "CMakeFiles/bench_micro_scheduler.dir/bench_micro_scheduler.cpp.o.d"
+  "bench_micro_scheduler"
+  "bench_micro_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_mig_profiles.dir/bench_table2_mig_profiles.cpp.o"
+  "CMakeFiles/bench_table2_mig_profiles.dir/bench_table2_mig_profiles.cpp.o.d"
+  "bench_table2_mig_profiles"
+  "bench_table2_mig_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_mig_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_pricing.dir/bench_table3_pricing.cpp.o"
+  "CMakeFiles/bench_table3_pricing.dir/bench_table3_pricing.cpp.o.d"
+  "bench_table3_pricing"
+  "bench_table3_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

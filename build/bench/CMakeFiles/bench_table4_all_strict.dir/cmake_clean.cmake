@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_all_strict.dir/bench_table4_all_strict.cpp.o"
+  "CMakeFiles/bench_table4_all_strict.dir/bench_table4_all_strict.cpp.o.d"
+  "bench_table4_all_strict"
+  "bench_table4_all_strict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_all_strict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

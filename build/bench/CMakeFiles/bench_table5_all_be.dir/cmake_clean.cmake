@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_all_be.dir/bench_table5_all_be.cpp.o"
+  "CMakeFiles/bench_table5_all_be.dir/bench_table5_all_be.cpp.o.d"
+  "bench_table5_all_be"
+  "bench_table5_all_be.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_all_be.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

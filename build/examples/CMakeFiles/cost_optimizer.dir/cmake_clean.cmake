@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_optimizer.dir/cost_optimizer.cpp.o"
+  "CMakeFiles/cost_optimizer.dir/cost_optimizer.cpp.o.d"
+  "cost_optimizer"
+  "cost_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_scheduler.dir/custom_scheduler.cpp.o"
+  "CMakeFiles/custom_scheduler.dir/custom_scheduler.cpp.o.d"
+  "custom_scheduler"
+  "custom_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inference_serving.dir/inference_serving.cpp.o"
+  "CMakeFiles/inference_serving.dir/inference_serving.cpp.o.d"
+  "inference_serving"
+  "inference_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inference_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

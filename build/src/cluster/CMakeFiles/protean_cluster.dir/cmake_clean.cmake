@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protean_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/protean_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/protean_cluster.dir/gateway.cpp.o"
+  "CMakeFiles/protean_cluster.dir/gateway.cpp.o.d"
+  "CMakeFiles/protean_cluster.dir/node.cpp.o"
+  "CMakeFiles/protean_cluster.dir/node.cpp.o.d"
+  "libprotean_cluster.a"
+  "libprotean_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protean_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protean_core.dir/calibrate.cpp.o"
+  "CMakeFiles/protean_core.dir/calibrate.cpp.o.d"
+  "CMakeFiles/protean_core.dir/distributor.cpp.o"
+  "CMakeFiles/protean_core.dir/distributor.cpp.o.d"
+  "CMakeFiles/protean_core.dir/protean.cpp.o"
+  "CMakeFiles/protean_core.dir/protean.cpp.o.d"
+  "CMakeFiles/protean_core.dir/reconfig.cpp.o"
+  "CMakeFiles/protean_core.dir/reconfig.cpp.o.d"
+  "CMakeFiles/protean_core.dir/slowdown.cpp.o"
+  "CMakeFiles/protean_core.dir/slowdown.cpp.o.d"
+  "libprotean_core.a"
+  "libprotean_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protean_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

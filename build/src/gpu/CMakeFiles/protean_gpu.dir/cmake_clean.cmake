@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protean_gpu.dir/engine.cpp.o"
+  "CMakeFiles/protean_gpu.dir/engine.cpp.o.d"
+  "CMakeFiles/protean_gpu.dir/mig.cpp.o"
+  "CMakeFiles/protean_gpu.dir/mig.cpp.o.d"
+  "libprotean_gpu.a"
+  "libprotean_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protean_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protean_harness.dir/experiment.cpp.o"
+  "CMakeFiles/protean_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/protean_harness.dir/json.cpp.o"
+  "CMakeFiles/protean_harness.dir/json.cpp.o.d"
+  "CMakeFiles/protean_harness.dir/options.cpp.o"
+  "CMakeFiles/protean_harness.dir/options.cpp.o.d"
+  "libprotean_harness.a"
+  "libprotean_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protean_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/collector.cpp" "src/metrics/CMakeFiles/protean_metrics.dir/collector.cpp.o" "gcc" "src/metrics/CMakeFiles/protean_metrics.dir/collector.cpp.o.d"
+  "/root/repo/src/metrics/histogram.cpp" "src/metrics/CMakeFiles/protean_metrics.dir/histogram.cpp.o" "gcc" "src/metrics/CMakeFiles/protean_metrics.dir/histogram.cpp.o.d"
+  "/root/repo/src/metrics/stats.cpp" "src/metrics/CMakeFiles/protean_metrics.dir/stats.cpp.o" "gcc" "src/metrics/CMakeFiles/protean_metrics.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/protean_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/protean_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/protean_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protean_metrics.dir/collector.cpp.o"
+  "CMakeFiles/protean_metrics.dir/collector.cpp.o.d"
+  "CMakeFiles/protean_metrics.dir/histogram.cpp.o"
+  "CMakeFiles/protean_metrics.dir/histogram.cpp.o.d"
+  "CMakeFiles/protean_metrics.dir/stats.cpp.o"
+  "CMakeFiles/protean_metrics.dir/stats.cpp.o.d"
+  "libprotean_metrics.a"
+  "libprotean_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protean_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/baselines.cpp" "src/sched/CMakeFiles/protean_sched.dir/baselines.cpp.o" "gcc" "src/sched/CMakeFiles/protean_sched.dir/baselines.cpp.o.d"
+  "/root/repo/src/sched/registry.cpp" "src/sched/CMakeFiles/protean_sched.dir/registry.cpp.o" "gcc" "src/sched/CMakeFiles/protean_sched.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/protean_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/protean_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/protean_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/spot/CMakeFiles/protean_spot.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/protean_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/protean_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/protean_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/protean_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

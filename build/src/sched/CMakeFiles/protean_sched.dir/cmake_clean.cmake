@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protean_sched.dir/baselines.cpp.o"
+  "CMakeFiles/protean_sched.dir/baselines.cpp.o.d"
+  "CMakeFiles/protean_sched.dir/registry.cpp.o"
+  "CMakeFiles/protean_sched.dir/registry.cpp.o.d"
+  "libprotean_sched.a"
+  "libprotean_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protean_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

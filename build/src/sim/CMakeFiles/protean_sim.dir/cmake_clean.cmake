@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protean_sim.dir/simulator.cpp.o"
+  "CMakeFiles/protean_sim.dir/simulator.cpp.o.d"
+  "libprotean_sim.a"
+  "libprotean_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protean_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

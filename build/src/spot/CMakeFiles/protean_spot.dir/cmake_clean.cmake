@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protean_spot.dir/market.cpp.o"
+  "CMakeFiles/protean_spot.dir/market.cpp.o.d"
+  "CMakeFiles/protean_spot.dir/price_model.cpp.o"
+  "CMakeFiles/protean_spot.dir/price_model.cpp.o.d"
+  "libprotean_spot.a"
+  "libprotean_spot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protean_spot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

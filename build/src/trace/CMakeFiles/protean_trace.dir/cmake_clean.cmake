@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protean_trace.dir/driver.cpp.o"
+  "CMakeFiles/protean_trace.dir/driver.cpp.o.d"
+  "CMakeFiles/protean_trace.dir/io.cpp.o"
+  "CMakeFiles/protean_trace.dir/io.cpp.o.d"
+  "CMakeFiles/protean_trace.dir/trace.cpp.o"
+  "CMakeFiles/protean_trace.dir/trace.cpp.o.d"
+  "libprotean_trace.a"
+  "libprotean_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protean_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

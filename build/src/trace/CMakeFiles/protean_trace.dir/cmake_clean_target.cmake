@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libprotean_trace.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/builder.cpp" "src/workload/CMakeFiles/protean_workload.dir/builder.cpp.o" "gcc" "src/workload/CMakeFiles/protean_workload.dir/builder.cpp.o.d"
+  "/root/repo/src/workload/model.cpp" "src/workload/CMakeFiles/protean_workload.dir/model.cpp.o" "gcc" "src/workload/CMakeFiles/protean_workload.dir/model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpu/CMakeFiles/protean_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/protean_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protean_workload.dir/builder.cpp.o"
+  "CMakeFiles/protean_workload.dir/builder.cpp.o.d"
+  "CMakeFiles/protean_workload.dir/model.cpp.o"
+  "CMakeFiles/protean_workload.dir/model.cpp.o.d"
+  "libprotean_workload.a"
+  "libprotean_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protean_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/builder_test.dir/builder_test.cpp.o"
+  "CMakeFiles/builder_test.dir/builder_test.cpp.o.d"
+  "builder_test"
+  "builder_test.pdb"
+  "builder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrate_test.dir/calibrate_test.cpp.o"
+  "CMakeFiles/calibrate_test.dir/calibrate_test.cpp.o.d"
+  "calibrate_test"
+  "calibrate_test.pdb"
+  "calibrate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributor_test.dir/distributor_test.cpp.o"
+  "CMakeFiles/distributor_test.dir/distributor_test.cpp.o.d"
+  "distributor_test"
+  "distributor_test.pdb"
+  "distributor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gateway_test.cpp" "tests/CMakeFiles/gateway_test.dir/gateway_test.cpp.o" "gcc" "tests/CMakeFiles/gateway_test.dir/gateway_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/protean_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/protean_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/protean_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/protean_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/spot/CMakeFiles/protean_spot.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/protean_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/protean_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/protean_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/protean_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/protean_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

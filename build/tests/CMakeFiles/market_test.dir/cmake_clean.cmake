@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_test.dir/market_test.cpp.o"
+  "CMakeFiles/market_test.dir/market_test.cpp.o.d"
+  "market_test"
+  "market_test.pdb"
+  "market_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

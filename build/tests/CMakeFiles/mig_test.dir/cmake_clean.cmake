@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mig_test.dir/mig_test.cpp.o"
+  "CMakeFiles/mig_test.dir/mig_test.cpp.o.d"
+  "mig_test"
+  "mig_test.pdb"
+  "mig_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mig_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

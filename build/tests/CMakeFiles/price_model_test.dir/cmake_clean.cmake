@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/price_model_test.dir/price_model_test.cpp.o"
+  "CMakeFiles/price_model_test.dir/price_model_test.cpp.o.d"
+  "price_model_test"
+  "price_model_test.pdb"
+  "price_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/price_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protean_invariants_test.dir/protean_invariants_test.cpp.o"
+  "CMakeFiles/protean_invariants_test.dir/protean_invariants_test.cpp.o.d"
+  "protean_invariants_test"
+  "protean_invariants_test.pdb"
+  "protean_invariants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protean_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reconfig_test.dir/reconfig_test.cpp.o"
+  "CMakeFiles/reconfig_test.dir/reconfig_test.cpp.o.d"
+  "reconfig_test"
+  "reconfig_test.pdb"
+  "reconfig_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reconfig_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

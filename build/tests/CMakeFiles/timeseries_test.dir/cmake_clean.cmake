@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeseries_test.dir/timeseries_test.cpp.o"
+  "CMakeFiles/timeseries_test.dir/timeseries_test.cpp.o.d"
+  "timeseries_test"
+  "timeseries_test.pdb"
+  "timeseries_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeseries_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

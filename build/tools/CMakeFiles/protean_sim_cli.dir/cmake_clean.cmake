@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protean_sim_cli.dir/protean_sim.cpp.o"
+  "CMakeFiles/protean_sim_cli.dir/protean_sim.cpp.o.d"
+  "protean_sim"
+  "protean_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protean_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
