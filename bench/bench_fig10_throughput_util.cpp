@@ -1,17 +1,30 @@
 // Figure 10: PROTEAN's other key benefits — strict throughput (DenseNet 121)
-// and GPU / memory utilization (EfficientNet-B0).
+// and GPU / memory utilization (EfficientNet-B0). Both model grids run on
+// the shared sweep pool before anything prints.
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.h"
 
 int main() {
   using namespace protean;
+
+  // One grid: paper schemes × {DenseNet 121, EfficientNet-B0}.
+  const auto schemes = sched::paper_schemes();
+  std::vector<harness::ExperimentConfig> grid;
+  for (const char* model : {"DenseNet 121", "EfficientNet-B0"}) {
+    for (sched::Scheme scheme : schemes) {
+      grid.push_back(bench::bench_config(model).with_scheme(scheme));
+    }
+  }
+  const auto reports = harness::SweepRunner(bench::bench_jobs()).run(grid);
+
   std::printf("Figure 10a: strict throughput, DenseNet 121 (req/GPU/s)\n\n");
   {
-    auto config = bench::bench_config("DenseNet 121");
     harness::Table table({"Scheme", "Strict throughput",
                           "SLO-good throughput", "Total throughput"});
-    for (const auto& r : harness::run_schemes(config, sched::paper_schemes())) {
+    for (std::size_t i = 0; i < schemes.size(); ++i) {
+      const auto& r = reports[i];
       table.add_row({r.scheme, strfmt("%.1f", r.throughput_strict),
                      strfmt("%.1f", r.goodput_strict),
                      strfmt("%.1f", r.throughput_total)});
@@ -21,10 +34,10 @@ int main() {
 
   std::printf("\nFigure 10b: resource utilization, EfficientNet-B0\n\n");
   {
-    auto config = bench::bench_config("EfficientNet-B0");
     harness::Table table(
         {"Scheme", "GPU utilization", "Memory utilization"});
-    for (const auto& r : harness::run_schemes(config, sched::paper_schemes())) {
+    for (std::size_t i = 0; i < schemes.size(); ++i) {
+      const auto& r = reports[schemes.size() + i];
       table.add_row({r.scheme, bench::pct(r.gpu_util_pct),
                      bench::pct(r.mem_util_pct)});
     }

@@ -2,6 +2,7 @@
 // low spot VM availability. "Others" use on-demand only; "Spot Only" and
 // PROTEAN (hybrid) use the spot market.
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.h"
 
@@ -9,15 +10,15 @@ using namespace protean;
 
 namespace {
 
-harness::Report run_with_market(spot::ProcurementPolicy policy, double p_rev) {
-  auto config = bench::bench_config("ResNet 50");
-  config.cluster.market.policy = policy;
-  config.cluster.market.p_rev = p_rev;
+harness::ExperimentConfig with_market(spot::ProcurementPolicy policy,
+                                      double p_rev) {
+  auto config = bench::bench_config("ResNet 50")
+                    .with_scheme(sched::Scheme::kProtean)
+                    .with_market(policy, p_rev);
   config.cluster.market.revocation_check_interval = 20.0;
   config.cluster.market.eviction_notice = 10.0;
   config.cluster.market.vm_boot_time = 8.0;
-  config.scheme = sched::Scheme::kProtean;
-  return harness::run_experiment(config);
+  return config;
 }
 
 }  // namespace
@@ -37,20 +38,27 @@ int main() {
                         {"medium availability (P_rev=0.354)", 0.354},
                         {"low availability (P_rev=0.708)", 0.708}};
 
+  // The whole (tier × policy) grid runs concurrently on the sweep pool;
+  // results come back in submission order, 3 policies per tier.
+  std::vector<harness::ExperimentConfig> grid;
+  for (const Tier& tier : tiers) {
+    grid.push_back(
+        with_market(spot::ProcurementPolicy::kOnDemandOnly, tier.p_rev));
+    grid.push_back(with_market(spot::ProcurementPolicy::kSpotOnly, tier.p_rev));
+    grid.push_back(with_market(spot::ProcurementPolicy::kHybrid, tier.p_rev));
+  }
+  const auto reports = harness::SweepRunner(bench::bench_jobs()).run(grid);
+
   harness::Table table({"Spot availability", "Scheme", "Normalized cost",
                         "SLO compliance", "Evictions"});
-  for (const Tier& tier : tiers) {
-    const auto others =
-        run_with_market(spot::ProcurementPolicy::kOnDemandOnly, tier.p_rev);
-    const auto spot_only =
-        run_with_market(spot::ProcurementPolicy::kSpotOnly, tier.p_rev);
-    const auto hybrid =
-        run_with_market(spot::ProcurementPolicy::kHybrid, tier.p_rev);
-
-    auto norm = [&](const harness::Report& r) {
-      return strfmt("%.3f", r.cost_usd / r.cost_on_demand_ref_usd);
-    };
-    table.add_row({tier.label, "Other schemes (on-demand)", norm(others),
+  auto norm = [&](const harness::Report& r) {
+    return strfmt("%.3f", r.cost_usd / r.cost_on_demand_ref_usd);
+  };
+  for (std::size_t t = 0; t < std::size(tiers); ++t) {
+    const auto& others = reports[t * 3];
+    const auto& spot_only = reports[t * 3 + 1];
+    const auto& hybrid = reports[t * 3 + 2];
+    table.add_row({tiers[t].label, "Other schemes (on-demand)", norm(others),
                    bench::pct(others.slo_compliance_pct), "0"});
     table.add_row({"", "Spot Only", norm(spot_only),
                    bench::pct(spot_only.slo_compliance_pct),

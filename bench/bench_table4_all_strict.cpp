@@ -6,13 +6,13 @@
 
 int main() {
   using namespace protean;
-  auto config = bench::bench_config("ResNet 50");
-  config.strict_fraction = 1.0;
+  const auto config =
+      bench::bench_config("ResNet 50").with_strict_fraction(1.0);
 
   std::printf("Table 4: SLO compliance for the 100%% strict case (ResNet 50)\n\n");
   harness::Table table({"Molecule (beta)", "Naive Slicing", "INFless/Llama",
                         "PROTEAN"});
-  const auto reports = harness::run_schemes(config, sched::paper_schemes());
+  const auto reports = bench::run_paper_schemes(config);
   table.add_row({bench::pct(reports[0].slo_compliance_pct),
                  bench::pct(reports[1].slo_compliance_pct),
                  bench::pct(reports[2].slo_compliance_pct),

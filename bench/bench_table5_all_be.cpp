@@ -6,15 +6,16 @@
 
 int main() {
   using namespace protean;
-  auto config = bench::bench_config("ResNet 50");  // strict stream unused
-  config.strict_fraction = 0.0;
-  config.be_pool = {"ResNet 50", "DenseNet 121", "DPN 92", "VGG 19"};
-  config.be_rotation_period = 10.0;
+  const auto config =
+      bench::bench_config("ResNet 50")  // strict stream unused
+          .with_strict_fraction(0.0)
+          .with_be_pool({"ResNet 50", "DenseNet 121", "DPN 92", "VGG 19"})
+          .with_be_rotation_period(10.0);
 
   std::printf(
       "Table 5: (P50, P99) latency in ms for the 100%% BE case (HI pool)\n\n");
   harness::Table table({"Scheme", "P50 (ms)", "P99 (ms)"});
-  for (const auto& r : harness::run_schemes(config, sched::paper_schemes())) {
+  for (const auto& r : bench::run_paper_schemes(config)) {
     table.add_row({r.scheme, bench::ms(r.be_p50_ms), bench::ms(r.be_p99_ms)});
   }
   table.print();

@@ -25,11 +25,9 @@ struct Outcome {
 };
 
 Outcome evaluate(spot::ProcurementPolicy policy, double p_rev) {
-  harness::ExperimentConfig config =
-      harness::primary_config("ResNet 50", /*horizon=*/60.0);
-  config.scheme = sched::Scheme::kProtean;
-  config.cluster.market.policy = policy;
-  config.cluster.market.p_rev = p_rev;
+  auto config = harness::primary_config("ResNet 50", /*horizon=*/60.0)
+                    .with_scheme(sched::Scheme::kProtean)
+                    .with_market(policy, p_rev);
   config.cluster.market.revocation_check_interval = 20.0;
   config.cluster.market.eviction_notice = 10.0;
   config.cluster.market.vm_boot_time = 8.0;

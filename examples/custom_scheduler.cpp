@@ -65,8 +65,7 @@ int main() {
 
   // Shipped policies go through the registry...
   for (auto scheme : {sched::Scheme::kInflessLlama, sched::Scheme::kProtean}) {
-    config.scheme = scheme;
-    const auto r = harness::run_experiment(config);
+    const auto r = harness::run_experiment(config.with_scheme(scheme));
     table.add_row({r.scheme, strfmt("%.2f%%", r.slo_compliance_pct),
                    strfmt("%.0f", r.strict_p99_ms),
                    strfmt("%.0f", r.be_p99_ms)});

@@ -4,6 +4,7 @@
 
 #include "cluster/cluster.h"
 #include "common/check.h"
+#include "harness/sweep.h"
 #include "sim/simulator.h"
 #include "trace/driver.h"
 #include "workload/model.h"
@@ -132,13 +133,12 @@ Report run_experiment(const ExperimentConfig& config) {
 
 std::vector<Report> run_schemes(ExperimentConfig config,
                                 const std::vector<sched::Scheme>& schemes) {
-  std::vector<Report> reports;
-  reports.reserve(schemes.size());
-  for (sched::Scheme scheme : schemes) {
-    config.scheme = scheme;
-    reports.push_back(run_experiment(config));
-  }
-  return reports;
+  // Thin wrapper over the sweep API: a one-seed, axis-less, single-job grid
+  // is exactly the historical serial scheme loop.
+  SweepConfig sweep;
+  sweep.base = std::move(config);
+  sweep.schemes = schemes;
+  return SweepRunner(/*jobs=*/1).run_grid(sweep);
 }
 
 ExperimentConfig primary_config(const std::string& strict_model,

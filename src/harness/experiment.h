@@ -41,6 +41,71 @@ struct ExperimentConfig {
   bool keep_latency_samples = false;
 
   std::uint64_t seed = 42;
+
+  // Chainable setters, so call sites can describe a variant in one
+  // expression (plain aggregate/member initialization keeps working):
+  //   auto cfg = primary_config("ResNet 50")
+  //                  .with_scheme(sched::Scheme::kGpulet)
+  //                  .with_rps(2500.0)
+  //                  .with_seed(7);
+  ExperimentConfig& with_scheme(sched::Scheme s) {
+    scheme = s;
+    return *this;
+  }
+  ExperimentConfig& with_strict_model(std::string name) {
+    strict_model = std::move(name);
+    return *this;
+  }
+  ExperimentConfig& with_strict_fraction(double fraction) {
+    strict_fraction = fraction;
+    return *this;
+  }
+  ExperimentConfig& with_be_pool(std::vector<std::string> pool) {
+    be_pool = std::move(pool);
+    return *this;
+  }
+  ExperimentConfig& with_be_rotation_period(Duration period) {
+    be_rotation_period = period;
+    return *this;
+  }
+  ExperimentConfig& with_rps(double rps) {
+    trace.target_rps = rps;
+    return *this;
+  }
+  ExperimentConfig& with_trace_kind(trace::TraceKind kind) {
+    trace.kind = kind;
+    return *this;
+  }
+  ExperimentConfig& with_horizon(Duration horizon) {
+    trace.horizon = horizon;
+    return *this;
+  }
+  ExperimentConfig& with_nodes(std::uint32_t count) {
+    cluster.node_count = count;
+    return *this;
+  }
+  ExperimentConfig& with_slo_multiplier(double multiplier) {
+    cluster.slo_multiplier = multiplier;
+    return *this;
+  }
+  ExperimentConfig& with_market(spot::ProcurementPolicy policy,
+                                double p_rev = 0.0) {
+    cluster.market.policy = policy;
+    cluster.market.p_rev = p_rev;
+    return *this;
+  }
+  ExperimentConfig& with_warmup(Duration w) {
+    warmup = w;
+    return *this;
+  }
+  ExperimentConfig& with_latency_samples(bool keep = true) {
+    keep_latency_samples = keep;
+    return *this;
+  }
+  ExperimentConfig& with_seed(std::uint64_t s) {
+    seed = s;
+    return *this;
+  }
 };
 
 struct Report {

@@ -166,4 +166,96 @@ Json reports_to_json(const ExperimentConfig& config,
   return Json(std::move(root));
 }
 
+Json metric_summary_to_json(const MetricSummary& summary) {
+  Json::Object o;
+  o.emplace_back("mean", summary.mean);
+  o.emplace_back("stddev", summary.stddev);
+  o.emplace_back("ci95", summary.ci95);
+  o.emplace_back("min", summary.min);
+  o.emplace_back("max", summary.max);
+  return Json(std::move(o));
+}
+
+Json aggregate_to_json(const AggregateReport& aggregate) {
+  Json::Object o;
+  o.emplace_back("scheme", aggregate.scheme);
+  if (aggregate.axis_param != SweepAxis::Param::kNone) {
+    o.emplace_back("axis", to_string(aggregate.axis_param));
+    o.emplace_back("axis_value", aggregate.axis_value);
+  }
+  o.emplace_back("replications",
+                 static_cast<std::uint64_t>(aggregate.per_seed.size()));
+  {
+    Json::Array seeds;
+    seeds.reserve(aggregate.seeds.size());
+    for (std::uint64_t seed : aggregate.seeds) seeds.push_back(Json(seed));
+    o.emplace_back("seeds", Json(std::move(seeds)));
+  }
+
+  Json::Object metrics;
+  metrics.emplace_back("slo_compliance_pct",
+                       metric_summary_to_json(aggregate.slo_compliance_pct));
+  metrics.emplace_back("strict_p50_ms",
+                       metric_summary_to_json(aggregate.strict_p50_ms));
+  metrics.emplace_back("strict_p99_ms",
+                       metric_summary_to_json(aggregate.strict_p99_ms));
+  metrics.emplace_back("be_p99_ms", metric_summary_to_json(aggregate.be_p99_ms));
+  metrics.emplace_back("throughput_strict",
+                       metric_summary_to_json(aggregate.throughput_strict));
+  metrics.emplace_back("goodput_strict",
+                       metric_summary_to_json(aggregate.goodput_strict));
+  metrics.emplace_back("gpu_util_pct",
+                       metric_summary_to_json(aggregate.gpu_util_pct));
+  metrics.emplace_back("mem_util_pct",
+                       metric_summary_to_json(aggregate.mem_util_pct));
+  metrics.emplace_back("cost_usd", metric_summary_to_json(aggregate.cost_usd));
+  o.emplace_back("metrics", Json(std::move(metrics)));
+
+  Json::Array per_seed;
+  per_seed.reserve(aggregate.per_seed.size());
+  for (const Report& r : aggregate.per_seed) per_seed.push_back(report_to_json(r));
+  o.emplace_back("per_seed", Json(std::move(per_seed)));
+  return Json(std::move(o));
+}
+
+Json aggregates_to_json(const SweepConfig& sweep,
+                        const std::vector<AggregateReport>& aggregates) {
+  Json::Object grid;
+  grid.emplace_back("strict_model", sweep.base.strict_model);
+  grid.emplace_back("trace", trace::to_string(sweep.base.trace.kind));
+  grid.emplace_back("horizon_s", sweep.base.trace.horizon);
+  grid.emplace_back("nodes",
+                    static_cast<std::uint64_t>(sweep.base.cluster.node_count));
+  grid.emplace_back("base_seed", static_cast<std::uint64_t>(sweep.base.seed));
+  grid.emplace_back("replications",
+                    static_cast<std::uint64_t>(sweep.replications));
+  {
+    Json::Array schemes;
+    schemes.reserve(sweep.schemes.size());
+    for (sched::Scheme s : sweep.schemes) {
+      schemes.push_back(Json(sched::scheme_name(s)));
+    }
+    grid.emplace_back("schemes", Json(std::move(schemes)));
+  }
+  if (sweep.axis.active()) {
+    Json::Object axis;
+    axis.emplace_back("param", to_string(sweep.axis.param));
+    axis.emplace_back("lo", sweep.axis.lo);
+    axis.emplace_back("hi", sweep.axis.hi);
+    axis.emplace_back("step", sweep.axis.step);
+    grid.emplace_back("axis", Json(std::move(axis)));
+  }
+
+  Json::Array cells;
+  cells.reserve(aggregates.size());
+  for (const AggregateReport& a : aggregates) {
+    cells.push_back(aggregate_to_json(a));
+  }
+
+  Json::Object root;
+  root.emplace_back("sweep", Json(std::move(grid)));
+  root.emplace_back("results", Json(std::move(cells)));
+  return Json(std::move(root));
+}
+
 }  // namespace protean::harness

@@ -43,26 +43,17 @@ std::optional<std::uint64_t> parse_u64(const std::string& s) {
 }  // namespace
 
 std::optional<sched::Scheme> scheme_from_alias(const std::string& alias) {
-  static const std::map<std::string, sched::Scheme> aliases = {
-      {"protean", sched::Scheme::kProtean},
-      {"oracle", sched::Scheme::kOracle},
-      {"infless", sched::Scheme::kInflessLlama},
-      {"infless/llama", sched::Scheme::kInflessLlama},
+  // Canonical CLI names and display names come from the registry, so the
+  // parser accepts exactly what the enum defines; only historical synonyms
+  // live here.
+  if (const auto scheme = sched::parse_scheme(alias)) return scheme;
+  static const std::map<std::string, sched::Scheme> synonyms = {
       {"llama", sched::Scheme::kInflessLlama},
-      {"molecule", sched::Scheme::kMoleculeBeta},
-      {"naive", sched::Scheme::kNaiveSlicing},
       {"naive-slicing", sched::Scheme::kNaiveSlicing},
-      {"mig-only", sched::Scheme::kMigOnly},
-      {"mps-mig", sched::Scheme::kMpsMig},
-      {"smart", sched::Scheme::kSmartMpsMig},
       {"smart-mps-mig", sched::Scheme::kSmartMpsMig},
-      {"gpulet", sched::Scheme::kGpulet},
-      {"protean-static", sched::Scheme::kProteanStatic},
-      {"protean-no-reorder", sched::Scheme::kProteanNoReorder},
-      {"protean-no-eta", sched::Scheme::kProteanNoEta},
   };
-  const auto it = aliases.find(lower(alias));
-  if (it == aliases.end()) return std::nullopt;
+  const auto it = synonyms.find(lower(alias));
+  if (it == synonyms.end()) return std::nullopt;
   return it->second;
 }
 
@@ -92,6 +83,16 @@ Cluster:
   --spot POLICY         on-demand | spot-only | hybrid (default on-demand)
   --p-rev F             spot revocation probability (default 0)
   --seed N              RNG seed (default 42)
+
+Sweep:
+  --seeds N             replications per configuration with seeds
+                        seed..seed+N-1; reports mean / stddev / 95% CI
+                        (default 1)
+  --jobs N              worker threads executing the grid (default 1;
+                        results are identical for any N)
+  --sweep AXIS=LO:HI:STEP
+                        sweep a numeric parameter, e.g. rps=1000:5000:500;
+                        axes: rps | nodes | slo-mult | strict-frac | p-rev
 
 Output:
   --json                emit a JSON document instead of a table
@@ -229,6 +230,25 @@ CliParseResult parse_cli(const std::vector<std::string>& args) {
       const auto seed = value ? parse_u64(*value) : std::nullopt;
       if (!seed) return fail("--seed needs an unsigned integer");
       opts.config.seed = *seed;
+    } else if (arg == "--seeds") {
+      const auto value = next("--seeds");
+      const auto n = value ? parse_u64(*value) : std::nullopt;
+      if (!n || *n == 0 || *n > 10000) return fail("--seeds needs 1..10000");
+      opts.seeds = static_cast<std::uint32_t>(*n);
+    } else if (arg == "--jobs") {
+      const auto value = next("--jobs");
+      const auto n = value ? parse_u64(*value) : std::nullopt;
+      if (!n || *n == 0 || *n > 1024) return fail("--jobs needs 1..1024");
+      opts.jobs = static_cast<int>(*n);
+    } else if (arg == "--sweep") {
+      const auto value = next("--sweep");
+      if (!value) return fail("--sweep needs AXIS=LO:HI:STEP");
+      const auto axis = SweepAxis::parse(*value);
+      if (!axis) {
+        return fail("bad sweep spec: " + *value +
+                    " (want e.g. rps=1000:5000:500)");
+      }
+      opts.sweep_axis = *axis;
     } else {
       return fail("unknown option: " + arg + " (see --help)");
     }

@@ -10,12 +10,19 @@
 #include <vector>
 
 #include "harness/experiment.h"
+#include "harness/sweep.h"
 
 namespace protean::harness {
 
 struct CliOptions {
   ExperimentConfig config;
   std::vector<sched::Scheme> schemes = {sched::Scheme::kProtean};
+  /// Seed replications per grid cell (--seeds); seed, seed+1, ...
+  std::uint32_t seeds = 1;
+  /// Worker threads for the sweep runner (--jobs); 1 = serial.
+  int jobs = 1;
+  /// Optional numeric parameter axis (--sweep rps=1000:5000:500).
+  SweepAxis sweep_axis;
   bool json = false;
   int json_indent = 2;
   bool list_models = false;
@@ -23,6 +30,22 @@ struct CliOptions {
   bool help = false;
   /// Path of a "second,rps" CSV replayed instead of a synthetic trace.
   std::string trace_file;
+
+  /// True when the run needs the sweep/aggregate pipeline rather than the
+  /// classic one-report-per-scheme output.
+  bool is_sweep() const noexcept {
+    return seeds > 1 || sweep_axis.active();
+  }
+
+  /// The sweep grid this invocation describes.
+  SweepConfig sweep_config() const {
+    SweepConfig sweep;
+    sweep.base = config;
+    sweep.schemes = schemes;
+    sweep.replications = seeds;
+    sweep.axis = sweep_axis;
+    return sweep;
+  }
 };
 
 struct CliParseResult {

@@ -1,5 +1,7 @@
 #include "sched/registry.h"
 
+#include <algorithm>
+#include <cctype>
 #include <stdexcept>
 
 #include "sched/baselines.h"
@@ -22,6 +24,59 @@ const char* scheme_name(Scheme scheme) noexcept {
     case Scheme::kOracle: return "Oracle";
   }
   return "?";
+}
+
+const char* scheme_cli_name(Scheme scheme) noexcept {
+  switch (scheme) {
+    case Scheme::kMoleculeBeta: return "molecule";
+    case Scheme::kInflessLlama: return "infless";
+    case Scheme::kNaiveSlicing: return "naive";
+    case Scheme::kMigOnly: return "mig-only";
+    case Scheme::kMpsMig: return "mps-mig";
+    case Scheme::kSmartMpsMig: return "smart";
+    case Scheme::kGpulet: return "gpulet";
+    case Scheme::kProtean: return "protean";
+    case Scheme::kProteanNoReorder: return "protean-no-reorder";
+    case Scheme::kProteanStatic: return "protean-static";
+    case Scheme::kProteanNoEta: return "protean-no-eta";
+    case Scheme::kOracle: return "oracle";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string fold(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+}  // namespace
+
+std::optional<Scheme> parse_scheme(std::string_view text) {
+  const std::string needle = fold(text);
+  for (Scheme scheme : all_schemes()) {
+    if (needle == fold(scheme_cli_name(scheme)) ||
+        needle == fold(scheme_name(scheme))) {
+      return scheme;
+    }
+  }
+  return std::nullopt;
+}
+
+const std::vector<Scheme>& all_schemes() {
+  static const std::vector<Scheme> schemes = {
+      Scheme::kMoleculeBeta,     Scheme::kInflessLlama,
+      Scheme::kNaiveSlicing,     Scheme::kMigOnly,
+      Scheme::kMpsMig,           Scheme::kSmartMpsMig,
+      Scheme::kGpulet,           Scheme::kProtean,
+      Scheme::kProteanNoReorder, Scheme::kProteanStatic,
+      Scheme::kProteanNoEta,     Scheme::kOracle,
+  };
+  return schemes;
 }
 
 std::unique_ptr<cluster::Scheduler> make_scheduler(Scheme scheme) {

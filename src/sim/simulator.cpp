@@ -1,7 +1,5 @@
 #include "sim/simulator.h"
 
-#include <algorithm>
-
 namespace protean::sim {
 
 EventHandle Simulator::schedule_at(SimTime when, Callback cb) {
@@ -9,36 +7,22 @@ EventHandle Simulator::schedule_at(SimTime when, Callback cb) {
   PROTEAN_CHECK_MSG(static_cast<bool>(cb), "null event callback");
   const std::uint64_t seq = next_seq_++;
   queue_.push(Event{when, seq, std::move(cb)});
-  ++live_events_;
+  live_seqs_.insert(live_seqs_.end(), seq);  // seqs ascend: O(1) hinted insert
   return EventHandle(seq);
 }
 
 bool Simulator::cancel(EventHandle handle) {
   if (!handle.valid()) return false;
-  // We cannot remove from the middle of a priority queue; record a tombstone
-  // that pop paths skip. The tombstone list is pruned lazily.
-  if (handle.id() >= next_seq_) return false;
-  if (is_cancelled(handle.id())) return false;
-  cancelled_.push_back(handle.id());
-  if (live_events_ == 0) {
-    cancelled_.pop_back();
-    return false;
-  }
-  --live_events_;
-  return true;
-}
-
-bool Simulator::is_cancelled(std::uint64_t seq) const {
-  return std::find(cancelled_.begin(), cancelled_.end(), seq) !=
-         cancelled_.end();
+  // We cannot remove from the middle of a priority queue; instead the event
+  // is delisted from live_seqs_, turning its queue entry into a tombstone
+  // that pop paths discard. Cancelling an event that already executed (or
+  // was already cancelled) is a no-op, so nothing accumulates across
+  // repeated PeriodicTask stops.
+  return live_seqs_.erase(handle.id()) > 0;
 }
 
 void Simulator::pop_cancelled() {
-  while (!queue_.empty()) {
-    const auto it =
-        std::find(cancelled_.begin(), cancelled_.end(), queue_.top().seq);
-    if (it == cancelled_.end()) break;
-    cancelled_.erase(it);
+  while (!queue_.empty() && live_seqs_.count(queue_.top().seq) == 0) {
     queue_.pop();
   }
 }
@@ -51,7 +35,7 @@ bool Simulator::step() {
   queue_.pop();
   PROTEAN_DCHECK(event.when >= now_);
   now_ = event.when;
-  --live_events_;
+  live_seqs_.erase(event.seq);
   ++executed_;
   event.cb();
   return true;

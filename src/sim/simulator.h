@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <set>
 #include <vector>
 
 #include "common/check.h"
@@ -64,7 +65,7 @@ class Simulator {
   bool step();
 
   /// Number of events currently pending (cancelled tombstones excluded).
-  std::size_t pending() const noexcept { return live_events_; }
+  std::size_t pending() const noexcept { return live_seqs_.size(); }
 
   /// Total events executed since construction.
   std::uint64_t executed() const noexcept { return executed_; }
@@ -82,14 +83,17 @@ class Simulator {
     }
   };
 
-  bool is_cancelled(std::uint64_t seq) const;
   void pop_cancelled();
 
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
-  std::vector<std::uint64_t> cancelled_;  // sorted set would be overkill
+  // Sequence numbers of live (scheduled, not cancelled, not yet executed)
+  // events. A queue entry whose seq is absent is a cancellation tombstone;
+  // tombstones are pruned as they reach the top of the queue, so memory stays
+  // bounded by the number of scheduled events. Ordered lookup keeps cancel /
+  // pop O(log n) even in sweeps that stop thousands of PeriodicTasks.
+  std::set<std::uint64_t> live_seqs_;
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 1;
-  std::size_t live_events_ = 0;
   std::uint64_t executed_ = 0;
 };
 

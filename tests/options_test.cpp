@@ -29,6 +29,41 @@ TEST(Cli, DefaultsMatchPrimaryConfig) {
             spot::ProcurementPolicy::kOnDemandOnly);
 }
 
+TEST(Registry, ParseSchemeRoundTripsEveryScheme) {
+  // Both the display name and the CLI name must parse back to the same
+  // enumerator, for all 12 schemes, so tool listings can never drift.
+  EXPECT_EQ(sched::all_schemes().size(), 12u);
+  for (sched::Scheme scheme : sched::all_schemes()) {
+    EXPECT_EQ(sched::parse_scheme(sched::scheme_name(scheme)), scheme)
+        << sched::scheme_name(scheme);
+    EXPECT_EQ(sched::parse_scheme(sched::scheme_cli_name(scheme)), scheme)
+        << sched::scheme_cli_name(scheme);
+    // The CLI accepts every name the registry lists.
+    EXPECT_EQ(scheme_from_alias(sched::scheme_cli_name(scheme)), scheme);
+  }
+  EXPECT_EQ(sched::parse_scheme("no-such-scheme"), std::nullopt);
+}
+
+TEST(Cli, SweepFlags) {
+  const auto opts = must_parse(
+      {"--seeds", "5", "--jobs", "8", "--sweep", "rps=1000:3000:1000"});
+  EXPECT_EQ(opts.seeds, 5u);
+  EXPECT_EQ(opts.jobs, 8);
+  EXPECT_TRUE(opts.is_sweep());
+  EXPECT_EQ(opts.sweep_axis.param, SweepAxis::Param::kRps);
+  EXPECT_EQ(opts.sweep_axis.values().size(), 3u);
+
+  const auto sweep = opts.sweep_config();
+  EXPECT_EQ(sweep.replications, 5u);
+  EXPECT_EQ(sweep.grid().size(), 3u * 1u * 5u);
+
+  EXPECT_FALSE(must_parse({}).is_sweep());
+  EXPECT_FALSE(parse_cli({"--seeds", "0"}).options);
+  EXPECT_FALSE(parse_cli({"--jobs", "0"}).options);
+  EXPECT_FALSE(parse_cli({"--sweep", "bogus"}).options);
+  EXPECT_FALSE(parse_cli({"--sweep", "rps=5:1:1"}).options);
+}
+
 TEST(Cli, SchemeAliases) {
   EXPECT_EQ(scheme_from_alias("protean"), sched::Scheme::kProtean);
   EXPECT_EQ(scheme_from_alias("INFless"), sched::Scheme::kInflessLlama);

@@ -3,11 +3,14 @@
 //   protean_sim --all-schemes --model "VGG 19" --horizon 60
 //   protean_sim --scheme protean --trace twitter --json > out.json
 //   protean_sim --scheme protean --trace-file trace.csv --nodes 4
+//   protean_sim --all-schemes --seeds 5 --jobs 8          # replicated, parallel
+//   protean_sim --sweep rps=1000:5000:1000 --seeds 3 --jobs 8
 #include <cstdio>
 
 #include "common/strfmt.h"
 #include "harness/json.h"
 #include "harness/options.h"
+#include "harness/sweep.h"
 #include "harness/table.h"
 #include "workload/model.h"
 
@@ -28,9 +31,67 @@ void list_models() {
 }
 
 void list_schemes() {
-  std::printf(
-      "protean, oracle, infless, molecule, naive, mig-only, mps-mig,\n"
-      "smart, gpulet, protean-static, protean-no-reorder, protean-no-eta\n");
+  // Enumerated from the registry so this list can never drift from the enum.
+  harness::Table table({"CLI name", "Scheme"});
+  for (sched::Scheme scheme : sched::all_schemes()) {
+    table.add_row({sched::scheme_cli_name(scheme), sched::scheme_name(scheme)});
+  }
+  table.print();
+}
+
+std::string mean_ci(const harness::MetricSummary& summary, const char* fmt) {
+  return strfmt(fmt, summary.mean) + " ±" + strfmt(fmt, summary.ci95);
+}
+
+void print_reports(const harness::CliOptions& opts,
+                   const std::vector<harness::Report>& reports) {
+  std::printf("strict model: %s   trace: %s @ %.0f rps   nodes: %u   "
+              "SLO: %.0fx\n\n",
+              opts.config.strict_model.c_str(),
+              trace::to_string(opts.config.trace.kind),
+              opts.config.trace.target_rps, opts.config.cluster.node_count,
+              opts.config.cluster.slo_multiplier);
+  harness::Table table({"Scheme", "SLO compliance", "P50 (ms)", "P99 (ms)",
+                        "BE P99 (ms)", "GPU util", "Cost ($)"});
+  for (const auto& r : reports) {
+    table.add_row({r.scheme, strfmt("%.2f%%", r.slo_compliance_pct),
+                   strfmt("%.0f", r.strict_p50_ms),
+                   strfmt("%.0f", r.strict_p99_ms),
+                   strfmt("%.0f", r.be_p99_ms),
+                   strfmt("%.1f%%", r.gpu_util_pct),
+                   strfmt("%.2f", r.cost_usd)});
+  }
+  table.print();
+}
+
+void print_aggregates(const harness::CliOptions& opts,
+                      const std::vector<harness::AggregateReport>& cells) {
+  std::printf("strict model: %s   trace: %s   nodes: %u   seeds: %u   "
+              "jobs: %d\n\n",
+              opts.config.strict_model.c_str(),
+              trace::to_string(opts.config.trace.kind),
+              opts.config.cluster.node_count, opts.seeds, opts.jobs);
+  const bool axis = opts.sweep_axis.active();
+  std::vector<std::string> header;
+  if (axis) header.push_back(harness::to_string(opts.sweep_axis.param));
+  for (const char* column : {"Scheme", "SLO compliance", "P99 (ms)",
+                             "BE P99 (ms)", "GPU util", "Cost ($)"}) {
+    header.push_back(column);
+  }
+  harness::Table table(header);
+  for (const auto& cell : cells) {
+    std::vector<std::string> row;
+    if (axis) row.push_back(strfmt("%g", cell.axis_value));
+    row.push_back(cell.scheme);
+    row.push_back(mean_ci(cell.slo_compliance_pct, "%.2f") + "%");
+    row.push_back(mean_ci(cell.strict_p99_ms, "%.0f"));
+    row.push_back(mean_ci(cell.be_p99_ms, "%.0f"));
+    row.push_back(mean_ci(cell.gpu_util_pct, "%.1f") + "%");
+    row.push_back(mean_ci(cell.cost_usd, "%.2f"));
+    table.add_row(row);
+  }
+  table.print();
+  std::printf("\n(mean ± 95%% CI over %u seeds)\n", opts.seeds);
 }
 
 }  // namespace
@@ -57,7 +118,24 @@ int main(int argc, char** argv) {
   }
 
   if (opts.json) opts.config.keep_latency_samples = true;
-  const auto reports = harness::run_schemes(opts.config, opts.schemes);
+  const harness::SweepRunner runner(opts.jobs);
+
+  if (opts.is_sweep()) {
+    const auto sweep = opts.sweep_config();
+    const auto cells = runner.run_aggregate(sweep);
+    if (opts.json) {
+      std::printf("%s\n", harness::aggregates_to_json(sweep, cells)
+                              .dump(opts.json_indent)
+                              .c_str());
+    } else {
+      print_aggregates(opts, cells);
+    }
+    return 0;
+  }
+
+  // Classic path: one report per scheme. Routed through the sweep runner so
+  // --jobs parallelizes it; any job count produces identical reports.
+  const auto reports = runner.run_grid(opts.sweep_config());
 
   if (opts.json) {
     std::printf("%s\n",
@@ -66,23 +144,6 @@ int main(int argc, char** argv) {
                     .c_str());
     return 0;
   }
-
-  std::printf("strict model: %s   trace: %s @ %.0f rps   nodes: %u   "
-              "SLO: %.0fx\n\n",
-              opts.config.strict_model.c_str(),
-              trace::to_string(opts.config.trace.kind),
-              opts.config.trace.target_rps, opts.config.cluster.node_count,
-              opts.config.cluster.slo_multiplier);
-  harness::Table table({"Scheme", "SLO compliance", "P50 (ms)", "P99 (ms)",
-                        "BE P99 (ms)", "GPU util", "Cost ($)"});
-  for (const auto& r : reports) {
-    table.add_row({r.scheme, strfmt("%.2f%%", r.slo_compliance_pct),
-                   strfmt("%.0f", r.strict_p50_ms),
-                   strfmt("%.0f", r.strict_p99_ms),
-                   strfmt("%.0f", r.be_p99_ms),
-                   strfmt("%.1f%%", r.gpu_util_pct),
-                   strfmt("%.2f", r.cost_usd)});
-  }
-  table.print();
+  print_reports(opts, reports);
   return 0;
 }
