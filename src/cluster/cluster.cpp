@@ -186,7 +186,8 @@ double Cluster::memory_utilization_pct() const {
   if (elapsed <= 0.0) return 0.0;
   double gbs = 0.0;
   for (const auto& node : nodes_) gbs += node->gpu_memory_gb_seconds();
-  return 100.0 * gbs / (elapsed * 40.0 * static_cast<double>(nodes_.size()));
+  return 100.0 * gbs / (elapsed * config_.gpu_memory_gb *
+                        static_cast<double>(nodes_.size()));
 }
 
 std::uint64_t Cluster::total_cold_starts() const {

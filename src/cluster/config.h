@@ -5,6 +5,7 @@
 
 #include "common/types.h"
 #include "gpu/engine.h"
+#include "memcache/config.h"
 #include "spot/market.h"
 
 namespace protean::cluster {
@@ -62,6 +63,14 @@ struct ClusterConfig {
   /// SLO multiplier over the 7g solo latency (Section 5: 3×; the tight-SLO
   /// sensitivity study uses 2×).
   double slo_multiplier = 3.0;
+
+  /// Total memory of each worker's GPU (A100-40GB vs A100-80GB). MIG slice
+  /// capacities scale proportionally from the Table 2 baseline.
+  MemGb gpu_memory_gb = 40.0;
+
+  /// Per-node model-weight cache (src/memcache). Disabled by default so
+  /// the paper's primary experiments reproduce unchanged.
+  memcache::MemCacheConfig memcache;
 
   /// MPS interference model knobs (see gpu/engine.h).
   gpu::InterferenceParams interference;

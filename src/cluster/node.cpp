@@ -22,11 +22,16 @@ WorkerNode::WorkerNode(sim::Simulator& simulator, NodeId id,
       config_(config),
       scheduler_(scheduler),
       collector_(collector) {
-  gpu_ = std::make_unique<gpu::Gpu>(sim_, id_, scheduler_.initial_geometry(),
-                                    scheduler_.sharing_mode(),
-                                    config_.reconfigure_time,
-                                    config_.interference);
+  gpu_ = std::make_unique<gpu::Gpu>(
+      sim_, id_, scheduler_.initial_geometry(), scheduler_.sharing_mode(),
+      config_.reconfigure_time, config_.interference, config_.gpu_memory_gb,
+      config_.memcache.enabled);
   gpu_->set_capacity_callback([this] { try_dispatch(); });
+  if (config_.memcache.enabled) {
+    cache_ = std::make_unique<memcache::ModelCache>(sim_, config_.memcache,
+                                                    &collector_);
+    maybe_sync_cache();
+  }
   if (config_.keep_alive > 0.0) {
     reaper_ = std::make_unique<sim::PeriodicTask>(
         sim_, config_.reaper_interval, [this] { reap_containers(); });
@@ -148,8 +153,16 @@ void WorkerNode::maybe_boot_spare(const workload::ModelProfile& model) {
   });
 }
 
+void WorkerNode::maybe_sync_cache() {
+  if (!cache_ || !gpu_ || gpu_->reconfiguring()) return;
+  if (gpu_->reconfigurations() == synced_reconfigs_) return;
+  cache_->sync_slices(gpu_->slices());
+  synced_reconfigs_ = gpu_->reconfigurations();
+}
+
 void WorkerNode::try_dispatch() {
   if (!up_ || dispatch_scheduled_) return;
+  maybe_sync_cache();
   dispatch_scheduled_ = true;
   bool progress = true;
   while (progress && up_) {
@@ -181,17 +194,30 @@ void WorkerNode::start_batch(workload::Batch batch, gpu::Slice* slice) {
     return;
   }
   auto& pool = containers_[batch.model];
-  Duration cold = 0.0;
+  bool container_cold = false;
   if (pool.warm > 0) {
     --pool.warm;
     pool.idle_since.pop_back();  // reuse the most recently idle container
   } else {
     PROTEAN_DCHECK(pool.busy == 0 && !pool.spare_booting);
-    cold = config_.cold_start;
+    container_cold = true;
     ++cold_starts_;
     collector_.record_cold_start();
   }
   ++pool.busy;
+  Duration cold = 0.0;
+  if (cache_ != nullptr) {
+    // Split the cold start into runtime/container init vs weight load; a
+    // resident (cached) model skips the weight-load part even when the
+    // container itself must boot, and a warm container still pays the
+    // weight load when its model's weights were evicted.
+    const double load_frac = config_.memcache.weight_load_fraction;
+    const bool weights_hit = cache_->acquire(*slice, batch.model);
+    if (container_cold) cold += config_.cold_start * (1.0 - load_frac);
+    if (!weights_hit) cold += config_.cold_start * load_frac;
+  } else if (container_cold) {
+    cold = config_.cold_start;
+  }
   batch.cold_start = cold;
   ++running_;
   if (cold <= 0.0) {
@@ -199,7 +225,8 @@ void WorkerNode::start_batch(workload::Batch batch, gpu::Slice* slice) {
     return;
   }
   // Hold the memory while the container boots, then submit for execution.
-  slice->reserve_memory(spec.mem_gb);
+  batch.reserved_gb = slice->admission_demand(spec);
+  slice->reserve_memory(batch.reserved_gb);
   const SliceId slice_id = slice->id();
   const std::uint64_t epoch = epoch_;
   const std::uint64_t token = next_boot_token_++;
@@ -227,10 +254,14 @@ void WorkerNode::begin_exec(workload::Batch batch, SliceId slice_id,
   gpu::Slice* slice = find_slice(slice_id);
   const gpu::JobSpec probe =
       slice ? scheduler_.make_job(batch, *slice, next_job_id_) : gpu::JobSpec{};
-  if (slice != nullptr && reserved) slice->release_reservation(probe.mem_gb);
+  if (slice != nullptr && reserved) {
+    slice->release_reservation(batch.reserved_gb);
+    batch.reserved_gb = 0.0;
+  }
   if (slice == nullptr || !slice->can_admit(probe)) {
     // The slice vanished (reconfiguration) or filled up; the booted
     // container stays warm and the batch goes back to the queue.
+    if (cache_) cache_->release(slice_id, batch.model);
     auto& pool = containers_[batch.model];
     ++pool.warm;
     pool.idle_since.push_back(sim_.now());
@@ -248,7 +279,8 @@ void WorkerNode::begin_exec(workload::Batch batch, SliceId slice_id,
   batch.solo_min = batch.model->solo_time_7g * fill;
   batch.solo_on_slice = batch.model->solo_time_on(slice->profile()) * fill;
   auto shared = std::make_shared<workload::Batch>(std::move(batch));
-  slice->submit(spec, [this, shared](const gpu::JobCompletion& done) {
+  slice->submit(spec, [this, shared, slice_id](const gpu::JobCompletion& done) {
+    if (cache_) cache_->release(slice_id, shared->model);
     on_complete(std::move(*shared), done);
   });
 }
@@ -341,9 +373,14 @@ std::vector<workload::Batch> WorkerNode::evict() {
   if (gpu_) {
     gpu_busy_retired_ += gpu_->busy_seconds();
     gpu_mem_retired_ += gpu_->memory_gb_seconds();
+    swap_stall_retired_ += gpu_->swap_stall_seconds();
     reconfigs_retired_ += gpu_->reconfigurations();
   }
   gpu_.reset();  // cancels all pending completions
+  if (cache_) {
+    cache_->reset();  // device memory is gone with the VM
+    synced_reconfigs_ = -1;
+  }
   return flushed;
 }
 
@@ -352,11 +389,12 @@ void WorkerNode::restore() {
   up_ = true;
   draining_ = false;
   ++epoch_;
-  gpu_ = std::make_unique<gpu::Gpu>(sim_, id_, scheduler_.initial_geometry(),
-                                    scheduler_.sharing_mode(),
-                                    config_.reconfigure_time,
-                                    config_.interference);
+  gpu_ = std::make_unique<gpu::Gpu>(
+      sim_, id_, scheduler_.initial_geometry(), scheduler_.sharing_mode(),
+      config_.reconfigure_time, config_.interference, config_.gpu_memory_gb,
+      config_.memcache.enabled);
   gpu_->set_capacity_callback([this] { try_dispatch(); });
+  maybe_sync_cache();
   try_dispatch();
 }
 

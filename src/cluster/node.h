@@ -18,6 +18,7 @@
 #include "cluster/config.h"
 #include "cluster/scheduler.h"
 #include "gpu/engine.h"
+#include "memcache/model_cache.h"
 #include "metrics/collector.h"
 #include "sim/simulator.h"
 #include "workload/batch.h"
@@ -35,6 +36,11 @@ class WorkerNode {
   NodeId id() const noexcept { return id_; }
   gpu::Gpu& gpu() noexcept { return *gpu_; }
   const gpu::Gpu& gpu() const noexcept { return *gpu_; }
+  const ClusterConfig& config() const noexcept { return config_; }
+
+  /// The node's model-weight cache; nullptr unless config.memcache.enabled.
+  const memcache::ModelCache* cache() const noexcept { return cache_.get(); }
+  memcache::ModelCache* cache() noexcept { return cache_.get(); }
 
   // ---- lifecycle (driven by the spot market) ------------------------------
   bool up() const noexcept { return up_; }
@@ -110,6 +116,11 @@ class WorkerNode {
   int reconfigurations() const noexcept {
     return reconfigs_retired_ + (gpu_ ? gpu_->reconfigurations() : 0);
   }
+  /// Busy seconds lost to weight swapping (oversubscribed model cache),
+  /// including GPUs retired by VM evictions.
+  double swap_stall_seconds() const noexcept {
+    return swap_stall_retired_ + (gpu_ ? gpu_->swap_stall_seconds() : 0.0);
+  }
 
   /// Seeds warm containers for a model (a long-running deployment has them;
   /// experiments use this to start in the steady state the paper measures).
@@ -132,6 +143,9 @@ class WorkerNode {
 
   void start_batch(workload::Batch batch, gpu::Slice* slice);
   void maybe_boot_spare(const workload::ModelProfile& model);
+  /// Re-registers the live slice set with the cache after a reconfiguration
+  /// (detected by the GPU's completed-reconfiguration counter).
+  void maybe_sync_cache();
   void begin_exec(workload::Batch batch, SliceId slice_id, bool reserved);
   void on_complete(workload::Batch batch, const gpu::JobCompletion& done);
   gpu::Slice* find_slice(SliceId slice_id);
@@ -144,6 +158,8 @@ class WorkerNode {
   Scheduler& scheduler_;
   metrics::Collector& collector_;
   std::unique_ptr<gpu::Gpu> gpu_;
+  std::unique_ptr<memcache::ModelCache> cache_;
+  int synced_reconfigs_ = -1;  // forces an initial sync_slices
 
   std::deque<workload::Batch> queue_;
   std::function<void(workload::Batch&&)> redistribute_;
@@ -171,6 +187,7 @@ class WorkerNode {
   std::uint64_t epoch_ = 0;  // bumped on evict/restore to orphan callbacks
   double gpu_busy_retired_ = 0.0;
   double gpu_mem_retired_ = 0.0;
+  double swap_stall_retired_ = 0.0;
   int reconfigs_retired_ = 0;
 };
 

@@ -6,6 +6,7 @@
 
 #include "core/slowdown.h"
 #include "gpu/mig.h"
+#include "memcache/model_cache.h"
 
 namespace protean::core {
 
@@ -47,7 +48,8 @@ std::vector<TaggedSlice> JobDistributor::compute_tags(
 
 gpu::Slice* JobDistributor::choose_strict_slice(
     const workload::Batch& batch, const std::vector<TaggedSlice>& tagged,
-    double be_fbr_density) {
+    double be_fbr_density, const memcache::ModelCache* cache,
+    double affinity_weight) {
   gpu::Slice* best = nullptr;
   double best_eta = std::numeric_limits<double>::infinity();
   // Two passes: slices not fully claimed by BE work first (Algorithm 1's
@@ -58,7 +60,7 @@ gpu::Slice* JobDistributor::choose_strict_slice(
     for (const TaggedSlice& ts : tagged) {
       gpu::Slice& slice = *ts.slice;
       if (!ignore_tags && ts.tag_value >= 1.0) continue;
-      if (!batch.model->fits(slice.profile())) continue;
+      if (batch.model->mem_gb > slice.memory_capacity() + 1e-9) continue;
       if (!slice.can_admit(probe_spec(batch, slice))) continue;
       // Expected interference from BE work earmarked for this slice: the
       // tagged fraction of the slice's free memory times the queue's FBR
@@ -66,9 +68,15 @@ gpu::Slice* JobDistributor::choose_strict_slice(
       const double tagged_fbr =
           ts.tag_value * std::max(0.0, slice.available_memory()) *
           be_fbr_density;
-      const double eta =
+      double eta =
           slowdown_factor(*batch.model, slice.profile(), slice.fbr_sum(),
                           slice.sm_share_sum(), tagged_fbr);
+      // Cache affinity: a slice already holding the weights avoids the
+      // weight-load cold start, worth a discounted effective slowdown.
+      if (cache != nullptr && affinity_weight > 0.0 &&
+          cache->resident(slice.id(), batch.model)) {
+        eta /= 1.0 + affinity_weight;
+      }
       if (eta < best_eta) {
         best_eta = eta;
         best = &slice;
@@ -81,7 +89,8 @@ gpu::Slice* JobDistributor::choose_strict_slice(
 
 gpu::Slice* JobDistributor::choose_best_effort_slice(
     const workload::Batch& batch, const std::vector<TaggedSlice>& tagged,
-    bool protect_largest) {
+    bool protect_largest, const memcache::ModelCache* cache,
+    double affinity_weight) {
   // First Fit over ascending sizes: the smallest slice that can take the
   // batch right now. While strict work is present the largest slice is
   // reserved for it: BE spills onto it only when no smaller slice could
@@ -89,16 +98,23 @@ gpu::Slice* JobDistributor::choose_best_effort_slice(
   // geometry) — otherwise the batch waits, per Guideline 1.
   if (tagged.empty()) return nullptr;
   const gpu::Slice* largest = tagged.back().slice;
-  bool fits_smaller = false;
-  for (const TaggedSlice& ts : tagged) {
-    gpu::Slice& slice = *ts.slice;
-    if (!batch.model->fits(slice.profile())) continue;
-    if (&slice != largest) fits_smaller = true;
-    if (protect_largest && &slice == largest && fits_smaller &&
-        tagged.size() > 1) {
-      continue;
+  // Cache affinity: prefer a slice already holding the weights (same First
+  // Fit rules), falling back to the plain scan when none qualifies.
+  const bool use_affinity = cache != nullptr && affinity_weight > 0.0;
+  for (const bool affinity_pass : {true, false}) {
+    if (affinity_pass && !use_affinity) continue;
+    bool fits_smaller = false;
+    for (const TaggedSlice& ts : tagged) {
+      gpu::Slice& slice = *ts.slice;
+      if (batch.model->mem_gb > slice.memory_capacity() + 1e-9) continue;
+      if (&slice != largest) fits_smaller = true;
+      if (protect_largest && &slice == largest && fits_smaller &&
+          tagged.size() > 1) {
+        continue;
+      }
+      if (affinity_pass && !cache->resident(slice.id(), batch.model)) continue;
+      if (slice.can_admit(probe_spec(batch, slice))) return &slice;
     }
-    if (slice.can_admit(probe_spec(batch, slice))) return &slice;
   }
   return nullptr;
 }

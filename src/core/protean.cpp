@@ -39,7 +39,9 @@ gpu::Slice* ProteanScheduler::place(const workload::Batch& batch,
       return nullptr;
     }
     const double density = JobDistributor::be_fbr_density(node.queue());
-    return JobDistributor::choose_strict_slice(batch, tagged, density);
+    return JobDistributor::choose_strict_slice(
+        batch, tagged, density, node.cache(),
+        node.config().memcache.affinity_weight);
   }
   // The largest slice is only reserved while strict work is actually
   // around (resident, queued, or seen recently); a 100%-BE workload may
@@ -52,8 +54,9 @@ gpu::Slice* ProteanScheduler::place(const workload::Batch& batch,
   if (!strict_present) {
     strict_present = batch.enqueued_at - node.last_strict_seen() < 3.0;
   }
-  return JobDistributor::choose_best_effort_slice(batch, tagged,
-                                                  strict_present);
+  return JobDistributor::choose_best_effort_slice(
+      batch, tagged, strict_present, node.cache(),
+      node.config().memcache.affinity_weight);
 }
 
 void ProteanScheduler::on_monitor(cluster::WorkerNode& node,

@@ -22,21 +22,32 @@ double mps_slowdown(double pressure, const InterferenceParams& params) noexcept 
 
 Slice::Slice(sim::Simulator& simulator, Gpu* owner, SliceId id,
              SliceProfile profile, SharingMode mode,
-             InterferenceParams interference)
+             InterferenceParams interference, MemGb gpu_memory_gb,
+             bool shared_weights)
     : sim_(simulator),
       owner_(owner),
       id_(id),
       profile_(profile),
       mode_(mode),
       interference_(interference),
+      mem_capacity_(memory_gb(profile) * (gpu_memory_gb / 40.0)),
+      shared_weights_(shared_weights),
       last_update_(simulator.now()),
       util_last_update_(simulator.now()) {}
 
 Slice::~Slice() { sim_.cancel(completion_event_); }
 
+MemGb Slice::admission_demand(const JobSpec& spec) const noexcept {
+  if (!shared_weights_ || spec.weight_gb <= 0.0) return spec.mem_gb;
+  const MemGb weight = std::min(spec.weight_gb, spec.mem_gb);
+  const auto it = weight_refs_.find(spec.model_tag);
+  const bool charged = it != weight_refs_.end() && it->second.count > 0;
+  return charged ? spec.mem_gb - weight : spec.mem_gb;
+}
+
 bool Slice::can_admit(const JobSpec& spec) const noexcept {
   if (!accepting_) return false;
-  if (spec.mem_gb > available_memory() + 1e-9) return false;
+  if (admission_demand(spec) > available_memory() + 1e-9) return false;
   if (mode_ == SharingMode::kTimeShare && !jobs_.empty()) return false;
   return true;
 }
@@ -44,12 +55,12 @@ bool Slice::can_admit(const JobSpec& spec) const noexcept {
 double Slice::pressure() const noexcept { return std::max(fbr_sum_, sm_sum_); }
 
 double Slice::current_slowdown() const noexcept {
-  if (mode_ == SharingMode::kTimeShare) return 1.0;
-  return mps_slowdown(pressure(), interference_);
+  if (mode_ == SharingMode::kTimeShare) return swap_factor_;
+  return mps_slowdown(pressure(), interference_) * swap_factor_;
 }
 
 double Slice::job_rate(const Running& job) const noexcept {
-  if (mode_ == SharingMode::kTimeShare) return 1.0;
+  if (mode_ == SharingMode::kTimeShare) return 1.0 / swap_factor_;
   return std::min(1.0, job.solo_slowdown / current_slowdown());
 }
 
@@ -68,8 +79,19 @@ void Slice::submit(const JobSpec& spec, CompletionCallback on_done) {
   if (mode_ == SharingMode::kTimeShare) last_model_tag_ = spec.model_tag;
   jobs_.push_back(
       Running{spec, work, solo_slowdown, sim_.now(), std::move(on_done)});
-  mem_in_use_ += spec.mem_gb;
-  if (!spec.strict) be_mem_in_use_ += spec.mem_gb;
+  MemGb charge = spec.mem_gb;
+  if (shared_weights_ && spec.weight_gb > 0.0) {
+    const MemGb weight = std::min(spec.weight_gb, spec.mem_gb);
+    charge = spec.mem_gb - weight;
+    WeightRef& ref = weight_refs_[spec.model_tag];
+    if (ref.count == 0) {
+      ref.gb = weight;
+      weight_charged_gb_ += weight;
+    }
+    ++ref.count;
+  }
+  mem_in_use_ += charge;
+  if (!spec.strict) be_mem_in_use_ += charge;
   fbr_sum_ += spec.fbr;
   sm_sum_ += spec.sm_share;
   if (was_idle && owner_ != nullptr) owner_->on_slice_activity_change(true);
@@ -88,8 +110,13 @@ void Slice::settle() {
   // Utilization integrals.
   const Duration util_elapsed = now - util_last_update_;
   if (util_elapsed > 0.0) {
-    if (!jobs_.empty()) busy_integral_ += util_elapsed;
-    mem_integral_ += util_elapsed * mem_in_use_;
+    if (!jobs_.empty()) {
+      busy_integral_ += util_elapsed;
+      if (swap_factor_ > 1.0) {
+        swap_stall_integral_ += util_elapsed * (1.0 - 1.0 / swap_factor_);
+      }
+    }
+    mem_integral_ += util_elapsed * (mem_in_use_ + weight_charged_gb_);
   }
   last_update_ = now;
   util_last_update_ = now;
@@ -123,8 +150,19 @@ void Slice::complete_front_runner() {
   }
   PROTEAN_DCHECK(!done.empty());
   for (Running& job : done) {
-    mem_in_use_ -= job.spec.mem_gb;
-    if (!job.spec.strict) be_mem_in_use_ -= job.spec.mem_gb;
+    MemGb charge = job.spec.mem_gb;
+    if (shared_weights_ && job.spec.weight_gb > 0.0) {
+      const MemGb weight = std::min(job.spec.weight_gb, job.spec.mem_gb);
+      charge = job.spec.mem_gb - weight;
+      auto ref = weight_refs_.find(job.spec.model_tag);
+      PROTEAN_DCHECK(ref != weight_refs_.end() && ref->second.count > 0);
+      if (ref != weight_refs_.end() && --ref->second.count == 0) {
+        weight_charged_gb_ -= ref->second.gb;
+        weight_refs_.erase(ref);
+      }
+    }
+    mem_in_use_ -= charge;
+    if (!job.spec.strict) be_mem_in_use_ -= charge;
     fbr_sum_ -= job.spec.fbr;
     sm_sum_ -= job.spec.sm_share;
   }
@@ -134,6 +172,7 @@ void Slice::complete_front_runner() {
     be_mem_in_use_ = 0.0;
     fbr_sum_ = 0.0;
     sm_sum_ = 0.0;
+    if (weight_refs_.empty()) weight_charged_gb_ = 0.0;
   } else {
     mem_in_use_ = std::max(0.0, mem_in_use_);
     be_mem_in_use_ = std::max(0.0, be_mem_in_use_);
@@ -175,11 +214,28 @@ void Slice::reserve_memory(MemGb gb) {
 
 void Slice::release_reservation(MemGb gb) {
   PROTEAN_CHECK_MSG(reservation_count_ > 0, "no reservation to release");
+  PROTEAN_CHECK_MSG(gb <= reserved_gb_ + 1e-9, "releasing more than reserved");
   settle();
   reserved_gb_ = std::max(0.0, reserved_gb_ - gb);
   --reservation_count_;
   if (reservation_count_ == 0) reserved_gb_ = 0.0;
   if (owner_ != nullptr) owner_->on_job_complete();  // may unblock a drain
+}
+
+void Slice::set_swap_slowdown(double factor) {
+  PROTEAN_CHECK_MSG(factor >= 1.0, "swap slowdown below 1");
+  if (factor == swap_factor_) return;
+  settle();
+  swap_factor_ = factor;
+  reschedule_completion();
+}
+
+double Slice::swap_stall_seconds() const noexcept {
+  double total = swap_stall_integral_;
+  if (!jobs_.empty() && swap_factor_ > 1.0) {
+    total += (sim_.now() - util_last_update_) * (1.0 - 1.0 / swap_factor_);
+  }
+  return total;
 }
 
 double Slice::busy_seconds() const noexcept {
@@ -189,33 +245,41 @@ double Slice::busy_seconds() const noexcept {
 }
 
 double Slice::memory_gb_seconds() const noexcept {
-  return mem_integral_ + (sim_.now() - util_last_update_) * mem_in_use_;
+  return mem_integral_ + (sim_.now() - util_last_update_) *
+                             (mem_in_use_ + weight_charged_gb_);
 }
 
 // ------------------------------------------------------------------ Gpu ----
 
 Gpu::Gpu(sim::Simulator& simulator, GpuId id, Geometry geometry,
          SharingMode mode, Duration reconfigure_time,
-         InterferenceParams interference)
+         InterferenceParams interference, MemGb memory_gb, bool shared_weights)
     : sim_(simulator),
       id_(id),
       geometry_(std::move(geometry)),
       mode_(mode),
       reconfigure_time_(reconfigure_time),
       interference_(interference),
+      memory_gb_(memory_gb),
+      shared_weights_(shared_weights),
       busy_last_update_(simulator.now()) {
   PROTEAN_CHECK_MSG(geometry_.valid(), "invalid initial geometry");
+  PROTEAN_CHECK_MSG(memory_gb_ > 0.0, "GPU memory must be positive");
   build_slices();
 }
 
 void Gpu::build_slices() {
   // Preserve utilization integrals of slices about to be destroyed.
-  for (const auto& s : slices_) mem_integral_retired_ += s->memory_gb_seconds();
+  for (const auto& s : slices_) {
+    mem_integral_retired_ += s->memory_gb_seconds();
+    swap_stall_retired_ += s->swap_stall_seconds();
+  }
   slices_.clear();
   slices_.reserve(geometry_.size());
   for (SliceProfile profile : geometry_.slices()) {
-    slices_.push_back(std::make_unique<Slice>(
-        sim_, this, next_slice_id_++, profile, mode_, interference_));
+    slices_.push_back(std::make_unique<Slice>(sim_, this, next_slice_id_++,
+                                              profile, mode_, interference_,
+                                              memory_gb_, shared_weights_));
   }
 }
 
@@ -294,6 +358,12 @@ double Gpu::busy_seconds() const noexcept {
 double Gpu::memory_gb_seconds() const noexcept {
   double total = mem_integral_retired_;
   for (const auto& s : slices_) total += s->memory_gb_seconds();
+  return total;
+}
+
+double Gpu::swap_stall_seconds() const noexcept {
+  double total = swap_stall_retired_;
+  for (const auto& s : slices_) total += s->swap_stall_seconds();
   return total;
 }
 

@@ -31,6 +31,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -66,6 +67,10 @@ struct JobSpec {
   double sm_share = 1.0;     ///< fraction of this slice's SMs the kernel
                              ///< occupies: min(sm_req / compute_fraction, 1).
   MemGb mem_gb = 0.0;        ///< GPU memory held while executing.
+  /// Weight portion of mem_gb. Only meaningful on GPUs built in
+  /// shared-weights mode (model cache enabled): concurrent jobs of the same
+  /// model_tag then charge the weights once instead of per job.
+  MemGb weight_gb = 0.0;
   bool strict = false;       ///< latency class (for residency accounting).
   /// Opaque workload identity; under time sharing the swap overhead is only
   /// paid when the slice switches to a different workload's container.
@@ -90,9 +95,14 @@ class Gpu;  // forward
 /// One MIG instance. Owned by a Gpu; jobs are submitted by the node runtime.
 class Slice {
  public:
+  /// `gpu_memory_gb` is the total memory of the owning GPU; slice capacity
+  /// scales from the Table 2 baseline (A100-40GB) proportionally, so an
+  /// 80 GB part doubles every profile's memory. `shared_weights` enables
+  /// per-model_tag weight charging (see JobSpec::weight_gb).
   Slice(sim::Simulator& simulator, Gpu* owner, SliceId id,
         SliceProfile profile, SharingMode mode,
-        InterferenceParams interference = {});
+        InterferenceParams interference = {}, MemGb gpu_memory_gb = 40.0,
+        bool shared_weights = false);
   ~Slice();
   Slice(const Slice&) = delete;
   Slice& operator=(const Slice&) = delete;
@@ -111,11 +121,17 @@ class Slice {
   std::size_t running_jobs() const noexcept { return jobs_.size(); }
   bool idle() const noexcept { return jobs_.empty(); }
 
-  MemGb memory_capacity() const noexcept { return memory_gb(profile_); }
-  MemGb memory_in_use() const noexcept { return mem_in_use_ + reserved_gb_; }
+  MemGb memory_capacity() const noexcept { return mem_capacity_; }
+  MemGb memory_in_use() const noexcept {
+    return mem_in_use_ + reserved_gb_ + weight_charged_gb_;
+  }
   MemGb available_memory() const noexcept {
     return memory_capacity() - memory_in_use();
   }
+  /// The free memory can_admit(spec) would require right now: the full
+  /// footprint, minus the weight portion when this slice runs in
+  /// shared-weights mode and the model's weights are already charged.
+  MemGb admission_demand(const JobSpec& spec) const noexcept;
 
   /// Reserves memory ahead of job submission (models loading into a booting
   /// container). Reservations count against admission capacity and block
@@ -149,6 +165,14 @@ class Slice {
   void set_accepting(bool accepting) noexcept { accepting_ = accepting; }
   bool accepting() const noexcept { return accepting_; }
 
+  /// nvshare-style swap slowdown from oversubscribed resident weights,
+  /// multiplied into the slice slowdown (1.0 = no swapping; exact no-op).
+  /// Set by the model cache whenever the slice's residency changes.
+  void set_swap_slowdown(double factor);
+  double swap_slowdown() const noexcept { return swap_factor_; }
+  /// Busy seconds lost to weight swapping: ∫ busy × (1 − 1/factor) dt.
+  double swap_stall_seconds() const noexcept;
+
   /// Time-integral of "slice has >=1 job running" (seconds), up to now.
   double busy_seconds() const noexcept;
   /// Time-integral of memory in use (GB·s), up to now.
@@ -178,6 +202,8 @@ class Slice {
   SliceProfile profile_;
   SharingMode mode_;
   InterferenceParams interference_;
+  MemGb mem_capacity_ = 0.0;
+  bool shared_weights_ = false;
   bool accepting_ = true;
 
   std::vector<Running> jobs_;
@@ -185,6 +211,15 @@ class Slice {
   MemGb be_mem_in_use_ = 0.0;
   MemGb reserved_gb_ = 0.0;
   int reservation_count_ = 0;
+  /// Shared-weights mode: refcount + charged GB per resident model tag.
+  struct WeightRef {
+    int count = 0;
+    MemGb gb = 0.0;
+  };
+  std::map<const void*, WeightRef> weight_refs_;
+  MemGb weight_charged_gb_ = 0.0;
+  double swap_factor_ = 1.0;
+  double swap_stall_integral_ = 0.0;
   double fbr_sum_ = 0.0;
   double sm_sum_ = 0.0;
   SimTime last_update_ = 0.0;
@@ -204,9 +239,13 @@ class Slice {
 class Gpu {
  public:
   /// `reconfigure_time` is the MIG geometry-change downtime (~2 s in the
-  /// paper) during which no slice accepts or runs work.
+  /// paper) during which no slice accepts or runs work. `memory_gb`
+  /// selects the part (A100-40GB vs A100-80GB); slice capacities scale
+  /// proportionally. `shared_weights` turns on per-model weight charging
+  /// for the model-cache subsystem.
   Gpu(sim::Simulator& simulator, GpuId id, Geometry geometry, SharingMode mode,
-      Duration reconfigure_time = 2.0, InterferenceParams interference = {});
+      Duration reconfigure_time = 2.0, InterferenceParams interference = {},
+      MemGb memory_gb = 40.0, bool shared_weights = false);
   ~Gpu() = default;
   Gpu(const Gpu&) = delete;
   Gpu& operator=(const Gpu&) = delete;
@@ -239,8 +278,10 @@ class Gpu {
   double busy_seconds() const noexcept;
   /// Memory utilization integral across slices, GB·s up to now.
   double memory_gb_seconds() const noexcept;
+  /// Swap-stall seconds across slices (incl. reconfiguration-retired ones).
+  double swap_stall_seconds() const noexcept;
   /// Total GPU memory (for normalizing memory utilization).
-  MemGb memory_capacity() const noexcept { return 40.0; }
+  MemGb memory_capacity() const noexcept { return memory_gb_; }
   /// Number of completed reconfigurations.
   int reconfigurations() const noexcept { return reconfig_count_; }
 
@@ -259,6 +300,8 @@ class Gpu {
   SharingMode mode_;
   Duration reconfigure_time_;
   InterferenceParams interference_;
+  MemGb memory_gb_ = 40.0;
+  bool shared_weights_ = false;
 
   std::vector<std::unique_ptr<Slice>> slices_;
   State state_ = State::kReady;
@@ -271,8 +314,9 @@ class Gpu {
   int busy_slices_ = 0;
   double busy_integral_ = 0.0;
   SimTime busy_last_update_ = 0.0;
-  // Memory integral carried over from slices destroyed by reconfiguration.
+  // Integrals carried over from slices destroyed by reconfiguration.
   double mem_integral_retired_ = 0.0;
+  double swap_stall_retired_ = 0.0;
 
   std::uint32_t next_slice_id_ = 0;
 };

@@ -127,6 +127,29 @@ Report run_experiment(const ExperimentConfig& config) {
     report.strict_latencies = collector.strict_latencies();
   }
 
+  if (cluster_config.memcache.enabled) {
+    report.memcache.enabled = true;
+    report.memcache.hits = collector.cache_hits();
+    report.memcache.misses = collector.cache_misses();
+    report.memcache.evictions = collector.cache_evictions();
+    const double accesses =
+        static_cast<double>(collector.cache_hits() + collector.cache_misses());
+    report.memcache.hit_rate_pct =
+        accesses > 0.0
+            ? 100.0 * static_cast<double>(collector.cache_hits()) / accesses
+            : 0.0;
+    for (NodeId id = 0; id < cluster_config.node_count; ++id) {
+      cluster::WorkerNode& node = deployment.node(id);
+      report.memcache.swap_stall_seconds += node.swap_stall_seconds();
+      if (config.keep_mem_timeline && node.cache() != nullptr) {
+        report.mem_timelines.push_back(node.cache()->timeline());
+      }
+      if (config.keep_cache_access_log && node.cache() != nullptr) {
+        report.cache_access_logs.push_back(node.cache()->access_log());
+      }
+    }
+  }
+
   deployment.stop();
   return report;
 }

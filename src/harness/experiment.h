@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "cluster/config.h"
+#include "memcache/model_cache.h"
 #include "metrics/collector.h"
 #include "sched/registry.h"
 #include "trace/trace.h"
@@ -39,6 +40,10 @@ struct ExperimentConfig {
   bool count_unfinished_as_violations = true;
   /// Keep per-request strict latencies in the report (CDF figures).
   bool keep_latency_samples = false;
+  /// Keep per-node resident-weight timelines in the report (memcache only).
+  bool keep_mem_timeline = false;
+  /// Keep per-node cache access logs (offline Belady studies; memcache only).
+  bool keep_cache_access_log = false;
 
   std::uint64_t seed = 42;
 
@@ -102,6 +107,22 @@ struct ExperimentConfig {
     keep_latency_samples = keep;
     return *this;
   }
+  ExperimentConfig& with_memcache(const memcache::MemCacheConfig& mc) {
+    cluster.memcache = mc;
+    return *this;
+  }
+  ExperimentConfig& with_gpu_memory(MemGb gb) {
+    cluster.gpu_memory_gb = gb;
+    return *this;
+  }
+  ExperimentConfig& with_mem_timeline(bool keep = true) {
+    keep_mem_timeline = keep;
+    return *this;
+  }
+  ExperimentConfig& with_cache_access_log(bool keep = true) {
+    keep_cache_access_log = keep;
+    return *this;
+  }
   ExperimentConfig& with_seed(std::uint64_t s) {
     seed = s;
     return *this;
@@ -143,7 +164,22 @@ struct Report {
   double cost_on_demand_ref_usd = 0.0;
   int evictions = 0;
 
+  /// Model-weight cache results (zeroed unless cluster.memcache.enabled).
+  struct MemCacheStats {
+    bool enabled = false;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    double hit_rate_pct = 0.0;
+    double swap_stall_seconds = 0.0;
+  };
+  MemCacheStats memcache;
+
   std::vector<float> strict_latencies;  ///< filled if keep_latency_samples
+  /// Per-node (time, resident GB) timelines; filled if keep_mem_timeline.
+  std::vector<std::vector<std::pair<SimTime, MemGb>>> mem_timelines;
+  /// Per-node weight access logs; filled if keep_cache_access_log.
+  std::vector<std::vector<memcache::CacheAccess>> cache_access_logs;
 };
 
 /// Runs one experiment end to end. Deterministic for a given config.

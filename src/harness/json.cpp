@@ -130,6 +130,17 @@ Json report_to_json(const Report& report) {
   o.emplace_back("cost_usd", report.cost_usd);
   o.emplace_back("cost_on_demand_ref_usd", report.cost_on_demand_ref_usd);
   o.emplace_back("evictions", report.evictions);
+  if (report.memcache.enabled) {
+    // Appended only when the cache is on, so disabled runs serialize
+    // byte-identically to pre-cache builds.
+    Json::Object mc;
+    mc.emplace_back("hits", report.memcache.hits);
+    mc.emplace_back("misses", report.memcache.misses);
+    mc.emplace_back("evictions", report.memcache.evictions);
+    mc.emplace_back("hit_rate_pct", report.memcache.hit_rate_pct);
+    mc.emplace_back("swap_stall_s", report.memcache.swap_stall_seconds);
+    o.emplace_back("memcache", Json(std::move(mc)));
+  }
   if (!report.strict_latencies.empty()) {
     Json::Object percentiles;
     for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.9}) {

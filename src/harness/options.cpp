@@ -4,6 +4,7 @@
 #include <cctype>
 #include <map>
 
+#include "memcache/config.h"
 #include "trace/io.h"
 #include "workload/model.h"
 
@@ -38,6 +39,23 @@ std::optional<std::uint64_t> parse_u64(const std::string& s) {
   } catch (const std::exception&) {
     return std::nullopt;
   }
+}
+
+/// Parses a "POLICY:GB" memcache spec (e.g. "lru:16" or "gdsf:12.5").
+std::optional<memcache::MemCacheConfig> parse_memcache_spec(
+    const std::string& spec, memcache::MemCacheConfig base) {
+  const std::size_t colon = spec.find(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= spec.size()) {
+    return std::nullopt;
+  }
+  const auto policy = memcache::parse_policy(lower(spec.substr(0, colon)));
+  if (!policy) return std::nullopt;
+  const auto capacity = parse_double(spec.substr(colon + 1));
+  if (!capacity || !(*capacity > 0.0)) return std::nullopt;
+  base.enabled = true;
+  base.policy = *policy;
+  base.capacity_gb = *capacity;
+  return base;
 }
 
 }  // namespace
@@ -79,6 +97,14 @@ Cluster:
                         (repeatable; default protean)
   --all-schemes         run the paper's four primary schemes
   --nodes N             worker nodes (default 8)
+  --gpu-mem GB          per-GPU memory: 40 (A100-40GB, default) or 80;
+                        MIG slice capacities scale proportionally
+  --memcache POLICY:GB  enable the per-node model-weight cache with the
+                        given eviction policy (lru | gdsf | oracle) and
+                        per-node capacity in GB, e.g. --memcache lru:16
+  --memcache-oversubscribe
+                        let resident weights exceed the slice budget at an
+                        nvshare-style swap slowdown
   --slo-mult M          SLO multiplier over solo latency (default 3)
   --spot POLICY         on-demand | spot-only | hybrid (default on-demand)
   --p-rev F             spot revocation probability (default 0)
@@ -96,6 +122,9 @@ Sweep:
 
 Output:
   --json                emit a JSON document instead of a table
+  --dump-mem-timeline FILE
+                        write per-node resident-weight timelines as JSON
+                        (requires --memcache; classic runs only)
   --list-models         print the model catalog and exit
   --list-schemes        print scheme aliases and exit
   --help                this text
@@ -240,6 +269,37 @@ CliParseResult parse_cli(const std::vector<std::string>& args) {
       const auto n = value ? parse_u64(*value) : std::nullopt;
       if (!n || *n == 0 || *n > 1024) return fail("--jobs needs 1..1024");
       opts.jobs = static_cast<int>(*n);
+    } else if (arg == "--gpu-mem") {
+      const auto value = next("--gpu-mem");
+      const auto gb = value ? parse_double(*value) : std::nullopt;
+      if (!gb || !(*gb >= 1.0 && *gb <= 1024.0)) {
+        return fail("--gpu-mem needs a GB value in [1, 1024]");
+      }
+      opts.config.cluster.gpu_memory_gb = *gb;
+    } else if (arg == "--memcache-oversubscribe") {
+      opts.config.cluster.memcache.oversubscribe = true;
+    } else if (arg == "--memcache" ||
+               arg.rfind("--memcache=", 0) == 0) {
+      std::string spec;
+      if (arg == "--memcache") {
+        const auto value = next("--memcache");
+        if (!value) return fail("--memcache needs POLICY:GB");
+        spec = *value;
+      } else {
+        spec = arg.substr(std::string("--memcache=").size());
+      }
+      const auto mc =
+          parse_memcache_spec(spec, opts.config.cluster.memcache);
+      if (!mc) {
+        return fail("bad memcache spec: " + spec +
+                    " (want POLICY:GB, policies: lru | gdsf | oracle)");
+      }
+      opts.config.cluster.memcache = *mc;
+    } else if (arg == "--dump-mem-timeline") {
+      const auto value = next("--dump-mem-timeline");
+      if (!value) return fail("--dump-mem-timeline needs a file path");
+      opts.mem_timeline_file = *value;
+      opts.config.keep_mem_timeline = true;
     } else if (arg == "--sweep") {
       const auto value = next("--sweep");
       if (!value) return fail("--sweep needs AXIS=LO:HI:STEP");
@@ -263,6 +323,8 @@ CliParseResult parse_cli(const std::vector<std::string>& args) {
   const auto cluster = opts.config.cluster;
   const auto warmup = opts.config.warmup;
   const auto seed = opts.config.seed;
+  const bool keep_mem_timeline = opts.config.keep_mem_timeline;
+  const bool keep_cache_log = opts.config.keep_cache_access_log;
   opts.config = primary_config(model_name, horizon);
   opts.config.strict_fraction = strict_fraction;
   opts.config.trace.kind = kind;
@@ -270,6 +332,8 @@ CliParseResult parse_cli(const std::vector<std::string>& args) {
   opts.config.cluster = cluster;
   opts.config.warmup = warmup;
   opts.config.seed = seed;
+  opts.config.keep_mem_timeline = keep_mem_timeline;
+  opts.config.keep_cache_access_log = keep_cache_log;
   if (rps_given) {
     opts.config.trace.target_rps = rps;
   }

@@ -30,6 +30,8 @@ struct CliOptions {
   bool help = false;
   /// Path of a "second,rps" CSV replayed instead of a synthetic trace.
   std::string trace_file;
+  /// Destination of the resident-weights timeline (--dump-mem-timeline).
+  std::string mem_timeline_file;
 
   /// True when the run needs the sweep/aggregate pipeline rather than the
   /// classic one-report-per-scheme output.

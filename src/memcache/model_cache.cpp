@@ -1,0 +1,338 @@
+#include "memcache/model_cache.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace protean::memcache {
+
+const char* to_string(EvictionPolicy policy) noexcept {
+  switch (policy) {
+    case EvictionPolicy::kLru: return "lru";
+    case EvictionPolicy::kGdsf: return "gdsf";
+    case EvictionPolicy::kOracle: return "oracle";
+  }
+  return "?";
+}
+
+std::optional<EvictionPolicy> parse_policy(const std::string& name) noexcept {
+  if (name == "lru") return EvictionPolicy::kLru;
+  if (name == "gdsf") return EvictionPolicy::kGdsf;
+  if (name == "oracle") return EvictionPolicy::kOracle;
+  return std::nullopt;
+}
+
+ModelCache::ModelCache(sim::Simulator& simulator, MemCacheConfig config,
+                       metrics::Collector* collector)
+    : sim_(simulator), config_(std::move(config)), collector_(collector) {
+  PROTEAN_CHECK_MSG(config_.capacity_gb > 0.0,
+                    "memcache capacity must be positive");
+  PROTEAN_CHECK_MSG(config_.max_overcommit >= 1.0,
+                    "max_overcommit must be >= 1");
+}
+
+void ModelCache::sync_slices(const std::vector<gpu::Slice*>& live) {
+  // Drop entries whose slice was destroyed (MIG reconfiguration wipes
+  // instance memory). Drains guarantee no pinned weights survive here.
+  std::map<SliceId, SliceState> next;
+  MemGb total_mem = 0.0;
+  for (gpu::Slice* s : live) total_mem += s->memory_capacity();
+  for (gpu::Slice* s : live) {
+    SliceState state;
+    const auto it = slices_.find(s->id());
+    if (it != slices_.end()) {
+      state = std::move(it->second);
+      slices_.erase(it);
+    }
+    state.slice = s;
+    state.budget = total_mem > 0.0
+                       ? config_.capacity_gb * s->memory_capacity() / total_mem
+                       : 0.0;
+    next.emplace(s->id(), std::move(state));
+  }
+  // Whatever is left in slices_ belonged to destroyed slices; the drain
+  // before a reconfiguration guarantees nothing was still pinned.
+#ifndef NDEBUG
+  for (const auto& [id, state] : slices_) {
+    (void)id;
+    for (const Entry& e : state.entries) PROTEAN_DCHECK(e.pins == 0);
+  }
+#endif
+  slices_ = std::move(next);
+  for (auto& [id, state] : slices_) {
+    // Re-apply budgets: a geometry change may have shrunk this slice's
+    // share; trim (oversubscription still applies its own headroom).
+    const MemGb limit = config_.oversubscribe
+                            ? state.budget * config_.max_overcommit
+                            : state.budget;
+    evict_down_to(state, limit);
+    apply_swap_factor(state);
+  }
+  note_resident_change();
+}
+
+bool ModelCache::resident(SliceId slice,
+                          const workload::ModelProfile* model) const {
+  const auto it = slices_.find(slice);
+  if (it == slices_.end()) return false;
+  for (const Entry& e : it->second.entries) {
+    if (e.model == model) return true;
+  }
+  return false;
+}
+
+bool ModelCache::acquire(gpu::Slice& slice,
+                         const workload::ModelProfile* model) {
+  PROTEAN_CHECK_MSG(model != nullptr, "acquire with null model");
+  auto it = slices_.find(slice.id());
+  PROTEAN_CHECK_MSG(it != slices_.end(), "acquire on an unregistered slice");
+  SliceState& state = it->second;
+  const SimTime now = sim_.now();
+  log_.push_back(CacheAccess{now, slice.id(), state.budget, model});
+
+  for (Entry& e : state.entries) {
+    if (e.model != model) continue;
+    ++e.uses;
+    e.last_used = now;
+    e.gdsf_priority =
+        state.gdsf_clock + static_cast<double>(e.uses) /
+                               std::max(e.weight_gb, 1e-9);
+    ++e.pins;
+    ++stats_.hits;
+    if (collector_ != nullptr) collector_->record_cache_hit();
+    return true;
+  }
+
+  // Miss: make room, then insert pinned.
+  ++stats_.misses;
+  if (collector_ != nullptr) collector_->record_cache_miss();
+  const MemGb weight = model->weight_gb;
+  const MemGb limit = config_.oversubscribe
+                          ? state.budget * config_.max_overcommit
+                          : state.budget;
+  // A model larger than the whole limit overflows no matter what is
+  // evicted; keep the other residents instead of flushing them in vain.
+  if (weight <= limit + 1e-9) {
+    evict_down_to(state, std::max(0.0, limit - weight));
+  }
+  Entry entry;
+  entry.model = model;
+  entry.weight_gb = weight;
+  entry.pins = 1;
+  entry.uses = 1;
+  entry.last_used = now;
+  entry.gdsf_priority = state.gdsf_clock + 1.0 / std::max(weight, 1e-9);
+  state.entries.push_back(entry);
+  state.resident += weight;
+  apply_swap_factor(state);
+  note_resident_change();
+  return false;
+}
+
+void ModelCache::release(SliceId slice, const workload::ModelProfile* model) {
+  const auto it = slices_.find(slice);
+  if (it == slices_.end()) return;  // slice vanished with its entries
+  SliceState& state = it->second;
+  const MemGb limit = config_.oversubscribe
+                          ? state.budget * config_.max_overcommit
+                          : state.budget;
+  bool changed = false;
+  for (std::size_t i = 0; i < state.entries.size(); ++i) {
+    Entry& e = state.entries[i];
+    if (e.model != model) continue;
+    if (e.pins > 0) --e.pins;
+    if (e.pins == 0 && e.weight_gb > limit + 1e-9) {
+      // Larger than the whole limit: this entry can never stay resident.
+      // Drop it directly instead of letting the trim below evict smaller
+      // (retainable) victims first.
+      state.resident -= e.weight_gb;
+      state.entries.erase(state.entries.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+      ++stats_.evictions;
+      if (collector_ != nullptr) collector_->record_cache_eviction();
+      changed = true;
+    }
+    break;
+  }
+  // Unpinning may finally let an over-budget slice trim back down.
+  if (state.resident > limit + 1e-9) {
+    evict_down_to(state, limit);
+    changed = true;
+  }
+  if (changed) note_resident_change();
+  apply_swap_factor(state);
+}
+
+void ModelCache::reset() {
+  slices_.clear();
+  note_resident_change();
+}
+
+std::size_t ModelCache::pick_victim(const SliceState& state) const {
+  std::size_t victim = state.entries.size();
+  switch (config_.policy) {
+    case EvictionPolicy::kLru: {
+      SimTime oldest = std::numeric_limits<SimTime>::infinity();
+      for (std::size_t i = 0; i < state.entries.size(); ++i) {
+        const Entry& e = state.entries[i];
+        if (e.pins > 0) continue;
+        if (e.last_used < oldest) {
+          oldest = e.last_used;
+          victim = i;
+        }
+      }
+      break;
+    }
+    case EvictionPolicy::kGdsf: {
+      double lowest = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < state.entries.size(); ++i) {
+        const Entry& e = state.entries[i];
+        if (e.pins > 0) continue;
+        if (e.gdsf_priority < lowest) {
+          lowest = e.gdsf_priority;
+          victim = i;
+        }
+      }
+      break;
+    }
+    case EvictionPolicy::kOracle: {
+      // Furthest next use goes first; never-used-again beats everything.
+      SimTime furthest = -std::numeric_limits<SimTime>::infinity();
+      const SimTime now = sim_.now();
+      for (std::size_t i = 0; i < state.entries.size(); ++i) {
+        const Entry& e = state.entries[i];
+        if (e.pins > 0) continue;
+        const SimTime next = next_future_use(e.model, now);
+        if (next > furthest) {
+          furthest = next;
+          victim = i;
+        }
+      }
+      break;
+    }
+  }
+  return victim;
+}
+
+void ModelCache::evict_down_to(SliceState& state, MemGb limit) {
+  while (state.resident > limit + 1e-9) {
+    const std::size_t victim = pick_victim(state);
+    if (victim >= state.entries.size()) return;  // everything left is pinned
+    if (config_.policy == EvictionPolicy::kGdsf) {
+      // Classic GDSF aging: the clock advances to the evicted priority so
+      // that recency keeps mattering as frequencies accumulate.
+      state.gdsf_clock = state.entries[victim].gdsf_priority;
+    }
+    state.resident -= state.entries[victim].weight_gb;
+    state.entries.erase(state.entries.begin() +
+                        static_cast<std::ptrdiff_t>(victim));
+    ++stats_.evictions;
+    if (collector_ != nullptr) collector_->record_cache_eviction();
+  }
+  state.resident = std::max(0.0, state.resident);
+}
+
+void ModelCache::apply_swap_factor(SliceState& state) {
+  if (state.slice == nullptr) return;
+  double factor = 1.0;
+  if (state.budget > 0.0 && state.resident > state.budget) {
+    factor = 1.0 +
+             config_.swap_penalty * (state.resident / state.budget - 1.0);
+  }
+  state.slice->set_swap_slowdown(factor);
+}
+
+void ModelCache::note_resident_change() {
+  const SimTime now = sim_.now();
+  const MemGb total = resident_gb();
+  if (!timeline_.empty() && timeline_.back().first == now) {
+    timeline_.back().second = total;
+    return;
+  }
+  timeline_.emplace_back(now, total);
+}
+
+MemGb ModelCache::resident_gb() const noexcept {
+  MemGb total = 0.0;
+  for (const auto& [id, state] : slices_) total += state.resident;
+  return total;
+}
+
+MemGb ModelCache::resident_gb(SliceId slice) const {
+  const auto it = slices_.find(slice);
+  return it == slices_.end() ? 0.0 : it->second.resident;
+}
+
+MemGb ModelCache::budget_gb(SliceId slice) const {
+  const auto it = slices_.find(slice);
+  return it == slices_.end() ? 0.0 : it->second.budget;
+}
+
+void ModelCache::set_future_references(const std::vector<CacheAccess>& refs) {
+  future_.clear();
+  for (const CacheAccess& ref : refs) future_[ref.model].push_back(ref.when);
+  for (auto& [model, times] : future_) std::sort(times.begin(), times.end());
+}
+
+SimTime ModelCache::next_future_use(const workload::ModelProfile* model,
+                                    SimTime now) const {
+  const auto it = future_.find(model);
+  if (it == future_.end()) return kNeverTime;
+  const auto& times = it->second;
+  const auto next = std::upper_bound(times.begin(), times.end(), now);
+  return next == times.end() ? kNeverTime : *next;
+}
+
+std::uint64_t ModelCache::belady_misses(const std::vector<CacheAccess>& refs,
+                                        MemGb budget) {
+  // Size-aware Belady: on a miss, evict the resident model whose next use
+  // is furthest in the future until the new weights fit. Greedy
+  // furthest-next-use is the standard upper-bound baseline for variable
+  // object sizes (exact MIN is NP-hard with sizes).
+  struct Resident {
+    const workload::ModelProfile* model;
+    MemGb weight;
+  };
+  std::uint64_t misses = 0;
+  std::vector<Resident> cache;
+  MemGb used = 0.0;
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    const workload::ModelProfile* model = refs[i].model;
+    const bool hit = std::any_of(
+        cache.begin(), cache.end(),
+        [model](const Resident& r) { return r.model == model; });
+    if (hit) continue;
+    ++misses;
+    const MemGb weight = model->weight_gb;
+    // A model larger than the whole budget can never be retained (the
+    // online cache trims it at release): count the miss and keep the rest
+    // of the cache intact.
+    if (weight > budget + 1e-9) continue;
+    while (used + weight > budget + 1e-9 && !cache.empty()) {
+      // Victim: furthest next reference after position i.
+      std::size_t victim = 0;
+      std::size_t furthest = 0;
+      for (std::size_t c = 0; c < cache.size(); ++c) {
+        std::size_t next = refs.size();  // never used again
+        for (std::size_t j = i + 1; j < refs.size(); ++j) {
+          if (refs[j].model == cache[c].model) {
+            next = j;
+            break;
+          }
+        }
+        if (next >= furthest) {
+          furthest = next;
+          victim = c;
+        }
+      }
+      used -= cache[victim].weight;
+      cache.erase(cache.begin() + static_cast<std::ptrdiff_t>(victim));
+    }
+    cache.push_back(Resident{model, weight});
+    used += weight;
+  }
+  return misses;
+}
+
+}  // namespace protean::memcache

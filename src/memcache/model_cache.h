@@ -1,0 +1,142 @@
+// Per-node GPU model-weight cache.
+//
+// Real GPU-sharing runtimes do not reload model weights from scratch on
+// every cold start: warm weights stay resident in device memory, and
+// oversubscription layers (nvshare) let the aggregate resident set exceed
+// physical capacity by transparently swapping to host memory at a
+// throughput cost. This module reproduces those dynamics for the simulator:
+//
+//  * Residency is tracked per (slice, model). Each slice owns a weight
+//    budget — the node's configured cache capacity split across slices
+//    proportionally to slice memory.
+//  * acquire()/release() pin weights around batch execution; pinned entries
+//    are never evicted (they are mapped by a running kernel).
+//  * On a miss the weights are inserted and unpinned entries are evicted
+//    per the configured policy (LRU, size-aware GDSF, or Belady oracle).
+//  * In oversubscription mode eviction only starts beyond
+//    budget × max_overcommit; between budget and that limit the slice pays
+//    an nvshare-style swap slowdown pushed into the contention engine via
+//    Slice::set_swap_slowdown().
+//
+// The cache models *load latency* and *swap pressure*; the space held by
+// weights of running jobs is charged by the engine itself (JobSpec.weight_gb
+// + Gpu shared-weights mode), so admission accounting stays in one place.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "gpu/engine.h"
+#include "memcache/config.h"
+#include "metrics/collector.h"
+#include "workload/model.h"
+
+namespace protean::memcache {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  double hit_rate() const noexcept {
+    const double total = static_cast<double>(hits + misses);
+    return total > 0.0 ? static_cast<double>(hits) / total : 0.0;
+  }
+};
+
+/// One recorded weight access (input to the offline Belady bound).
+struct CacheAccess {
+  SimTime when = 0.0;
+  SliceId slice = 0;
+  MemGb budget_gb = 0.0;  ///< the slice's weight budget at access time
+  const workload::ModelProfile* model = nullptr;
+};
+
+class ModelCache {
+ public:
+  ModelCache(sim::Simulator& simulator, MemCacheConfig config,
+             metrics::Collector* collector = nullptr);
+
+  const MemCacheConfig& config() const noexcept { return config_; }
+
+  /// Registers the live slice set (after construction and after every
+  /// reconfiguration). Entries on vanished slices are dropped — a MIG
+  /// geometry change destroys instance memory — and per-slice weight
+  /// budgets are recomputed proportionally to slice memory.
+  void sync_slices(const std::vector<gpu::Slice*>& live);
+
+  /// True if the model's weights are resident on the slice.
+  bool resident(SliceId slice, const workload::ModelProfile* model) const;
+
+  /// Touch + pin. Returns true on a hit (weights already resident; the
+  /// batch skips the weight-load part of its cold start). On a miss the
+  /// weights are inserted, evicting unpinned entries per policy.
+  bool acquire(gpu::Slice& slice, const workload::ModelProfile* model);
+
+  /// Unpins one acquire() reference. Robust to entries that vanished with
+  /// their slice (reconfiguration between acquire and release).
+  void release(SliceId slice, const workload::ModelProfile* model);
+
+  /// Drops all state (the VM was evicted; device memory is gone).
+  void reset();
+
+  MemGb resident_gb() const noexcept;
+  MemGb resident_gb(SliceId slice) const;
+  MemGb budget_gb(SliceId slice) const;
+
+  const CacheStats& stats() const noexcept { return stats_; }
+  /// (time, total resident GB) — one point per change, coalesced per time.
+  const std::vector<std::pair<SimTime, MemGb>>& timeline() const noexcept {
+    return timeline_;
+  }
+  const std::vector<CacheAccess>& access_log() const noexcept { return log_; }
+
+  /// Oracle-policy input: the full future reference string. The online
+  /// kOracle policy evicts the resident model whose next use (strictly
+  /// after "now") is furthest away; never-referenced-again wins.
+  void set_future_references(const std::vector<CacheAccess>& refs);
+
+  /// Offline size-aware Belady bound: minimum misses for one slice's
+  /// reference string under a fixed weight budget (greedy furthest-next-use
+  /// eviction, the standard upper-bound baseline for sized objects).
+  static std::uint64_t belady_misses(const std::vector<CacheAccess>& refs,
+                                     MemGb budget);
+
+ private:
+  struct Entry {
+    const workload::ModelProfile* model = nullptr;
+    MemGb weight_gb = 0.0;
+    int pins = 0;
+    SimTime last_used = 0.0;
+    std::uint64_t uses = 0;
+    double gdsf_priority = 0.0;
+  };
+  struct SliceState {
+    gpu::Slice* slice = nullptr;
+    MemGb budget = 0.0;
+    MemGb resident = 0.0;
+    double gdsf_clock = 0.0;  ///< GDSF aging clock L
+    std::vector<Entry> entries;  // per-slice model counts are small
+  };
+
+  void evict_down_to(SliceState& state, MemGb limit);
+  std::size_t pick_victim(const SliceState& state) const;
+  void apply_swap_factor(SliceState& state);
+  void note_resident_change();
+  SimTime next_future_use(const workload::ModelProfile* model,
+                          SimTime now) const;
+
+  sim::Simulator& sim_;
+  MemCacheConfig config_;
+  metrics::Collector* collector_;
+  std::map<SliceId, SliceState> slices_;
+  CacheStats stats_;
+  std::vector<std::pair<SimTime, MemGb>> timeline_;
+  std::vector<CacheAccess> log_;
+  /// Sorted future reference times per model (kOracle policy only).
+  std::map<const workload::ModelProfile*, std::vector<SimTime>> future_;
+};
+
+}  // namespace protean::memcache

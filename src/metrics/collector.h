@@ -62,12 +62,20 @@ class Collector {
 
   void record_cold_start() { ++cold_starts_; }
 
+  // Model-weight cache events (src/memcache).
+  void record_cache_hit() { ++cache_hits_; }
+  void record_cache_miss() { ++cache_misses_; }
+  void record_cache_eviction() { ++cache_evictions_; }
+
   // ---- queries -----------------------------------------------------------
 
   std::uint64_t strict_completed() const noexcept { return strict_total_; }
   std::uint64_t be_completed() const noexcept { return be_total_; }
   std::uint64_t dropped() const noexcept { return dropped_; }
   std::uint64_t cold_starts() const noexcept { return cold_starts_; }
+  std::uint64_t cache_hits() const noexcept { return cache_hits_; }
+  std::uint64_t cache_misses() const noexcept { return cache_misses_; }
+  std::uint64_t cache_evictions() const noexcept { return cache_evictions_; }
 
   /// Percentage of strict requests that met their SLO deadline, in [0,100].
   double slo_compliance_pct() const noexcept;
@@ -116,6 +124,9 @@ class Collector {
   std::uint64_t be_total_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t cold_starts_ = 0;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
+  std::uint64_t cache_evictions_ = 0;
   SimTime measure_from_ = 0.0;
 };
 

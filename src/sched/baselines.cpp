@@ -45,14 +45,24 @@ gpu::Slice* InflessLlamaScheduler::place(const workload::Batch& batch,
 gpu::Slice* NaiveSlicingScheduler::place(const workload::Batch& batch,
                                          cluster::WorkerNode& node) {
   // Load balance by slice memory: route to the admitting slice with the
-  // most free memory, with no strict/BE distinction.
+  // most free memory, with no strict/BE distinction. With the model cache
+  // enabled, resident weights add a free-memory-equivalent bonus so the
+  // balancer leans toward slices that skip the weight load.
+  const memcache::ModelCache* cache = node.cache();
+  const double affinity = node.config().memcache.affinity_weight;
   gpu::Slice* best = nullptr;
+  double best_score = -std::numeric_limits<double>::infinity();
   for (gpu::Slice* slice : node.gpu().slices()) {
     if (!batch.model->fits(slice->profile())) continue;
     if (!slice->can_admit(probe(batch, *slice))) continue;
-    if (best == nullptr ||
-        slice->available_memory() > best->available_memory()) {
+    double score = slice->available_memory();
+    if (cache != nullptr && affinity > 0.0 &&
+        cache->resident(slice->id(), batch.model)) {
+      score += affinity * batch.model->weight_gb;
+    }
+    if (best == nullptr || score > best_score) {
       best = slice;
+      best_score = score;
     }
   }
   return best;
@@ -76,14 +86,21 @@ gpu::Slice* MigOnlyScheduler::place(const workload::Batch& batch,
 gpu::Slice* MpsMigScheduler::place(const workload::Batch& batch,
                                    cluster::WorkerNode& node) {
   // Even spread: the admitting slice with the fewest resident jobs
-  // (ties broken toward more free memory).
+  // (ties broken toward more free memory, then toward cached weights).
+  const memcache::ModelCache* cache = node.cache();
+  const bool use_affinity =
+      cache != nullptr && node.config().memcache.affinity_weight > 0.0;
   gpu::Slice* best = nullptr;
   for (gpu::Slice* slice : node.gpu().slices()) {
     if (!batch.model->fits(slice->profile())) continue;
     if (!slice->can_admit(probe(batch, *slice))) continue;
     if (best == nullptr || slice->running_jobs() < best->running_jobs() ||
         (slice->running_jobs() == best->running_jobs() &&
-         slice->available_memory() > best->available_memory())) {
+         slice->available_memory() > best->available_memory()) ||
+        (use_affinity && slice->running_jobs() == best->running_jobs() &&
+         slice->available_memory() == best->available_memory() &&
+         cache->resident(slice->id(), batch.model) &&
+         !cache->resident(best->id(), batch.model))) {
       best = slice;
     }
   }

@@ -48,6 +48,7 @@ struct Batch {
   SimTime exec_start = 0.0;      ///< started executing on a slice
   SimTime completed_at = 0.0;
   Duration cold_start = 0.0;     ///< container cold start paid, if any
+  MemGb reserved_gb = 0.0;       ///< memory reserved while booting, if any
   gpu::SliceProfile served_on = gpu::SliceProfile::k7g;
   Duration solo_min = 0.0;       ///< solo time on 7g (the "min possible")
   Duration solo_on_slice = 0.0;  ///< solo time on the slice actually used
@@ -97,6 +98,7 @@ inline gpu::JobSpec job_spec_for(const Batch& batch,
   spec.sm_share =
       std::min(1.0, batch.model->sm_req * f / gpu::compute_fraction(profile));
   spec.mem_gb = batch.model->mem_gb * (0.5 + 0.5 * f);
+  spec.weight_gb = batch.model->weight_gb;
   spec.strict = batch.strict;
   spec.model_tag = batch.model;
   return spec;

@@ -41,6 +41,11 @@ ModelBuilder& ModelBuilder::memory_gb(MemGb gb) noexcept {
   return *this;
 }
 
+ModelBuilder& ModelBuilder::weight_gb(MemGb gb) noexcept {
+  explicit_weight_ = gb;
+  return *this;
+}
+
 ModelBuilder& ModelBuilder::fbr(double value) noexcept {
   profile_.fbr = value;
   has_fbr_ = true;
@@ -82,6 +87,11 @@ ModelProfile ModelBuilder::build() const {
   }
   if (profile.mem_gb <= 0.0) reject("memory_gb", "must be positive");
   if (profile.mem_gb > 40.0) reject("memory_gb", "exceeds a 40 GB A100");
+  profile.weight_gb = explicit_weight_.value_or(0.45 * profile.mem_gb);
+  if (profile.weight_gb < 0.0) reject("weight_gb", "must be non-negative");
+  if (profile.weight_gb > profile.mem_gb) {
+    reject("weight_gb", "exceeds the total memory footprint");
+  }
   if (profile.fbr <= 0.0 || profile.fbr > 1.5) {
     reject("fbr", "must be in (0, 1.5]");
   }

@@ -29,6 +29,9 @@ class ModelBuilder {
   ModelBuilder& batch_size(int batch) noexcept;
   ModelBuilder& solo_latency_ms(double ms) noexcept;
   ModelBuilder& memory_gb(MemGb gb) noexcept;
+  /// Weight (parameter) part of the footprint; defaults to 45% of
+  /// memory_gb when not given, matching the catalog's typical split.
+  ModelBuilder& weight_gb(MemGb gb) noexcept;
   ModelBuilder& fbr(double fbr) noexcept;
   ModelBuilder& sm_requirement(double sm_req) noexcept;
   ModelBuilder& deficiency_alpha(double alpha) noexcept;
@@ -46,6 +49,7 @@ class ModelBuilder {
   bool has_latency_ = false;
   bool has_memory_ = false;
   bool has_fbr_ = false;
+  std::optional<MemGb> explicit_weight_;
   std::optional<InterferenceClass> explicit_class_;
   std::optional<double> explicit_alpha_;
   std::optional<double> explicit_sm_;

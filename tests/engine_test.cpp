@@ -218,6 +218,91 @@ TEST(Slice, OverReservationThrows) {
   EXPECT_THROW(slice.reserve_memory(6.0), std::logic_error);
 }
 
+TEST(Slice, ReleasingMoreThanReservedThrows) {
+  sim::Simulator sim;
+  Slice slice(sim, nullptr, 0, SliceProfile::k2g, SharingMode::kMps);
+  slice.reserve_memory(4.0);
+  EXPECT_THROW(slice.release_reservation(5.0), std::logic_error);
+  EXPECT_THROW(Slice(sim, nullptr, 1, SliceProfile::k2g, SharingMode::kMps)
+                   .release_reservation(1.0),
+               std::logic_error);
+}
+
+TEST(Slice, ReserveThenCancelRestoresAvailableMemory) {
+  sim::Simulator sim;
+  Slice slice(sim, nullptr, 0, SliceProfile::k2g, SharingMode::kMps);  // 10 GB
+  const MemGb before = slice.available_memory();
+  slice.reserve_memory(7.0);
+  slice.reserve_memory(3.0);
+  EXPECT_GE(slice.available_memory(), 0.0);
+  EXPECT_DOUBLE_EQ(slice.available_memory(), 0.0);
+  // The batch was cancelled (eviction mid-boot): both reservations unwind
+  // and the slice is exactly as free as it started.
+  slice.release_reservation(3.0);
+  slice.release_reservation(7.0);
+  EXPECT_DOUBLE_EQ(slice.available_memory(), before);
+  EXPECT_EQ(slice.reservations(), 0);
+}
+
+TEST(Slice, SharedWeightsChargedOncePerModelTag) {
+  sim::Simulator sim;
+  Slice slice(sim, nullptr, 0, SliceProfile::k7g, SharingMode::kMps,
+              InterferenceParams{}, 40.0, /*shared_weights=*/true);
+  static const int tag = 0;
+  JobSpec spec = job(1, 0.5, 0.1, 0.1, 10.0);
+  spec.weight_gb = 6.0;
+  spec.model_tag = &tag;
+  Done done;
+
+  // First job charges activations (4) + weights (6).
+  EXPECT_DOUBLE_EQ(slice.admission_demand(spec), 10.0);
+  slice.submit(spec, done.cb());
+  EXPECT_DOUBLE_EQ(slice.memory_in_use(), 10.0);
+
+  // A concurrent same-model job shares the resident weights: it only needs
+  // its activation part, and total usage grows by 4, not 10.
+  spec.id = 2;
+  EXPECT_DOUBLE_EQ(slice.admission_demand(spec), 4.0);
+  slice.submit(spec, done.cb());
+  EXPECT_DOUBLE_EQ(slice.memory_in_use(), 14.0);
+
+  // A different model brings its own weights.
+  static const int other_tag = 0;
+  JobSpec other = job(3, 0.5, 0.1, 0.1, 10.0);
+  other.weight_gb = 6.0;
+  other.model_tag = &other_tag;
+  EXPECT_DOUBLE_EQ(slice.admission_demand(other), 10.0);
+
+  sim.run_to_completion();
+  EXPECT_DOUBLE_EQ(slice.memory_in_use(), 0.0);
+  // With every job gone the weight charge is released too.
+  EXPECT_DOUBLE_EQ(slice.admission_demand(spec), 10.0);
+}
+
+TEST(Slice, WithoutSharedWeightsFlagWeightsAreNotShared) {
+  sim::Simulator sim;
+  Slice slice(sim, nullptr, 0, SliceProfile::k7g, SharingMode::kMps);
+  static const int tag = 0;
+  JobSpec spec = job(1, 0.5, 0.1, 0.1, 10.0);
+  spec.weight_gb = 6.0;
+  spec.model_tag = &tag;
+  Done done;
+  slice.submit(spec, done.cb());
+  spec.id = 2;
+  // Legacy accounting: the full footprint per job, weights included.
+  EXPECT_DOUBLE_EQ(slice.admission_demand(spec), 10.0);
+  EXPECT_DOUBLE_EQ(slice.memory_in_use(), 10.0);
+  sim.run_to_completion();
+}
+
+TEST(Slice, SwapSlowdownBelowOneIsRejected) {
+  sim::Simulator sim;
+  Slice slice(sim, nullptr, 0, SliceProfile::k7g, SharingMode::kMps);
+  EXPECT_THROW(slice.set_swap_slowdown(0.5), std::logic_error);
+  slice.set_swap_slowdown(1.0);  // exact no-op
+  EXPECT_DOUBLE_EQ(slice.swap_slowdown(), 1.0);
+}
+
 TEST(Slice, BusySecondsTracksActiveTime) {
   sim::Simulator sim;
   Slice slice(sim, nullptr, 0, SliceProfile::k7g, SharingMode::kMps);
@@ -256,6 +341,22 @@ TEST(Gpu, BuildsSlicesFromGeometry) {
   EXPECT_EQ(slices[0]->profile(), SliceProfile::k4g);
   EXPECT_EQ(slices[1]->profile(), SliceProfile::k2g);
   EXPECT_EQ(slices[2]->profile(), SliceProfile::k1g);
+}
+
+TEST(Gpu, MemorySizeScalesSliceCapacities) {
+  sim::Simulator sim;
+  Gpu a100_40(sim, 0, Geometry::g4_2_1(), SharingMode::kMps);
+  Gpu a100_80(sim, 1, Geometry::g4_2_1(), SharingMode::kMps, 2.0,
+              InterferenceParams{}, 80.0);
+  const auto small = a100_40.slices();
+  const auto large = a100_80.slices();
+  ASSERT_EQ(small.size(), large.size());
+  for (std::size_t i = 0; i < small.size(); ++i) {
+    EXPECT_DOUBLE_EQ(large[i]->memory_capacity(),
+                     2.0 * small[i]->memory_capacity());
+  }
+  EXPECT_DOUBLE_EQ(a100_40.memory_capacity(), 40.0);
+  EXPECT_DOUBLE_EQ(a100_80.memory_capacity(), 80.0);
 }
 
 TEST(Gpu, InvalidGeometryThrows) {

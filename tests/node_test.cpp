@@ -183,6 +183,44 @@ TEST(WorkerNode, OutstandingWorkTracksQueueAndRunning) {
   EXPECT_NEAR(f.node->outstanding_work(), 0.0, 1e-9);
 }
 
+TEST(WorkerNode, EstimatedFreeMemorySubtractsQueuedDemand) {
+  Fixture f;
+  for (auto* slice : f.node->gpu().slices()) slice->set_accepting(false);
+  MemGb total = 0.0;
+  for (const auto* slice : f.node->gpu().slices()) {
+    total += slice->available_memory();
+  }
+  EXPECT_DOUBLE_EQ(f.node->estimated_free_memory(), total);
+  // Queued batches haven't claimed slice memory yet but will: the estimate
+  // debits them up front so the dispatcher doesn't over-commit the node.
+  f.node->enqueue(make_batch(resnet(), true, 0.0));
+  f.node->enqueue(make_batch(mobilenet(), false, 0.0));
+  EXPECT_DOUBLE_EQ(f.node->estimated_free_memory(),
+                   total - resnet().mem_gb - mobilenet().mem_gb);
+}
+
+TEST(WorkerNode, TakeBeDemandEstimateFollowsLittlesLaw) {
+  Fixture f;
+  for (auto* slice : f.node->gpu().slices()) slice->set_accepting(false);
+  // One full BE batch enqueued at t=0 contributes mem x solo of
+  // memory-service demand (fill = 1 => the (0.5 + 0.5*fill) midpoint and
+  // the work fraction are both 1).
+  f.node->enqueue(make_batch(mobilenet(), false, 0.0));
+  f.sim.run_until(2.0);
+  const MemGb expected = mobilenet().mem_gb * mobilenet().solo_time_7g / 2.0;
+  EXPECT_NEAR(f.node->take_be_demand_estimate(), expected, 1e-9);
+  // The call resets the window: an immediate second read sees no demand.
+  EXPECT_DOUBLE_EQ(f.node->take_be_demand_estimate(), 0.0);
+}
+
+TEST(WorkerNode, TakeBeDemandEstimateIgnoresStrictBatches) {
+  Fixture f;
+  for (auto* slice : f.node->gpu().slices()) slice->set_accepting(false);
+  f.node->enqueue(make_batch(resnet(), true, 0.0));
+  f.sim.run_until(2.0);
+  EXPECT_DOUBLE_EQ(f.node->take_be_demand_estimate(), 0.0);
+}
+
 TEST(WorkerNode, EstimatedPressureCountsResidentsAndQueue) {
   Fixture f;
   f.node->prewarm(resnet(), 4);

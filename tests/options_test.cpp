@@ -153,5 +153,68 @@ TEST(Cli, MissingTraceFileFails) {
   EXPECT_NE(error.find("cannot open"), std::string::npos);
 }
 
+TEST(Cli, MemcacheDisabledByDefault) {
+  const auto opts = must_parse({});
+  EXPECT_FALSE(opts.config.cluster.memcache.enabled);
+  EXPECT_DOUBLE_EQ(opts.config.cluster.gpu_memory_gb, 40.0);
+  EXPECT_TRUE(opts.mem_timeline_file.empty());
+  EXPECT_FALSE(opts.config.keep_mem_timeline);
+}
+
+TEST(Cli, MemcacheSpecRoundTrips) {
+  const auto opts = must_parse({"--memcache", "gdsf:12.5"});
+  EXPECT_TRUE(opts.config.cluster.memcache.enabled);
+  EXPECT_EQ(opts.config.cluster.memcache.policy,
+            memcache::EvictionPolicy::kGdsf);
+  EXPECT_DOUBLE_EQ(opts.config.cluster.memcache.capacity_gb, 12.5);
+  EXPECT_FALSE(opts.config.cluster.memcache.oversubscribe);
+
+  // The --flag=value spelling parses identically.
+  const auto eq = must_parse({"--memcache=lru:16"});
+  EXPECT_TRUE(eq.config.cluster.memcache.enabled);
+  EXPECT_EQ(eq.config.cluster.memcache.policy, memcache::EvictionPolicy::kLru);
+  EXPECT_DOUBLE_EQ(eq.config.cluster.memcache.capacity_gb, 16.0);
+
+  const auto oracle = must_parse({"--memcache", "ORACLE:4"});
+  EXPECT_EQ(oracle.config.cluster.memcache.policy,
+            memcache::EvictionPolicy::kOracle);
+}
+
+TEST(Cli, MemcacheOversubscribeComposesInAnyOrder) {
+  const auto after = must_parse(
+      {"--memcache", "lru:8", "--memcache-oversubscribe"});
+  EXPECT_TRUE(after.config.cluster.memcache.enabled);
+  EXPECT_TRUE(after.config.cluster.memcache.oversubscribe);
+  const auto before = must_parse(
+      {"--memcache-oversubscribe", "--memcache", "lru:8"});
+  EXPECT_TRUE(before.config.cluster.memcache.enabled);
+  EXPECT_TRUE(before.config.cluster.memcache.oversubscribe);
+}
+
+TEST(Cli, MemcacheBadSpecsFail) {
+  for (const char* spec : {"bogus:4", "lru", "lru:", ":4", "lru:-2", "lru:0",
+                           "lru:nan", "lru:12GB"}) {
+    EXPECT_NE(must_fail({"--memcache", spec}).find("bad memcache spec"),
+              std::string::npos)
+        << spec;
+  }
+  EXPECT_FALSE(parse_cli({"--memcache"}).options);
+}
+
+TEST(Cli, GpuMemFlag) {
+  const auto opts = must_parse({"--gpu-mem", "80"});
+  EXPECT_DOUBLE_EQ(opts.config.cluster.gpu_memory_gb, 80.0);
+  EXPECT_FALSE(parse_cli({"--gpu-mem", "0.5"}).options);
+  EXPECT_FALSE(parse_cli({"--gpu-mem", "2048"}).options);
+  EXPECT_FALSE(parse_cli({"--gpu-mem"}).options);
+}
+
+TEST(Cli, DumpMemTimelineFlag) {
+  const auto opts = must_parse({"--dump-mem-timeline", "/tmp/timeline.json"});
+  EXPECT_EQ(opts.mem_timeline_file, "/tmp/timeline.json");
+  EXPECT_TRUE(opts.config.keep_mem_timeline);
+  EXPECT_FALSE(parse_cli({"--dump-mem-timeline"}).options);
+}
+
 }  // namespace
 }  // namespace protean::harness

@@ -43,6 +43,39 @@ std::string mean_ci(const harness::MetricSummary& summary, const char* fmt) {
   return strfmt(fmt, summary.mean) + " ±" + strfmt(fmt, summary.ci95);
 }
 
+/// Writes each scheme's per-node (time, resident GB) timelines as JSON.
+bool dump_mem_timelines(const std::string& path,
+                        const std::vector<harness::Report>& reports) {
+  harness::Json::Array schemes;
+  for (const auto& r : reports) {
+    harness::Json::Object entry;
+    entry.emplace_back("scheme", r.scheme);
+    harness::Json::Array nodes;
+    for (const auto& timeline : r.mem_timelines) {
+      harness::Json::Array points;
+      points.reserve(timeline.size());
+      for (const auto& [when, gb] : timeline) {
+        harness::Json::Array point;
+        point.push_back(harness::Json(when));
+        point.push_back(harness::Json(gb));
+        points.push_back(harness::Json(std::move(point)));
+      }
+      nodes.push_back(harness::Json(std::move(points)));
+    }
+    entry.emplace_back("nodes", harness::Json(std::move(nodes)));
+    schemes.push_back(harness::Json(std::move(entry)));
+  }
+  harness::Json::Object root;
+  root.emplace_back("mem_timelines", harness::Json(std::move(schemes)));
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string text = harness::Json(std::move(root)).dump(2);
+  std::fputs(text.c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return true;
+}
+
 void print_reports(const harness::CliOptions& opts,
                    const std::vector<harness::Report>& reports) {
   std::printf("strict model: %s   trace: %s @ %.0f rps   nodes: %u   "
@@ -121,6 +154,10 @@ int main(int argc, char** argv) {
   const harness::SweepRunner runner(opts.jobs);
 
   if (opts.is_sweep()) {
+    if (!opts.mem_timeline_file.empty()) {
+      std::fprintf(stderr,
+                   "warning: --dump-mem-timeline is ignored for sweep runs\n");
+    }
     const auto sweep = opts.sweep_config();
     const auto cells = runner.run_aggregate(sweep);
     if (opts.json) {
@@ -136,6 +173,14 @@ int main(int argc, char** argv) {
   // Classic path: one report per scheme. Routed through the sweep runner so
   // --jobs parallelizes it; any job count produces identical reports.
   const auto reports = runner.run_grid(opts.sweep_config());
+
+  if (!opts.mem_timeline_file.empty()) {
+    if (!dump_mem_timelines(opts.mem_timeline_file, reports)) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   opts.mem_timeline_file.c_str());
+      return 1;
+    }
+  }
 
   if (opts.json) {
     std::printf("%s\n",
