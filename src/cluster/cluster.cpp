@@ -27,6 +27,16 @@ Cluster::Cluster(sim::Simulator& simulator, const ClusterConfig& config,
                                            config_.node_count, *this);
   dispatch_policy_ = scheduler_.dispatch_policy().value_or(config_.dispatch);
   dispatch_rng_ = Rng(config_.dispatch_seed).fork(0xd15);
+  if (config_.fault.enabled) {
+    for (auto& node : nodes_) {
+      node->set_lost_batch_handler(
+          [this](workload::Batch&& b) { on_lost_batch(std::move(b)); });
+    }
+    // Hedged twins (and retry/drop races) must not double-count an id.
+    collector_.set_dedup(true);
+    injector_ =
+        std::make_unique<fault::FaultInjector>(sim_, config_.fault, *this);
+  }
 }
 
 Cluster::~Cluster() { stop(); }
@@ -43,11 +53,13 @@ void Cluster::start() {
       sim_, config_.monitor_interval, [this] { monitor_tick(); });
   backlog_task_ = std::make_unique<sim::PeriodicTask>(
       sim_, 1.0, [this] { drain_backlog(); });
+  if (injector_) injector_->start();
 }
 
 void Cluster::stop() {
   monitor_task_.reset();
   backlog_task_.reset();
+  if (injector_) injector_->stop();
   if (market_) market_->stop();
 }
 
@@ -115,12 +127,56 @@ WorkerNode* Cluster::pick_node(const workload::Batch& batch) {
 }
 
 void Cluster::dispatch(workload::Batch&& batch) {
+  maybe_arm_hedge(batch);
   WorkerNode* node = pick_node(batch);
   if (node == nullptr) {
     backlog_.push_back(std::move(batch));
     return;
   }
   node->enqueue(std::move(batch));
+}
+
+void Cluster::maybe_arm_hedge(workload::Batch& batch) {
+  const fault::FaultConfig& fc = config_.fault;
+  if (!fc.enabled || !fc.hedge.enabled) return;
+  if (!batch.strict || batch.slo >= kNeverTime) return;
+  if (batch.hedged || batch.hedge_armed || batch.attempts > 0) return;
+  batch.hedge_armed = true;
+  ++hedge_candidates_;
+  auto twin = std::make_shared<workload::Batch>(batch);
+  twin->hedged = true;
+  const Duration delay =
+      std::max(fc.hedge.floor, fc.hedge.slo_fraction * batch.slo);
+  sim_.schedule_after(delay, [this, twin] {
+    if (collector_.seen(twin->id)) return;  // primary already finished
+    // Hedge budget ("The Tail at Scale"): a post-fault backlog pushes every
+    // queued batch past its hedge deadline; without a cap the duplicate
+    // load would sustain the backlog it is meant to cut short.
+    const double budget = config_.fault.hedge.budget_fraction *
+                          static_cast<double>(hedge_candidates_);
+    if (static_cast<double>(collector_.hedges()) + 1.0 > budget) return;
+    collector_.record_hedge();
+    dispatch(workload::Batch(*twin));
+  });
+}
+
+void Cluster::on_lost_batch(workload::Batch&& batch) {
+  collector_.record_lost_work(batch.strict, batch.count);
+  if (collector_.seen(batch.id)) return;  // a twin already settled this id
+  if (batch.attempts >= config_.fault.retry.max_retries) {
+    // Out of retries: terminal for this copy. The first terminal event for
+    // an id — this drop or a twin's completion — wins in the collector.
+    if (collector_.claim(batch.id)) {
+      collector_.record_dropped(batch.strict, batch.count);
+    }
+    return;
+  }
+  ++batch.attempts;
+  collector_.record_retry();
+  const Duration delay =
+      fault::retry_backoff(batch.attempts, config_.fault.retry);
+  auto shared = std::make_shared<workload::Batch>(std::move(batch));
+  sim_.schedule_after(delay, [this, shared] { dispatch(std::move(*shared)); });
 }
 
 void Cluster::drain_backlog() {
@@ -156,6 +212,33 @@ void Cluster::on_node_restored(NodeId id, spot::VmTier tier) {
   if (!node.up()) node.restore();
   node.set_draining(false);
   drain_backlog();
+}
+
+std::size_t Cluster::fault_domain_size() const { return nodes_.size(); }
+
+bool Cluster::inject_crash(NodeId id) {
+  WorkerNode& node = *nodes_.at(id);
+  if (!node.up()) return false;  // already down: the fault misses
+  LOG_DEBUG << "node " << id << " crashed; reboot in "
+            << config_.fault.reboot_delay << " s";
+  for (workload::Batch& b : node.evict()) dispatch(std::move(b));
+  const NodeId n = id;
+  sim_.schedule_after(config_.fault.reboot_delay, [this, n] {
+    WorkerNode& down = *nodes_.at(n);
+    // Reboot only while the market still leases this VM; if it was evicted
+    // meanwhile, the market's replacement path owns the restore.
+    if (!down.up() && market_->node_up(n)) {
+      down.restore();
+      drain_backlog();
+    }
+  });
+  return true;
+}
+
+bool Cluster::inject_spot_kill(NodeId id) { return market_->force_kill(id); }
+
+bool Cluster::inject_ecc_failure(NodeId id, double slice_selector) {
+  return nodes_.at(id)->inject_ecc(slice_selector);
 }
 
 void Cluster::monitor_tick() {
@@ -205,6 +288,18 @@ std::uint64_t Cluster::total_dropped_jobs() const {
 int Cluster::total_reconfigurations() const {
   int total = 0;
   for (const auto& node : nodes_) total += node->reconfigurations();
+  return total;
+}
+
+std::uint64_t Cluster::total_lost_batches() const {
+  std::uint64_t total = 0;
+  for (const auto& node : nodes_) total += node->lost_batches();
+  return total;
+}
+
+int Cluster::total_failed_reconfigurations() const {
+  int total = 0;
+  for (const auto& node : nodes_) total += node->failed_reconfigurations();
   return total;
 }
 

@@ -11,13 +11,14 @@
 #include "cluster/gateway.h"
 #include "cluster/node.h"
 #include "cluster/scheduler.h"
+#include "fault/injector.h"
 #include "metrics/collector.h"
 #include "sim/simulator.h"
 #include "spot/market.h"
 
 namespace protean::cluster {
 
-class Cluster : public spot::NodeLifecycleListener {
+class Cluster : public spot::NodeLifecycleListener, public fault::FaultTarget {
  public:
   Cluster(sim::Simulator& simulator, const ClusterConfig& config,
           Scheduler& scheduler);
@@ -53,6 +54,21 @@ class Cluster : public spot::NodeLifecycleListener {
   void on_node_evicted(NodeId node) override;
   void on_node_restored(NodeId node, spot::VmTier tier) override;
 
+  // ---- fault::FaultTarget --------------------------------------------------
+  std::size_t fault_domain_size() const override;
+  /// Hard node crash: in-flight work is lost (and retried when configured),
+  /// the VM reboots after config.fault.reboot_delay.
+  bool inject_crash(NodeId node) override;
+  /// Abrupt spot kill, routed through the market (no eviction notice).
+  bool inject_spot_kill(NodeId node) override;
+  /// Per-slice ECC degradation on the node's GPU.
+  bool inject_ecc_failure(NodeId node, double slice_selector) override;
+
+  /// The fault engine; nullptr unless config.fault.enabled.
+  const fault::FaultInjector* injector() const noexcept {
+    return injector_.get();
+  }
+
   // ---- fleet-wide stats ----------------------------------------------------
   /// Percentage of wall time with >= 1 job running, averaged over GPUs.
   double gpu_utilization_pct() const;
@@ -61,12 +77,20 @@ class Cluster : public spot::NodeLifecycleListener {
   std::uint64_t total_cold_starts() const;
   std::uint64_t total_dropped_jobs() const;
   int total_reconfigurations() const;
+  /// Batches whose in-flight execution was aborted by injected faults.
+  std::uint64_t total_lost_batches() const;
+  /// Reconfiguration attempts that timed out under injected faults.
+  int total_failed_reconfigurations() const;
   std::size_t backlog() const noexcept { return backlog_.size(); }
 
  private:
   void monitor_tick();
   void drain_backlog();
   WorkerNode* pick_node(const workload::Batch& batch);
+  /// Retry/drop decision for a batch aborted by a fault.
+  void on_lost_batch(workload::Batch&& batch);
+  /// Arms the hedge timer for a fresh strict batch when hedging is on.
+  void maybe_arm_hedge(workload::Batch& batch);
 
   sim::Simulator& sim_;
   ClusterConfig config_;
@@ -75,9 +99,12 @@ class Cluster : public spot::NodeLifecycleListener {
   std::vector<std::unique_ptr<WorkerNode>> nodes_;
   std::unique_ptr<Gateway> gateway_;
   std::unique_ptr<spot::Market> market_;
+  std::unique_ptr<fault::FaultInjector> injector_;
   std::unique_ptr<sim::PeriodicTask> monitor_task_;
   std::unique_ptr<sim::PeriodicTask> backlog_task_;
   std::deque<workload::Batch> backlog_;
+  /// Strict batches that armed a hedge timer (the hedge budget's base).
+  std::uint64_t hedge_candidates_ = 0;
   DispatchPolicy dispatch_policy_ = DispatchPolicy::kRandom;
   Rng dispatch_rng_{0x5eed};
   std::size_t rr_cursor_ = 0;

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "common/types.h"
+#include "fault/config.h"
 #include "gpu/engine.h"
 #include "memcache/config.h"
 #include "spot/market.h"
@@ -78,6 +79,10 @@ struct ClusterConfig {
   /// VM market / procurement; policy kOnDemandOnly with p_rev 0 reproduces
   /// the primary experiments.
   spot::MarketConfig market;
+
+  /// Fault injection & resilience (src/fault). Disabled by default; with
+  /// faults off every run is byte-identical to a build without this knob.
+  fault::FaultConfig fault;
 };
 
 }  // namespace protean::cluster

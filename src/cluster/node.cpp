@@ -21,12 +21,14 @@ WorkerNode::WorkerNode(sim::Simulator& simulator, NodeId id,
       id_(id),
       config_(config),
       scheduler_(scheduler),
-      collector_(collector) {
+      collector_(collector),
+      fault_rng_(Rng(config.fault.seed).fork(0x8ecf00ULL + id)) {
   gpu_ = std::make_unique<gpu::Gpu>(
       sim_, id_, scheduler_.initial_geometry(), scheduler_.sharing_mode(),
       config_.reconfigure_time, config_.interference, config_.gpu_memory_gb,
       config_.memcache.enabled);
   gpu_->set_capacity_callback([this] { try_dispatch(); });
+  install_reconfig_fault_hook();
   if (config_.memcache.enabled) {
     cache_ = std::make_unique<memcache::ModelCache>(sim_, config_.memcache,
                                                     &collector_);
@@ -155,9 +157,21 @@ void WorkerNode::maybe_boot_spare(const workload::ModelProfile& model) {
 
 void WorkerNode::maybe_sync_cache() {
   if (!cache_ || !gpu_ || gpu_->reconfiguring()) return;
-  if (gpu_->reconfigurations() == synced_reconfigs_) return;
+  // Keyed on the topology version, which also covers failed-reconfiguration
+  // rebuilds and ECC slice losses (identical to reconfigurations() when
+  // fault injection is off).
+  if (gpu_->topology_version() == synced_topology_) return;
   cache_->sync_slices(gpu_->slices());
-  synced_reconfigs_ = gpu_->reconfigurations();
+  synced_topology_ = gpu_->topology_version();
+}
+
+void WorkerNode::install_reconfig_fault_hook() {
+  if (!gpu_ || !config_.fault.enabled || config_.fault.reconfig_fail_prob <= 0.0) {
+    return;
+  }
+  gpu_->set_reconfig_fault(
+      [this] { return fault_rng_.bernoulli(config_.fault.reconfig_fail_prob); },
+      config_.fault.reconfig_fail_multiplier);
 }
 
 void WorkerNode::try_dispatch() {
@@ -287,6 +301,10 @@ void WorkerNode::begin_exec(workload::Batch batch, SliceId slice_id,
 
 void WorkerNode::on_complete(workload::Batch batch,
                              const gpu::JobCompletion& done) {
+  if (done.failed) {
+    handle_lost(std::move(batch));
+    return;
+  }
   batch.completed_at = done.finished_at;
   batch.exec_time = done.exec_time;
   collector_.record(batch);
@@ -302,6 +320,35 @@ void WorkerNode::on_complete(workload::Batch batch,
     pool.idle_since.push_back(sim_.now());
   }
   // try_dispatch fires via the GPU capacity callback right after this.
+}
+
+void WorkerNode::handle_lost(workload::Batch batch) {
+  PROTEAN_DCHECK(running_ > 0);
+  if (running_ > 0) --running_;
+  outstanding_work_ =
+      std::max(0.0, outstanding_work_ - batch.model->solo_time_7g);
+  auto& pool = containers_[batch.model];
+  if (pool.busy > 0) --pool.busy;
+  // On a surviving node (ECC slice loss) the container itself is fine and
+  // goes back to the warm pool; on a dead node it died with the VM.
+  if (up_ && config_.keep_alive > 0.0) {
+    ++pool.warm;
+    pool.idle_since.push_back(sim_.now());
+  }
+  ++lost_batches_;
+  // Reset service-side fields so a retry accounts from scratch.
+  batch.cold_start = 0.0;
+  batch.reserved_gb = 0.0;
+  batch.exec_start = 0.0;
+  batch.completed_at = 0.0;
+  batch.exec_time = 0.0;
+  if (lost_handler_) {
+    lost_handler_(std::move(batch));
+    return;
+  }
+  // No resilience layer installed: legacy dropped-work accounting.
+  ++dropped_jobs_;
+  collector_.record_dropped(batch.strict, batch.count);
 }
 
 void WorkerNode::reap_containers() {
@@ -323,11 +370,44 @@ int WorkerNode::warm_containers() const noexcept {
 
 bool WorkerNode::begin_reconfigure(const gpu::Geometry& target) {
   if (!gpu_ || gpu_->reconfiguring()) return false;
+  // A degraded HBM region blocks repartitioning until the ECC repair runs.
+  if (ecc_degraded_) return false;
   if (!gpu_->request_reconfigure(target)) return false;
   if (redistribute_) {
     for (workload::Batch& b : take_queue()) redistribute_(std::move(b));
   }
   return true;
+}
+
+bool WorkerNode::inject_ecc(double selector) {
+  if (!up_ || !gpu_ || gpu_->reconfiguring() || ecc_degraded_) return false;
+  std::vector<gpu::Slice*> live = gpu_->slices();
+  if (live.size() <= 1) return false;  // can't heal around the only slice
+  healthy_geometry_ = gpu_->geometry();
+  const auto pick = std::min(
+      live.size() - 1,
+      static_cast<std::size_t>(selector * static_cast<double>(live.size())));
+  const SliceId victim = live[pick]->id();
+  if (!gpu_->fail_slice(victim)) return false;
+  LOG_DEBUG << "node " << id_ << " ECC failure on slice " << victim
+            << ", geometry now " << gpu_->geometry().to_string();
+  ecc_degraded_ = true;
+  maybe_sync_cache();
+  schedule_ecc_heal(config_.fault.ecc_repair_delay);
+  try_dispatch();
+  return true;
+}
+
+void WorkerNode::schedule_ecc_heal(Duration delay) {
+  const std::uint64_t epoch = epoch_;
+  sim_.schedule_after(delay, [this, epoch] {
+    if (epoch != epoch_ || !up_) return;  // the VM died; restore() heals
+    ecc_degraded_ = false;
+    if (!gpu_ || gpu_->geometry() == healthy_geometry_) return;
+    // The repair itself is a normal ~2 s reconfiguration; retry shortly if
+    // the GPU is mid-reconfig right now.
+    if (!begin_reconfigure(healthy_geometry_)) schedule_ecc_heal(1.0);
+  });
 }
 
 std::vector<workload::Batch> WorkerNode::take_queue() {
@@ -359,6 +439,10 @@ std::vector<workload::Batch> WorkerNode::evict() {
     flushed.push_back(std::move(batch));
   }
   booting_.clear();
+  // With the resilience layer installed, jobs still on the GPU are aborted
+  // through the lost-batch path (each exactly once) so the cluster can
+  // retry them; handle_lost unwinds running_/containers_ per batch.
+  if (lost_handler_ && gpu_) gpu_->abort_all_jobs();
   // Jobs still on the GPU at eviction are lost; the paper's drain window
   // (>=30 s notice vs <1 s jobs) makes this rare.
   if (running_ > 0) {
@@ -375,11 +459,13 @@ std::vector<workload::Batch> WorkerNode::evict() {
     gpu_mem_retired_ += gpu_->memory_gb_seconds();
     swap_stall_retired_ += gpu_->swap_stall_seconds();
     reconfigs_retired_ += gpu_->reconfigurations();
+    failed_reconfigs_retired_ += gpu_->failed_reconfigurations();
   }
   gpu_.reset();  // cancels all pending completions
+  ecc_degraded_ = false;  // the bad HBM died with the VM
   if (cache_) {
     cache_->reset();  // device memory is gone with the VM
-    synced_reconfigs_ = -1;
+    synced_topology_ = -1;
   }
   return flushed;
 }
@@ -394,6 +480,7 @@ void WorkerNode::restore() {
       config_.reconfigure_time, config_.interference, config_.gpu_memory_gb,
       config_.memcache.enabled);
   gpu_->set_capacity_callback([this] { try_dispatch(); });
+  install_reconfig_fault_hook();
   maybe_sync_cache();
   try_dispatch();
 }

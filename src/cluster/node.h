@@ -17,6 +17,7 @@
 
 #include "cluster/config.h"
 #include "cluster/scheduler.h"
+#include "common/rng.h"
 #include "gpu/engine.h"
 #include "memcache/model_cache.h"
 #include "metrics/collector.h"
@@ -55,6 +56,22 @@ class WorkerNode {
   std::vector<workload::Batch> take_queue();
   /// Brings a replacement VM online; the container pool starts cold.
   void restore();
+
+  // ---- fault injection (src/fault) ---------------------------------------
+  /// Installed by the cluster when fault injection is on. Receives batches
+  /// whose in-flight execution was aborted (crash, spot kill, ECC); the
+  /// handler decides between retry and drop. Without a handler, aborted
+  /// work falls back to the legacy dropped-jobs accounting.
+  void set_lost_batch_handler(std::function<void(workload::Batch&&)> fn) {
+    lost_handler_ = std::move(fn);
+  }
+  /// Per-slice ECC degradation: kills one slice (chosen by `selector` in
+  /// [0,1)), the MIG geometry heals around it, and a repair reconfiguration
+  /// back to the healthy layout is scheduled after fault.ecc_repair_delay.
+  /// Returns false when the fault cannot land (node down, mid-reconfig,
+  /// already degraded, or only one slice left).
+  bool inject_ecc(double selector);
+  bool ecc_degraded() const noexcept { return ecc_degraded_; }
 
   // ---- queue ---------------------------------------------------------------
   void enqueue(workload::Batch batch);
@@ -105,6 +122,13 @@ class WorkerNode {
   std::uint64_t cold_starts() const noexcept { return cold_starts_; }
   std::uint64_t batches_served() const noexcept { return batches_served_; }
   std::uint64_t dropped_jobs() const noexcept { return dropped_jobs_; }
+  /// Batches whose in-flight execution was aborted by an injected fault.
+  std::uint64_t lost_batches() const noexcept { return lost_batches_; }
+  /// Reconfiguration attempts that timed out (injected), incl. retired GPUs.
+  int failed_reconfigurations() const noexcept {
+    return failed_reconfigs_retired_ +
+           (gpu_ ? gpu_->failed_reconfigurations() : 0);
+  }
   int warm_containers() const noexcept;
   /// GPU busy/memory integrals including GPUs retired by VM evictions.
   double gpu_busy_seconds() const noexcept {
@@ -148,6 +172,13 @@ class WorkerNode {
   void maybe_sync_cache();
   void begin_exec(workload::Batch batch, SliceId slice_id, bool reserved);
   void on_complete(workload::Batch batch, const gpu::JobCompletion& done);
+  /// Unwinds node-side accounting for a fault-aborted batch and routes it to
+  /// the lost-batch handler (or the legacy drop path without one).
+  void handle_lost(workload::Batch batch);
+  /// Installs the injected reconfiguration-failure hook on a fresh GPU.
+  void install_reconfig_fault_hook();
+  /// Schedules the post-repair reconfiguration back to the healthy layout.
+  void schedule_ecc_heal(Duration delay);
   gpu::Slice* find_slice(SliceId slice_id);
   void reap_containers();
   void insert_by_policy(workload::Batch&& batch);
@@ -159,7 +190,7 @@ class WorkerNode {
   metrics::Collector& collector_;
   std::unique_ptr<gpu::Gpu> gpu_;
   std::unique_ptr<memcache::ModelCache> cache_;
-  int synced_reconfigs_ = -1;  // forces an initial sync_slices
+  int synced_topology_ = -1;  // forces an initial sync_slices
 
   std::deque<workload::Batch> queue_;
   std::function<void(workload::Batch&&)> redistribute_;
@@ -189,6 +220,14 @@ class WorkerNode {
   double gpu_mem_retired_ = 0.0;
   double swap_stall_retired_ = 0.0;
   int reconfigs_retired_ = 0;
+
+  // ---- fault-injection state (inert unless config.fault.enabled) ---------
+  std::function<void(workload::Batch&&)> lost_handler_;
+  bool ecc_degraded_ = false;
+  gpu::Geometry healthy_geometry_;  ///< layout to restore after ECC repair
+  std::uint64_t lost_batches_ = 0;
+  int failed_reconfigs_retired_ = 0;
+  Rng fault_rng_;  ///< drives injected reconfiguration failures
 };
 
 }  // namespace protean::cluster

@@ -1,0 +1,146 @@
+#include "fault/config.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace protean::fault {
+
+const char* to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kSpotKill: return "kill";
+    case FaultKind::kEcc: return "ecc";
+  }
+  return "?";
+}
+
+Duration retry_backoff(int attempt, const RetryConfig& config) noexcept {
+  if (attempt <= 1) return std::min(config.base_backoff, config.max_backoff);
+  const double doubled =
+      config.base_backoff * std::ldexp(1.0, std::min(attempt - 1, 60));
+  return std::min(doubled, config.max_backoff);
+}
+
+namespace {
+
+std::optional<double> parse_double(const std::string& s) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != s.size()) return std::nullopt;
+    return v;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<FaultKind> parse_kind(const std::string& name) {
+  if (name == "crash") return FaultKind::kCrash;
+  if (name == "kill") return FaultKind::kSpotKill;
+  if (name == "ecc") return FaultKind::kEcc;
+  return std::nullopt;
+}
+
+/// Parses one scripted token, "KIND@T:nID".
+std::optional<ScriptedFault> parse_scripted(const std::string& token) {
+  const std::size_t at = token.find('@');
+  const std::size_t colon = token.find(':', at == std::string::npos ? 0 : at);
+  if (at == std::string::npos || colon == std::string::npos || colon < at) {
+    return std::nullopt;
+  }
+  const auto kind = parse_kind(token.substr(0, at));
+  if (!kind) return std::nullopt;
+  const auto when = parse_double(token.substr(at + 1, colon - at - 1));
+  if (!when || *when < 0.0) return std::nullopt;
+  const std::string node = token.substr(colon + 1);
+  if (node.size() < 2 || node[0] != 'n') return std::nullopt;
+  const auto id = parse_double(node.substr(1));
+  if (!id || *id < 0.0 || *id != std::floor(*id) || *id > 1e9) {
+    return std::nullopt;
+  }
+  ScriptedFault fault;
+  fault.kind = *kind;
+  fault.at = *when;
+  fault.node = static_cast<NodeId>(*id);
+  return fault;
+}
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::optional<FaultConfig> parse_fault_spec(const std::string& spec,
+                                            FaultConfig base) {
+  if (spec.empty()) return std::nullopt;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::string token =
+        spec.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+    start = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+    if (token.empty()) return std::nullopt;
+
+    if (token.find('@') != std::string::npos) {
+      const auto scripted = parse_scripted(token);
+      if (!scripted) return std::nullopt;
+      base.script.push_back(*scripted);
+      continue;
+    }
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) return std::nullopt;
+    const std::string key = token.substr(0, eq);
+    const auto value = parse_double(token.substr(eq + 1));
+    if (!value) return std::nullopt;
+    if (key == "crash-rate" && *value >= 0.0) {
+      base.crash_rate = *value;
+    } else if (key == "kill-rate" && *value >= 0.0) {
+      base.kill_rate = *value;
+    } else if (key == "ecc-rate" && *value >= 0.0) {
+      base.ecc_rate = *value;
+    } else if (key == "reconfig-fail" && *value >= 0.0 && *value <= 1.0) {
+      base.reconfig_fail_prob = *value;
+    } else if (key == "reboot" && *value > 0.0) {
+      base.reboot_delay = *value;
+    } else if (key == "ecc-repair" && *value > 0.0) {
+      base.ecc_repair_delay = *value;
+    } else {
+      return std::nullopt;
+    }
+  }
+  base.enabled = true;
+  return base;
+}
+
+std::string to_spec(const FaultConfig& config) {
+  const FaultConfig defaults;
+  std::string out;
+  auto append = [&out](const std::string& token) {
+    if (!out.empty()) out += ',';
+    out += token;
+  };
+  for (const ScriptedFault& f : config.script) {
+    append(std::string(to_string(f.kind)) + "@" + fmt(f.at) + ":n" +
+           fmt(static_cast<double>(f.node)));
+  }
+  if (config.crash_rate > 0.0) append("crash-rate=" + fmt(config.crash_rate));
+  if (config.kill_rate > 0.0) append("kill-rate=" + fmt(config.kill_rate));
+  if (config.ecc_rate > 0.0) append("ecc-rate=" + fmt(config.ecc_rate));
+  if (config.reconfig_fail_prob > 0.0) {
+    append("reconfig-fail=" + fmt(config.reconfig_fail_prob));
+  }
+  if (config.reboot_delay != defaults.reboot_delay) {
+    append("reboot=" + fmt(config.reboot_delay));
+  }
+  if (config.ecc_repair_delay != defaults.ecc_repair_delay) {
+    append("ecc-repair=" + fmt(config.ecc_repair_delay));
+  }
+  return out;
+}
+
+}  // namespace protean::fault

@@ -196,6 +196,33 @@ void Slice::complete_front_runner() {
   }
 }
 
+std::size_t Slice::abort_jobs() {
+  settle();
+  sim_.cancel(completion_event_);
+  completion_event_ = sim::EventHandle();
+  if (jobs_.empty()) return 0;
+  std::vector<Running> lost;
+  lost.swap(jobs_);
+  mem_in_use_ = 0.0;
+  be_mem_in_use_ = 0.0;
+  fbr_sum_ = 0.0;
+  sm_sum_ = 0.0;
+  weight_refs_.clear();
+  weight_charged_gb_ = 0.0;
+  if (owner_ != nullptr) owner_->on_slice_activity_change(false);
+  for (Running& job : lost) {
+    JobCompletion completion;
+    completion.id = job.spec.id;
+    completion.started_at = job.started_at;
+    completion.finished_at = sim_.now();
+    completion.exec_time = sim_.now() - job.started_at;
+    completion.solo_time = job.spec.solo_time;
+    completion.failed = true;
+    if (job.on_done) job.on_done(completion);
+  }
+  return lost.size();
+}
+
 std::size_t Slice::strict_jobs() const noexcept {
   std::size_t count = 0;
   for (const Running& job : jobs_) {
@@ -268,6 +295,13 @@ Gpu::Gpu(sim::Simulator& simulator, GpuId id, Geometry geometry,
   build_slices();
 }
 
+Gpu::~Gpu() {
+  // The GPU can be destroyed mid-reconfiguration (a crash or spot kill
+  // retiring the VM); the pending downtime-complete event must not fire
+  // into freed memory.
+  sim_.cancel(reconfig_event_);
+}
+
 void Gpu::build_slices() {
   // Preserve utilization integrals of slices about to be destroyed.
   for (const auto& s : slices_) {
@@ -322,18 +356,65 @@ void Gpu::maybe_finish_drain() {
   for (auto& s : slices_) {
     if (!s->idle() || s->reservations() > 0) return;
   }
-  // All drained: take the MIG downtime, then swap the geometry.
+  // All drained: take the MIG downtime, then swap the geometry. A failed
+  // attempt (injected fault) pays a longer downtime and comes back with the
+  // old layout; the caller's reconfigurator retries on a later tick.
   state_ = State::kDown;
-  sim_.schedule_after(reconfigure_time_, [this] {
+  const bool fault = reconfig_should_fail_ && reconfig_should_fail_();
+  const Duration downtime =
+      fault ? reconfigure_time_ * reconfig_fail_multiplier_ : reconfigure_time_;
+  reconfig_event_ = sim_.schedule_after(downtime, [this, fault] {
+    reconfig_event_ = sim::EventHandle();
+    if (fault) {
+      build_slices();
+      state_ = State::kReady;
+      ++failed_reconfig_count_;
+      ++topology_version_;
+      reconfig_done_ = nullptr;
+      if (on_capacity_) on_capacity_();
+      return;
+    }
     geometry_ = target_geometry_;
     build_slices();
     state_ = State::kReady;
     ++reconfig_count_;
+    ++topology_version_;
     auto done = std::move(reconfig_done_);
     reconfig_done_ = nullptr;
     if (done) done();
     if (on_capacity_) on_capacity_();
   });
+}
+
+std::size_t Gpu::abort_all_jobs() {
+  std::size_t lost = 0;
+  for (auto& s : slices_) lost += s->abort_jobs();
+  return lost;
+}
+
+bool Gpu::fail_slice(SliceId id) {
+  if (state_ != State::kReady) return false;
+  if (slices_.size() <= 1) return false;
+  auto it = std::find_if(slices_.begin(), slices_.end(),
+                         [id](const auto& s) { return s->id() == id; });
+  if (it == slices_.end()) return false;
+  Slice& victim = **it;
+  victim.abort_jobs();
+  victim.set_accepting(false);
+  // Retire the dead slice's integrals, as reconfiguration does.
+  mem_integral_retired_ += victim.memory_gb_seconds();
+  swap_stall_retired_ += victim.swap_stall_seconds();
+  // The geometry heals around the lost slice: drop one matching profile.
+  std::vector<SliceProfile> remaining = geometry_.slices();
+  auto profile_it =
+      std::find(remaining.begin(), remaining.end(), victim.profile());
+  PROTEAN_DCHECK(profile_it != remaining.end());
+  if (profile_it != remaining.end()) remaining.erase(profile_it);
+  geometry_ = Geometry(std::move(remaining));
+  slices_.erase(it);
+  ++topology_version_;
+  if (on_capacity_) on_capacity_();
+  return true;
 }
 
 void Gpu::on_slice_activity_change(bool became_busy) {

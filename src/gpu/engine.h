@@ -86,6 +86,9 @@ struct JobCompletion {
   Duration exec_time = 0.0;
   /// The job's solo time on the slice it ran on (for breakdown accounting).
   Duration solo_time = 0.0;
+  /// True when the job was aborted by a fault (node crash, slice ECC
+  /// degradation); the work was lost, not served.
+  bool failed = false;
 };
 
 using CompletionCallback = std::function<void(const JobCompletion&)>;
@@ -117,6 +120,12 @@ class Slice {
 
   /// Starts executing the job immediately. Pre: can_admit(spec).
   void submit(const JobSpec& spec, CompletionCallback on_done);
+
+  /// Fault path: aborts every resident job. Each job's completion callback
+  /// fires with `failed = true` so the submitter can mark the work lost.
+  /// Memory reservations (booting containers) are left untouched. Returns
+  /// the number of jobs aborted.
+  std::size_t abort_jobs();
 
   std::size_t running_jobs() const noexcept { return jobs_.size(); }
   bool idle() const noexcept { return jobs_.empty(); }
@@ -246,7 +255,7 @@ class Gpu {
   Gpu(sim::Simulator& simulator, GpuId id, Geometry geometry, SharingMode mode,
       Duration reconfigure_time = 2.0, InterferenceParams interference = {},
       MemGb memory_gb = 40.0, bool shared_weights = false);
-  ~Gpu() = default;
+  ~Gpu();  // cancels the pending reconfiguration-downtime event, if any
   Gpu(const Gpu&) = delete;
   Gpu& operator=(const Gpu&) = delete;
 
@@ -273,6 +282,40 @@ class Gpu {
   void set_capacity_callback(std::function<void()> cb) {
     on_capacity_ = std::move(cb);
   }
+
+  // ---- fault injection (src/fault) ----------------------------------------
+
+  /// Aborts every resident job on every slice (node crash). Completion
+  /// callbacks fire with `failed = true`.
+  std::size_t abort_all_jobs();
+
+  /// ECC degradation: aborts the slice's jobs, retires its utilization
+  /// integrals, and removes it (and its profile) from the live geometry —
+  /// the surviving slices keep running. Returns false when the slice is
+  /// unknown, mid-reconfiguration, or the last one left (a zero-slice
+  /// geometry is not representable; callers escalate instead).
+  bool fail_slice(SliceId id);
+
+  /// Installs the reconfiguration-failure hook: `should_fail` is evaluated
+  /// once per drained reconfiguration attempt; on failure the GPU pays
+  /// `timeout_multiplier` × the normal downtime and comes back in its *old*
+  /// geometry without bumping reconfigurations(). Null disables (default).
+  void set_reconfig_fault(std::function<bool()> should_fail,
+                          double timeout_multiplier) {
+    reconfig_should_fail_ = std::move(should_fail);
+    reconfig_fail_multiplier_ = timeout_multiplier;
+  }
+
+  /// Reconfiguration attempts that timed out (see set_reconfig_fault).
+  int failed_reconfigurations() const noexcept {
+    return failed_reconfig_count_;
+  }
+
+  /// Bumps whenever the live slice set changes identity: a completed
+  /// reconfiguration, a failed one (slices rebuilt in the old geometry), or
+  /// a slice lost to ECC. Equals reconfigurations() when faults are off —
+  /// consumers keying residency syncs on it see identical behaviour.
+  int topology_version() const noexcept { return topology_version_; }
 
   /// Whole-GPU busy time (>=1 job anywhere), seconds up to now.
   double busy_seconds() const noexcept;
@@ -307,8 +350,13 @@ class Gpu {
   State state_ = State::kReady;
   Geometry target_geometry_;
   std::function<void()> reconfig_done_;
+  sim::EventHandle reconfig_event_;  ///< pending downtime-complete event
   std::function<void()> on_capacity_;
   int reconfig_count_ = 0;
+  std::function<bool()> reconfig_should_fail_;
+  double reconfig_fail_multiplier_ = 2.0;
+  int failed_reconfig_count_ = 0;
+  int topology_version_ = 0;
 
   // Whole-GPU busy accounting.
   int busy_slices_ = 0;

@@ -29,6 +29,7 @@ Report run_experiment(const ExperimentConfig& config) {
     cluster_config.reconfigure_time = 0.0;
   }
   cluster_config.market.seed = config.seed ^ 0xC0FFEEULL;
+  cluster_config.fault.seed = config.seed ^ 0xFA017ULL;
 
   cluster::Cluster deployment(sim, cluster_config, *scheduler);
 
@@ -148,6 +149,25 @@ Report run_experiment(const ExperimentConfig& config) {
         report.cache_access_logs.push_back(node.cache()->access_log());
       }
     }
+  }
+
+  if (cluster_config.fault.enabled) {
+    report.faults.enabled = true;
+    if (const fault::FaultInjector* injector = deployment.injector()) {
+      report.faults.injected_crashes =
+          static_cast<std::uint64_t>(injector->injected_crashes());
+      report.faults.injected_kills =
+          static_cast<std::uint64_t>(injector->injected_kills());
+      report.faults.injected_ecc =
+          static_cast<std::uint64_t>(injector->injected_ecc());
+    }
+    report.faults.failed_reconfigurations =
+        deployment.total_failed_reconfigurations();
+    report.faults.lost_batches = deployment.total_lost_batches();
+    report.faults.lost_requests = collector.lost_requests();
+    report.faults.retries = collector.retries();
+    report.faults.hedges = collector.hedges();
+    report.faults.duplicate_hedges = collector.duplicate_hedges();
   }
 
   deployment.stop();

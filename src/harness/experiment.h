@@ -123,6 +123,10 @@ struct ExperimentConfig {
     keep_cache_access_log = keep;
     return *this;
   }
+  ExperimentConfig& with_faults(const fault::FaultConfig& fc) {
+    cluster.fault = fc;
+    return *this;
+  }
   ExperimentConfig& with_seed(std::uint64_t s) {
     seed = s;
     return *this;
@@ -174,6 +178,21 @@ struct Report {
     double swap_stall_seconds = 0.0;
   };
   MemCacheStats memcache;
+
+  /// Fault-injection results (zeroed unless cluster.fault.enabled).
+  struct FaultStats {
+    bool enabled = false;
+    std::uint64_t injected_crashes = 0;
+    std::uint64_t injected_kills = 0;
+    std::uint64_t injected_ecc = 0;
+    int failed_reconfigurations = 0;
+    std::uint64_t lost_batches = 0;    ///< in-flight batches aborted
+    std::uint64_t lost_requests = 0;   ///< requests inside aborted batches
+    std::uint64_t retries = 0;         ///< re-dispatches after aborts
+    std::uint64_t hedges = 0;          ///< hedged twins launched
+    std::uint64_t duplicate_hedges = 0;  ///< twin finished after primary
+  };
+  FaultStats faults;
 
   std::vector<float> strict_latencies;  ///< filled if keep_latency_samples
   /// Per-node (time, resident GB) timelines; filled if keep_mem_timeline.

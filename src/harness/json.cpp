@@ -1,5 +1,6 @@
 #include "harness/json.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -141,6 +142,22 @@ Json report_to_json(const Report& report) {
     mc.emplace_back("swap_stall_s", report.memcache.swap_stall_seconds);
     o.emplace_back("memcache", Json(std::move(mc)));
   }
+  if (report.faults.enabled) {
+    // Appended only when fault injection is on, so fault-free runs
+    // serialize byte-identically to pre-fault builds.
+    Json::Object f;
+    f.emplace_back("injected_crashes", report.faults.injected_crashes);
+    f.emplace_back("injected_kills", report.faults.injected_kills);
+    f.emplace_back("injected_ecc", report.faults.injected_ecc);
+    f.emplace_back("failed_reconfigurations",
+                   report.faults.failed_reconfigurations);
+    f.emplace_back("lost_batches", report.faults.lost_batches);
+    f.emplace_back("lost_requests", report.faults.lost_requests);
+    f.emplace_back("retries", report.faults.retries);
+    f.emplace_back("hedges", report.faults.hedges);
+    f.emplace_back("duplicate_hedges", report.faults.duplicate_hedges);
+    o.emplace_back("faults", Json(std::move(f)));
+  }
   if (!report.strict_latencies.empty()) {
     Json::Object percentiles;
     for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.9}) {
@@ -220,6 +237,15 @@ Json aggregate_to_json(const AggregateReport& aggregate) {
   metrics.emplace_back("mem_util_pct",
                        metric_summary_to_json(aggregate.mem_util_pct));
   metrics.emplace_back("cost_usd", metric_summary_to_json(aggregate.cost_usd));
+  metrics.emplace_back("dropped", metric_summary_to_json(aggregate.dropped));
+  const bool any_faults =
+      std::any_of(aggregate.per_seed.begin(), aggregate.per_seed.end(),
+                  [](const Report& r) { return r.faults.enabled; });
+  if (any_faults) {
+    metrics.emplace_back("lost_requests",
+                         metric_summary_to_json(aggregate.lost_requests));
+    metrics.emplace_back("retries", metric_summary_to_json(aggregate.retries));
+  }
   o.emplace_back("metrics", Json(std::move(metrics)));
 
   Json::Array per_seed;

@@ -110,6 +110,18 @@ Cluster:
   --p-rev F             spot revocation probability (default 0)
   --seed N              RNG seed (default 42)
 
+Faults (see docs/faults.md; off unless --faults is given):
+  --faults SPEC         comma-separated fault plan: scripted entries
+                        KIND@T:nID (KIND: crash | kill | ecc, T seconds,
+                        nID node) and/or hazard rates per node-hour
+                        (crash-rate=R | kill-rate=R | ecc-rate=R) plus
+                        knobs reconfig-fail=P, reboot=S, ecc-repair=S;
+                        e.g. --faults crash@10:n1,kill-rate=40
+  --fault-retries N     retry budget per aborted batch, 0..100 (default 3)
+  --hedge               duplicate strict batches that linger past half
+                        their SLO budget; duplicates are de-duplicated at
+                        the collector
+
 Sweep:
   --seeds N             replications per configuration with seeds
                         seed..seed+N-1; reports mean / stddev / 95% CI
@@ -131,6 +143,29 @@ Output:
 )";
 }
 
+const std::vector<std::string>& cli_flags() {
+  // Every flag parse_cli accepts. The options test cross-checks this list
+  // against the --help text, so a flag added to the parser without a usage
+  // entry (or vice versa) fails CI.
+  static const std::vector<std::string> flags = {
+      "--help",          "--list-models",
+      "--list-schemes",  "--json",
+      "--all-schemes",   "--scheme",
+      "--model",         "--trace",
+      "--trace-file",    "--rps",
+      "--horizon",       "--warmup",
+      "--strict-frac",   "--nodes",
+      "--slo-mult",      "--spot",
+      "--p-rev",         "--faults",
+      "--fault-retries", "--hedge",
+      "--seed",          "--seeds",
+      "--jobs",          "--gpu-mem",
+      "--memcache",      "--memcache-oversubscribe",
+      "--dump-mem-timeline", "--sweep",
+  };
+  return flags;
+}
+
 CliParseResult parse_cli(const std::vector<std::string>& args) {
   CliOptions opts;
   opts.config = primary_config("ResNet 50");
@@ -139,6 +174,8 @@ CliParseResult parse_cli(const std::vector<std::string>& args) {
 
   bool rps_given = false;
   bool model_given = false;
+  bool fault_retries_given = false;
+  bool hedge_given = false;
   std::string model_name = "ResNet 50";
 
   auto fail = [](const std::string& message) {
@@ -254,6 +291,30 @@ CliParseResult parse_cli(const std::vector<std::string>& args) {
         return fail("--p-rev needs a value in [0, 1]");
       }
       opts.config.cluster.market.p_rev = *p;
+    } else if (arg == "--faults" || arg.rfind("--faults=", 0) == 0) {
+      std::string spec;
+      if (arg == "--faults") {
+        const auto value = next("--faults");
+        if (!value) return fail("--faults needs a spec");
+        spec = *value;
+      } else {
+        spec = arg.substr(std::string("--faults=").size());
+      }
+      const auto fc = fault::parse_fault_spec(spec, opts.config.cluster.fault);
+      if (!fc) {
+        return fail("bad fault spec: " + spec +
+                    " (want e.g. crash@10:n1,kill-rate=40 — see docs/faults.md)");
+      }
+      opts.config.cluster.fault = *fc;
+    } else if (arg == "--fault-retries") {
+      const auto value = next("--fault-retries");
+      const auto n = value ? parse_u64(*value) : std::nullopt;
+      if (!n || *n > 100) return fail("--fault-retries needs 0..100");
+      opts.config.cluster.fault.retry.max_retries = static_cast<int>(*n);
+      fault_retries_given = true;
+    } else if (arg == "--hedge") {
+      opts.config.cluster.fault.hedge.enabled = true;
+      hedge_given = true;
     } else if (arg == "--seed") {
       const auto value = next("--seed");
       const auto seed = value ? parse_u64(*value) : std::nullopt;
@@ -349,6 +410,10 @@ CliParseResult parse_cli(const std::vector<std::string>& args) {
     if (!rps_given) opts.config.trace.target_rps = 0.0;  // keep raw rates
   }
   if (opts.schemes.empty()) opts.schemes.push_back(sched::Scheme::kProtean);
+  if ((fault_retries_given || hedge_given) &&
+      !opts.config.cluster.fault.enabled) {
+    return fail("--fault-retries/--hedge require --faults");
+  }
 
   CliParseResult result;
   result.options = std::move(opts);

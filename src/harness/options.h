@@ -66,4 +66,9 @@ std::optional<sched::Scheme> scheme_from_alias(const std::string& alias);
 /// The usage text printed by --help.
 std::string cli_usage();
 
+/// Every flag parse_cli accepts, in usage order. Tests cross-check this
+/// list against cli_usage() so the help text can never drift from the
+/// parser.
+const std::vector<std::string>& cli_flags();
+
 }  // namespace protean::harness

@@ -163,6 +163,27 @@ AggregateReport aggregate_reports(std::vector<Report> per_seed,
   agg.gpu_util_pct = summarize(collect(&Report::gpu_util_pct));
   agg.mem_util_pct = summarize(collect(&Report::mem_util_pct));
   agg.cost_usd = summarize(collect(&Report::cost_usd));
+  const auto collect_u64 = [&per_seed](std::uint64_t Report::* field) {
+    std::vector<double> xs;
+    xs.reserve(per_seed.size());
+    for (const Report& r : per_seed) {
+      xs.push_back(static_cast<double>(r.*field));
+    }
+    return xs;
+  };
+  agg.dropped = summarize(collect_u64(&Report::dropped));
+  const auto collect_fault =
+      [&per_seed](std::uint64_t Report::FaultStats::* field) {
+        std::vector<double> xs;
+        xs.reserve(per_seed.size());
+        for (const Report& r : per_seed) {
+          xs.push_back(static_cast<double>(r.faults.*field));
+        }
+        return xs;
+      };
+  agg.lost_requests =
+      summarize(collect_fault(&Report::FaultStats::lost_requests));
+  agg.retries = summarize(collect_fault(&Report::FaultStats::retries));
 
   agg.per_seed = std::move(per_seed);
   return agg;

@@ -97,6 +97,10 @@ struct AggregateReport {
   MetricSummary gpu_util_pct;
   MetricSummary mem_util_pct;
   MetricSummary cost_usd;
+  MetricSummary dropped;
+  /// Fault-resilience summaries; all-zero unless fault injection was on.
+  MetricSummary lost_requests;
+  MetricSummary retries;
 };
 
 /// Aggregates one cell's replications (all reports share scheme/axis value).

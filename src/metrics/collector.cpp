@@ -9,6 +9,12 @@ namespace protean::metrics {
 void Collector::record(const workload::Batch& batch) {
   PROTEAN_CHECK_MSG(batch.completed_at > 0.0, "batch not completed");
   PROTEAN_CHECK_MSG(batch.count > 0, "empty batch");
+  if (dedup_ && !seen_.insert(batch.id).second) {
+    // A hedged duplicate finished after the primary (or vice versa): count
+    // it for the wasted-work accounting but keep the statistics clean.
+    ++duplicate_hedges_;
+    return;
+  }
   if (batch.first_arrival < measure_from_) return;
 
   const double lat_first = batch.completed_at - batch.first_arrival;

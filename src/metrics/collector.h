@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_set>
 #include <vector>
 
 #include "common/types.h"
@@ -67,6 +68,31 @@ class Collector {
   void record_cache_miss() { ++cache_misses_; }
   void record_cache_eviction() { ++cache_evictions_; }
 
+  // ---- fault-tolerance events (src/fault) --------------------------------
+
+  /// When enabled, record() keeps a seen-set of batch ids and counts (then
+  /// discards) any second completion of the same id — hedged duplicates must
+  /// not inflate throughput or latency statistics.
+  void set_dedup(bool enabled) { dedup_ = enabled; }
+
+  /// True when a terminal event (completion or drop) for this batch id was
+  /// already recorded. Only meaningful with dedup enabled.
+  bool seen(BatchId id) const { return seen_.count(id) != 0; }
+
+  /// Claims terminal ownership of a batch id: true the first time, false
+  /// for later copies (whose terminal event must not be double-counted).
+  /// Always true with dedup off.
+  bool claim(BatchId id) { return !dedup_ || seen_.insert(id).second; }
+
+  /// Requests whose in-flight execution was aborted by a fault. Lost work is
+  /// not the same as dropped: the batch may still be retried and served.
+  void record_lost_work(bool strict, int count) {
+    lost_requests_ += static_cast<std::uint64_t>(count);
+    if (strict) lost_strict_requests_ += static_cast<std::uint64_t>(count);
+  }
+  void record_retry() { ++retries_; }
+  void record_hedge() { ++hedges_; }
+
   // ---- queries -----------------------------------------------------------
 
   std::uint64_t strict_completed() const noexcept { return strict_total_; }
@@ -76,6 +102,13 @@ class Collector {
   std::uint64_t cache_hits() const noexcept { return cache_hits_; }
   std::uint64_t cache_misses() const noexcept { return cache_misses_; }
   std::uint64_t cache_evictions() const noexcept { return cache_evictions_; }
+  std::uint64_t lost_requests() const noexcept { return lost_requests_; }
+  std::uint64_t lost_strict_requests() const noexcept {
+    return lost_strict_requests_;
+  }
+  std::uint64_t retries() const noexcept { return retries_; }
+  std::uint64_t hedges() const noexcept { return hedges_; }
+  std::uint64_t duplicate_hedges() const noexcept { return duplicate_hedges_; }
 
   /// Percentage of strict requests that met their SLO deadline, in [0,100].
   double slo_compliance_pct() const noexcept;
@@ -127,6 +160,13 @@ class Collector {
   std::uint64_t cache_hits_ = 0;
   std::uint64_t cache_misses_ = 0;
   std::uint64_t cache_evictions_ = 0;
+  std::uint64_t lost_requests_ = 0;
+  std::uint64_t lost_strict_requests_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t hedges_ = 0;
+  std::uint64_t duplicate_hedges_ = 0;
+  bool dedup_ = false;
+  std::unordered_set<BatchId> seen_;
   SimTime measure_from_ = 0.0;
 };
 

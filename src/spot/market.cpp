@@ -20,6 +20,20 @@ const char* to_string(ProcurementPolicy policy) noexcept {
   return "?";
 }
 
+std::optional<VmTier> parse_vm_tier(const std::string& name) {
+  if (name == "on-demand") return VmTier::kOnDemand;
+  if (name == "spot") return VmTier::kSpot;
+  return std::nullopt;
+}
+
+std::optional<ProcurementPolicy> parse_procurement_policy(
+    const std::string& name) {
+  if (name == "on-demand-only") return ProcurementPolicy::kOnDemandOnly;
+  if (name == "spot-only") return ProcurementPolicy::kSpotOnly;
+  if (name == "hybrid") return ProcurementPolicy::kHybrid;
+  return std::nullopt;
+}
+
 const std::vector<ProviderPricing>& pricing_table() {
   static const std::vector<ProviderPricing> table = {
       {"AWS", 32.7726, 9.8318},
@@ -183,6 +197,24 @@ void Market::issue_eviction(NodeId node) {
   if (config_.vm_boot_time <= config_.eviction_notice) {
     provision(node, /*prefer_spot=*/true);
   }
+}
+
+bool Market::force_kill(NodeId node) {
+  if (!running_) return false;
+  NodeState& st = nodes_.at(node);
+  if (!st.up || st.tier != VmTier::kSpot) return false;
+  LOG_DEBUG << "node " << node << " spot VM killed without notice";
+  settle_cost(node);
+  st.up = false;
+  st.draining = false;
+  ++evictions_;
+  listener_.on_node_evicted(node);
+  const NodeId n = node;
+  const bool prefer_spot = config_.policy != ProcurementPolicy::kOnDemandOnly;
+  sim_.schedule_after(config_.vm_boot_time, [this, n, prefer_spot] {
+    if (!nodes_.at(n).up) provision(n, prefer_spot);
+  });
+  return true;
 }
 
 double Market::lease_cost(VmTier tier, SimTime from, SimTime to) const {

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,11 @@ enum class ProcurementPolicy : std::uint8_t {
 
 const char* to_string(VmTier tier) noexcept;
 const char* to_string(ProcurementPolicy policy) noexcept;
+
+/// Inverses of to_string; std::nullopt for unrecognised names.
+std::optional<VmTier> parse_vm_tier(const std::string& name);
+std::optional<ProcurementPolicy> parse_procurement_policy(
+    const std::string& name);
 
 /// One row of Table 3: hourly prices for an 8×A100 instance.
 struct ProviderPricing {
@@ -119,6 +125,13 @@ class Market {
   int evictions() const noexcept { return evictions_; }
   int spot_acquisitions() const noexcept { return spot_acquisitions_; }
   int on_demand_acquisitions() const noexcept { return od_acquisitions_; }
+
+  /// Abrupt spot kill (fault injection): the VM dies *now*, with no
+  /// eviction notice. Only spot-tier VMs can be killed this way; a
+  /// replacement is provisioned after the normal boot time under the
+  /// configured procurement policy. Returns false when the node is not an
+  /// up spot VM (the fault misses).
+  bool force_kill(NodeId node);
 
  private:
   struct NodeState {

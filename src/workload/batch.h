@@ -54,6 +54,11 @@ struct Batch {
   Duration solo_on_slice = 0.0;  ///< solo time on the slice actually used
   Duration exec_time = 0.0;      ///< observed execution time
 
+  // --- fault-tolerance bookkeeping (unused when fault injection is off) ---
+  int attempts = 0;              ///< dispatch retries consumed so far
+  bool hedged = false;           ///< this copy is the hedged duplicate
+  bool hedge_armed = false;      ///< a hedge timer was armed for this batch
+
   /// Queueing delay: formation wait plus time queued before execution,
   /// minus any cold start (accounted separately).
   Duration queue_delay() const noexcept {

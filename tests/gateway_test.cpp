@@ -154,6 +154,71 @@ TEST(Gateway, CountersTrackVolume) {
   EXPECT_EQ(f.gateway->partial_batches(), 1u);
 }
 
+TEST(Gateway, TimeoutMeasuresFromOldestRequest) {
+  // The hold timer is anchored at the *oldest* pending request: a late
+  // trickle of arrivals must not keep resetting the clock.
+  Fixture f;
+  const Duration timeout = Gateway::timeout_for(resnet(), f.config);
+  f.sim.schedule_at(0.0, [&] {
+    f.gateway->on_arrivals(resnet(), true, 10, 0.0, 0.005);
+  });
+  f.sim.schedule_at(timeout - 0.01, [&] {
+    f.gateway->on_arrivals(resnet(), true, 10, timeout - 0.01, timeout);
+  });
+  f.sim.run_until(timeout + f.config.batch_flush_check + 0.01);
+  ASSERT_EQ(f.dispatched.size(), 1u);
+  EXPECT_EQ(f.dispatched[0].count, 20);
+  // Sealed within one flush-check period of the oldest request's deadline,
+  // not `timeout` after the second burst.
+  EXPECT_LE(f.dispatched[0].formed_at,
+            timeout + f.config.batch_flush_check + 1e-9);
+}
+
+TEST(Gateway, SurgeNeverWaitsBehindFullBatch) {
+  // A partial batch is pending; a surge arrives that completes it. The full
+  // batch must seal at arrival time — the surge never waits out the timer —
+  // and it counts as a full batch, not a timeout flush.
+  Fixture f;
+  f.sim.schedule_at(0.0, [&] {
+    f.gateway->on_arrivals(resnet(), true, 100, 0.0, 0.005);
+  });
+  f.sim.schedule_at(0.02, [&] {
+    f.gateway->on_arrivals(resnet(), true, 156, 0.02, 0.025);
+  });
+  f.sim.run_until(0.05);  // well inside the ~263 ms ResNet hold window
+  // 100 + 156 = two full batches: both seal at the surge's arrival, with
+  // nothing held back to wait out the hold timer.
+  ASSERT_EQ(f.dispatched.size(), 2u);
+  for (const auto& b : f.dispatched) {
+    EXPECT_EQ(b.count, 128);
+    EXPECT_LE(b.formed_at, 0.02 + 1e-9);
+  }
+  EXPECT_EQ(f.gateway->partial_batches(), 0u);
+}
+
+TEST(Gateway, HorizonDrainCountsPartialBatches) {
+  // End-of-experiment drain: whatever is still pending at the horizon goes
+  // out as partial batches, exactly once (flush_all is idempotent).
+  Fixture f;
+  f.sim.schedule_at(0.0, [&] {
+    f.gateway->on_arrivals(resnet(), true, 30, 0.0, 0.005);
+    f.gateway->on_arrivals(resnet(), false, 7, 0.0, 0.005);
+    f.gateway->on_arrivals(albert(), true, 1, 0.0, 0.005);
+  });
+  f.sim.run_until(0.05);  // horizon ends before any hold timer fires
+  ASSERT_TRUE(f.dispatched.empty());
+  f.gateway->flush_all();
+  EXPECT_EQ(f.dispatched.size(), 3u);
+  EXPECT_EQ(f.gateway->partial_batches(), 3u);
+  EXPECT_EQ(f.gateway->batches_formed(), 3u);
+  int total = 0;
+  for (const auto& b : f.dispatched) total += b.count;
+  EXPECT_EQ(total, 38);
+  f.gateway->flush_all();  // nothing left: no new batches, no double count
+  EXPECT_EQ(f.dispatched.size(), 3u);
+  EXPECT_EQ(f.gateway->partial_batches(), 3u);
+}
+
 TEST(Gateway, BatchIdsAreUnique) {
   Fixture f;
   f.gateway->on_arrivals(resnet(), true, 384, 0.0, 0.01);

@@ -205,6 +205,101 @@ TEST(Market, DeterministicForSameSeed) {
   EXPECT_DOUBLE_EQ(a.second, b.second);
 }
 
+TEST(Market, TierAndPolicyNamesRoundTrip) {
+  for (VmTier tier : {VmTier::kOnDemand, VmTier::kSpot}) {
+    EXPECT_EQ(parse_vm_tier(to_string(tier)), tier) << to_string(tier);
+  }
+  for (ProcurementPolicy policy :
+       {ProcurementPolicy::kOnDemandOnly, ProcurementPolicy::kSpotOnly,
+        ProcurementPolicy::kHybrid}) {
+    EXPECT_EQ(parse_procurement_policy(to_string(policy)), policy)
+        << to_string(policy);
+  }
+  EXPECT_EQ(parse_vm_tier("preemptible"), std::nullopt);
+  EXPECT_EQ(parse_vm_tier(""), std::nullopt);
+  EXPECT_EQ(parse_procurement_policy("spot"), std::nullopt);
+  EXPECT_EQ(parse_procurement_policy(""), std::nullopt);
+}
+
+TEST(Market, SpotOnlyWaitAndRetryIsDeterministic) {
+  // kSpotOnly under a tight market parks nodes and retries acquisition on a
+  // timer; the whole event sequence must replay exactly for a fixed seed.
+  auto run = [] {
+    sim::Simulator sim;
+    RecordingListener listener;
+    listener.sim = &sim;
+    auto config = config_for(ProcurementPolicy::kSpotOnly, 0.7);
+    config.spot_retry_interval = 20.0;
+    Market market(sim, config, 6, listener);
+    market.start();
+    sim.run_until(1500.0);
+    market.stop();
+    return std::make_tuple(listener.events.size(), market.evictions(),
+                           market.total_cost());
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(std::get<0>(a), std::get<0>(b));
+  EXPECT_EQ(std::get<1>(a), std::get<1>(b));
+  EXPECT_DOUBLE_EQ(std::get<2>(a), std::get<2>(b));
+
+  // The full event tapes (kind, node, time) match, not just the summary.
+  auto tape = [] {
+    sim::Simulator sim;
+    RecordingListener listener;
+    listener.sim = &sim;
+    auto config = config_for(ProcurementPolicy::kSpotOnly, 0.7);
+    config.spot_retry_interval = 20.0;
+    Market market(sim, config, 6, listener);
+    market.start();
+    sim.run_until(1500.0);
+    market.stop();
+    return listener.events;
+  };
+  const auto ta = tape();
+  const auto tb = tape();
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].kind, tb[i].kind) << i;
+    EXPECT_EQ(ta[i].node, tb[i].node) << i;
+    EXPECT_DOUBLE_EQ(ta[i].when, tb[i].when) << i;
+  }
+}
+
+TEST(Market, ForceKillOnlyLandsOnUpSpotNodes) {
+  sim::Simulator sim;
+  RecordingListener listener;
+  listener.sim = &sim;
+  auto config = config_for(ProcurementPolicy::kHybrid, 0.0);  // all spot
+  config.vm_boot_time = 5.0;
+  Market market(sim, config, 2, listener);
+  market.start();
+  sim.run_until(10.0);
+  ASSERT_TRUE(market.node_up(0));
+  EXPECT_TRUE(market.force_kill(0));
+  EXPECT_FALSE(market.node_up(0));
+  EXPECT_EQ(market.evictions(), 1);
+  EXPECT_FALSE(market.force_kill(0));  // already down: a miss
+  // A replacement comes up after the boot time under the hybrid policy.
+  sim.run_until(20.0);
+  EXPECT_TRUE(market.node_up(0));
+  market.stop();
+}
+
+TEST(Market, ForceKillMissesOnDemandNodes) {
+  sim::Simulator sim;
+  RecordingListener listener;
+  listener.sim = &sim;
+  Market market(sim, config_for(ProcurementPolicy::kOnDemandOnly, 0.0), 2,
+                listener);
+  market.start();
+  sim.run_until(10.0);
+  EXPECT_FALSE(market.force_kill(0));
+  EXPECT_TRUE(market.node_up(0));
+  EXPECT_EQ(market.evictions(), 0);
+  market.stop();
+}
+
 TEST(Market, StopHaltsRevocations) {
   sim::Simulator sim;
   RecordingListener listener;

@@ -216,5 +216,99 @@ TEST(Cli, DumpMemTimelineFlag) {
   EXPECT_FALSE(parse_cli({"--dump-mem-timeline"}).options);
 }
 
+TEST(Cli, FaultsDisabledByDefault) {
+  const auto opts = must_parse({});
+  EXPECT_FALSE(opts.config.cluster.fault.enabled);
+  EXPECT_TRUE(opts.config.cluster.fault.script.empty());
+}
+
+TEST(Cli, FaultSpecFlagParses) {
+  const auto opts =
+      must_parse({"--faults", "crash@10:n1,kill-rate=40,reconfig-fail=0.2"});
+  const auto& fc = opts.config.cluster.fault;
+  EXPECT_TRUE(fc.enabled);
+  ASSERT_EQ(fc.script.size(), 1u);
+  EXPECT_EQ(fc.script[0].node, 1u);
+  EXPECT_DOUBLE_EQ(fc.kill_rate, 40.0);
+  EXPECT_DOUBLE_EQ(fc.reconfig_fail_prob, 0.2);
+
+  // The --flag=value spelling parses identically.
+  const auto eq = must_parse({"--faults=ecc-rate=15"});
+  EXPECT_TRUE(eq.config.cluster.fault.enabled);
+  EXPECT_DOUBLE_EQ(eq.config.cluster.fault.ecc_rate, 15.0);
+
+  EXPECT_NE(must_fail({"--faults", "bogus"}).find("bad fault spec"),
+            std::string::npos);
+  EXPECT_FALSE(parse_cli({"--faults"}).options);
+}
+
+TEST(Cli, FaultSurvivesModelDerivation) {
+  // --model re-derives the primary config; fault settings must survive it
+  // in either flag order.
+  for (const auto& args :
+       {std::vector<std::string>{"--faults", "crash-rate=30", "--model",
+                                 "ALBERT"},
+        std::vector<std::string>{"--model", "ALBERT", "--faults",
+                                 "crash-rate=30"}}) {
+    const auto opts = must_parse(args);
+    EXPECT_TRUE(opts.config.cluster.fault.enabled);
+    EXPECT_DOUBLE_EQ(opts.config.cluster.fault.crash_rate, 30.0);
+  }
+}
+
+TEST(Cli, FaultRetriesAndHedgeRequireFaults) {
+  const auto opts = must_parse(
+      {"--faults", "crash-rate=30", "--fault-retries", "5", "--hedge"});
+  EXPECT_EQ(opts.config.cluster.fault.retry.max_retries, 5);
+  EXPECT_TRUE(opts.config.cluster.fault.hedge.enabled);
+
+  EXPECT_NE(must_fail({"--fault-retries", "5"}).find("require --faults"),
+            std::string::npos);
+  EXPECT_NE(must_fail({"--hedge"}).find("require --faults"),
+            std::string::npos);
+  EXPECT_FALSE(parse_cli({"--faults", "crash-rate=1", "--fault-retries", "-1"})
+                   .options);
+}
+
+// ---- --help audit: the usage text and the parser can never drift ----------
+
+TEST(Cli, EveryAcceptedFlagIsDocumented) {
+  const std::string usage = cli_usage();
+  for (const std::string& flag : cli_flags()) {
+    EXPECT_NE(usage.find(flag), std::string::npos)
+        << flag << " accepted by the parser but missing from --help";
+  }
+}
+
+TEST(Cli, EveryDocumentedFlagIsAccepted) {
+  // Extract every --token mentioned anywhere in the usage text (including
+  // examples) and require the parser to know it.
+  const std::string usage = cli_usage();
+  std::vector<std::string> mentioned;
+  for (std::size_t pos = usage.find("--"); pos != std::string::npos;
+       pos = usage.find("--", pos + 2)) {
+    std::size_t end = pos + 2;
+    while (end < usage.size() &&
+           (std::isalnum(static_cast<unsigned char>(usage[end])) != 0 ||
+            usage[end] == '-')) {
+      ++end;
+    }
+    if (end > pos + 2) mentioned.push_back(usage.substr(pos, end - pos));
+    pos = end;
+  }
+  EXPECT_FALSE(mentioned.empty());
+  const auto& known = cli_flags();
+  for (const std::string& flag : mentioned) {
+    EXPECT_NE(std::find(known.begin(), known.end(), flag), known.end())
+        << flag << " appears in --help but the parser does not accept it";
+  }
+}
+
+TEST(Cli, FlagListHasNoDuplicates) {
+  auto flags = cli_flags();
+  std::sort(flags.begin(), flags.end());
+  EXPECT_EQ(std::adjacent_find(flags.begin(), flags.end()), flags.end());
+}
+
 }  // namespace
 }  // namespace protean::harness

@@ -95,6 +95,23 @@ void print_reports(const harness::CliOptions& opts,
                    strfmt("%.2f", r.cost_usd)});
   }
   table.print();
+  for (const auto& r : reports) {
+    if (!r.faults.enabled) continue;
+    std::printf("\n%s faults: %llu crashes, %llu kills, %llu ecc, "
+                "%d failed reconfigs | lost %llu req in %llu batches, "
+                "%llu retries, %llu hedges (%llu dup), %llu dropped\n",
+                r.scheme.c_str(),
+                static_cast<unsigned long long>(r.faults.injected_crashes),
+                static_cast<unsigned long long>(r.faults.injected_kills),
+                static_cast<unsigned long long>(r.faults.injected_ecc),
+                r.faults.failed_reconfigurations,
+                static_cast<unsigned long long>(r.faults.lost_requests),
+                static_cast<unsigned long long>(r.faults.lost_batches),
+                static_cast<unsigned long long>(r.faults.retries),
+                static_cast<unsigned long long>(r.faults.hedges),
+                static_cast<unsigned long long>(r.faults.duplicate_hedges),
+                static_cast<unsigned long long>(r.dropped));
+  }
 }
 
 void print_aggregates(const harness::CliOptions& opts,
