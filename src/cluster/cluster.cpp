@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/log.h"
+#include "obs/trace.h"
 
 namespace protean::cluster {
 
@@ -130,6 +131,11 @@ void Cluster::dispatch(workload::Batch&& batch) {
   maybe_arm_hedge(batch);
   WorkerNode* node = pick_node(batch);
   if (node == nullptr) {
+    if (obs::Tracer* t = config_.tracer;
+        t != nullptr && t->wants(obs::kSpans)) {
+      t->instant(obs::kSpans, "backlog", 0,
+                 {{"batch", static_cast<double>(batch.id)}});
+    }
     backlog_.push_back(std::move(batch));
     return;
   }
@@ -156,6 +162,11 @@ void Cluster::maybe_arm_hedge(workload::Batch& batch) {
                           static_cast<double>(hedge_candidates_);
     if (static_cast<double>(collector_.hedges()) + 1.0 > budget) return;
     collector_.record_hedge();
+    if (obs::Tracer* t = config_.tracer;
+        t != nullptr && t->wants(obs::kSpans)) {
+      t->instant(obs::kSpans, "hedge", 0,
+                 {{"batch", static_cast<double>(twin->id)}});
+    }
     dispatch(workload::Batch(*twin));
   });
 }
@@ -168,11 +179,23 @@ void Cluster::on_lost_batch(workload::Batch&& batch) {
     // an id — this drop or a twin's completion — wins in the collector.
     if (collector_.claim(batch.id)) {
       collector_.record_dropped(batch.strict, batch.count);
+      if (obs::Tracer* t = config_.tracer;
+          t != nullptr && t->wants(obs::kSpans)) {
+        t->instant(obs::kSpans, "drop", 0,
+                   {{"batch", static_cast<double>(batch.id)},
+                    {"attempts", static_cast<double>(batch.attempts)}});
+      }
     }
     return;
   }
   ++batch.attempts;
   collector_.record_retry();
+  if (obs::Tracer* t = config_.tracer;
+      t != nullptr && t->wants(obs::kSpans)) {
+    t->instant(obs::kSpans, "retry", 0,
+               {{"batch", static_cast<double>(batch.id)},
+                {"attempt", static_cast<double>(batch.attempts)}});
+  }
   const Duration delay =
       fault::retry_backoff(batch.attempts, config_.fault.retry);
   auto shared = std::make_shared<workload::Batch>(std::move(batch));

@@ -9,6 +9,10 @@
 #include "memcache/config.h"
 #include "spot/market.h"
 
+namespace protean::obs {
+class Tracer;
+}
+
 namespace protean::cluster {
 
 /// How the Dispatcher ② spreads batches over worker nodes.
@@ -83,6 +87,11 @@ struct ClusterConfig {
   /// Fault injection & resilience (src/fault). Disabled by default; with
   /// faults off every run is byte-identical to a build without this knob.
   fault::FaultConfig fault;
+
+  /// Span tracer (src/obs); non-owning, must outlive the deployment. Null
+  /// (the default) disables every hook, keeping runs byte-identical to a
+  /// build without the subsystem.
+  obs::Tracer* tracer = nullptr;
 };
 
 }  // namespace protean::cluster

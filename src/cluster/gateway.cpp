@@ -3,13 +3,23 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace protean::cluster {
+
+namespace {
+/// The gateway/dispatcher shares Perfetto process lane 0; worker nodes use
+/// lanes 1 + node id.
+constexpr int kGatewayPid = 0;
+}  // namespace
 
 Gateway::Gateway(sim::Simulator& simulator, const ClusterConfig& config,
                  DispatchFn dispatch)
     : sim_(simulator), config_(config), dispatch_(std::move(dispatch)) {
   PROTEAN_CHECK_MSG(static_cast<bool>(dispatch_), "null dispatch function");
+  if (obs::Tracer* t = config_.tracer; t != nullptr) {
+    t->process_name(kGatewayPid, "gateway");
+  }
   flush_task_ = std::make_unique<sim::PeriodicTask>(
       sim_, config_.batch_flush_check, [this] { flush_check(); });
 }
@@ -68,6 +78,16 @@ void Gateway::seal(const Key& key, Accumulator& acc, int size) {
 
   ++batches_formed_;
   if (size < key.first->batch_size) ++partial_batches_;
+  if (obs::Tracer* t = config_.tracer;
+      t != nullptr && t->wants(obs::kSpans)) {
+    // "form": first request arrival -> batch sealed (the batching delay).
+    t->async_begin(obs::kSpans, "form", batch.id, kGatewayPid,
+                   batch.first_arrival,
+                   {{"model", batch.model->name},
+                    {"strict", batch.strict ? 1.0 : 0.0},
+                    {"count", static_cast<double>(batch.count)}});
+    t->async_end(obs::kSpans, "form", batch.id, kGatewayPid, sim_.now());
+  }
   dispatch_(std::move(batch));
 }
 

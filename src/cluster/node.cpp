@@ -1,9 +1,11 @@
 #include "cluster/node.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/check.h"
 #include "common/log.h"
+#include "obs/trace.h"
 
 namespace protean::cluster {
 
@@ -12,6 +14,22 @@ gpu::JobSpec Scheduler::make_job(const workload::Batch& batch,
   gpu::JobSpec spec = workload::job_spec_for(batch, slice.profile());
   spec.id = job_id;
   return spec;
+}
+
+void trace_placement(WorkerNode& node, const workload::Batch& batch,
+                     const char* scheme, std::size_t candidates,
+                     const gpu::Slice* chosen, double score) {
+  obs::Tracer* t = node.tracer();
+  if (t == nullptr || !t->wants(obs::kSched)) return;
+  t->instant(obs::kSched, "sched", static_cast<int>(node.id()) + 1,
+             {{"scheme", scheme},
+              {"batch", static_cast<double>(batch.id)},
+              {"strict", batch.strict ? 1.0 : 0.0},
+              {"candidates", static_cast<double>(candidates)},
+              {"chosen", chosen != nullptr
+                             ? static_cast<double>(chosen->id())
+                             : -1.0},
+              {"score", score}});
 }
 
 WorkerNode::WorkerNode(sim::Simulator& simulator, NodeId id,
@@ -23,10 +41,14 @@ WorkerNode::WorkerNode(sim::Simulator& simulator, NodeId id,
       scheduler_(scheduler),
       collector_(collector),
       fault_rng_(Rng(config.fault.seed).fork(0x8ecf00ULL + id)) {
+  if (obs::Tracer* t = config_.tracer; t != nullptr) {
+    t->process_name(static_cast<int>(id_) + 1,
+                    "node " + std::to_string(id_));
+  }
   gpu_ = std::make_unique<gpu::Gpu>(
       sim_, id_, scheduler_.initial_geometry(), scheduler_.sharing_mode(),
       config_.reconfigure_time, config_.interference, config_.gpu_memory_gb,
-      config_.memcache.enabled);
+      config_.memcache.enabled, config_.tracer);
   gpu_->set_capacity_callback([this] { try_dispatch(); });
   install_reconfig_fault_hook();
   if (config_.memcache.enabled) {
@@ -68,6 +90,13 @@ void WorkerNode::enqueue(workload::Batch batch) {
                              batch.model->solo_time_7g * fill;
   }
   outstanding_work_ += batch.model->solo_time_7g;
+  if (obs::Tracer* t = config_.tracer;
+      t != nullptr && t->wants(obs::kSpans)) {
+    t->async_begin(obs::kSpans, "queue", batch.id,
+                   static_cast<int>(id_) + 1, sim_.now(),
+                   {{"model", batch.model->name},
+                    {"strict", batch.strict ? 1.0 : 0.0}});
+  }
   insert_by_policy(std::move(batch));
   try_dispatch();
 }
@@ -144,6 +173,11 @@ void WorkerNode::maybe_boot_spare(const workload::ModelProfile& model) {
   pool.spare_booting = true;
   ++cold_starts_;
   collector_.record_cold_start();
+  if (obs::Tracer* t = config_.tracer;
+      t != nullptr && t->wants(obs::kSpans)) {
+    t->instant(obs::kSpans, "cold_start", static_cast<int>(id_) + 1,
+               {{"model", model.name}, {"spare", 1.0}});
+  }
   const std::uint64_t epoch = epoch_;
   sim_.schedule_after(config_.cold_start, [this, &model, epoch] {
     if (epoch != epoch_ || !up_) return;
@@ -204,8 +238,14 @@ void WorkerNode::start_batch(workload::Batch batch, gpu::Slice* slice) {
   const gpu::JobSpec spec = scheduler_.make_job(batch, *slice, next_job_id_++);
   if (!slice->can_admit(spec)) {
     // Defensive: the policy returned a slice that cannot take the job.
+    // (The batch's "queue" span stays open — it is still queued.)
     insert_by_policy(std::move(batch));
     return;
+  }
+  obs::Tracer* tracer = config_.tracer;
+  if (tracer != nullptr && tracer->wants(obs::kSpans)) {
+    tracer->async_end(obs::kSpans, "queue", batch.id,
+                      static_cast<int>(id_) + 1, sim_.now());
   }
   auto& pool = containers_[batch.model];
   bool container_cold = false;
@@ -217,6 +257,10 @@ void WorkerNode::start_batch(workload::Batch batch, gpu::Slice* slice) {
     container_cold = true;
     ++cold_starts_;
     collector_.record_cold_start();
+    if (tracer != nullptr && tracer->wants(obs::kSpans)) {
+      tracer->instant(obs::kSpans, "cold_start", static_cast<int>(id_) + 1,
+                      {{"model", batch.model->name}, {"spare", 0.0}});
+    }
   }
   ++pool.busy;
   Duration cold = 0.0;
@@ -244,13 +288,36 @@ void WorkerNode::start_batch(workload::Batch batch, gpu::Slice* slice) {
   const SliceId slice_id = slice->id();
   const std::uint64_t epoch = epoch_;
   const std::uint64_t token = next_boot_token_++;
+  if (tracer != nullptr && tracer->wants(obs::kSpans)) {
+    tracer->async_begin(obs::kSpans, "boot", batch.id,
+                        static_cast<int>(id_) + 1, sim_.now(),
+                        {{"cold", cold},
+                         {"slice", static_cast<double>(slice_id)}});
+  }
   booting_.emplace(token, std::move(batch));
   sim_.schedule_after(cold, [this, token, slice_id, epoch] {
-    if (epoch != epoch_ || !up_) return;  // VM was evicted during the boot
+    // Look the entry up *first*: whatever happened to the node meanwhile,
+    // the batch must leave `booting_` through exactly one accounted path.
     auto it = booting_.find(token);
-    if (it == booting_.end()) return;
+    if (it == booting_.end()) return;  // evicted: redistributed with the VM
     workload::Batch pending = std::move(it->second);
     booting_.erase(it);
+    if (epoch != epoch_ || !up_) {
+      // The node bounced during the boot without flushing this entry
+      // (evict() normally clears booting_, so this is a defensive path).
+      // The GPU — and the boot reservation with it — is gone; route the
+      // batch through the lost path instead of stranding it and its
+      // running_ slot.
+      pending.reserved_gb = 0.0;
+      if (obs::Tracer* t = config_.tracer;
+          t != nullptr && t->wants(obs::kSpans)) {
+        t->async_end(obs::kSpans, "boot", pending.id,
+                     static_cast<int>(id_) + 1, sim_.now(),
+                     {{"failed", 1.0}});
+      }
+      handle_lost(std::move(pending));
+      return;
+    }
     begin_exec(std::move(pending), slice_id, /*reserved=*/true);
   });
 }
@@ -271,10 +338,23 @@ void WorkerNode::begin_exec(workload::Batch batch, SliceId slice_id,
   if (slice != nullptr && reserved) {
     slice->release_reservation(batch.reserved_gb);
     batch.reserved_gb = 0.0;
+  } else if (slice == nullptr && reserved) {
+    // The slice — and the reservation held on it — was destroyed
+    // (reconfiguration rebuild or ECC fail_slice) while the container
+    // booted; zero the charge so a later release can't fire against a
+    // recycled slice id.
+    batch.reserved_gb = 0.0;
+  }
+  obs::Tracer* tracer = config_.tracer;
+  if (reserved && tracer != nullptr && tracer->wants(obs::kSpans)) {
+    tracer->async_end(obs::kSpans, "boot", batch.id,
+                      static_cast<int>(id_) + 1, sim_.now());
   }
   if (slice == nullptr || !slice->can_admit(probe)) {
     // The slice vanished (reconfiguration) or filled up; the booted
     // container stays warm and the batch goes back to the queue.
+    // ModelCache::release tolerates a destroyed slice id (the pin vanished
+    // with the slice's entries), so the ECC mid-boot case is a no-op here.
     if (cache_) cache_->release(slice_id, batch.model);
     auto& pool = containers_[batch.model];
     ++pool.warm;
@@ -282,11 +362,21 @@ void WorkerNode::begin_exec(workload::Batch batch, SliceId slice_id,
     --pool.busy;
     --running_;
     batch.cold_start = 0.0;  // already paid; don't double-charge on retry
+    if (tracer != nullptr && tracer->wants(obs::kSpans)) {
+      tracer->async_begin(obs::kSpans, "queue", batch.id,
+                          static_cast<int>(id_) + 1, sim_.now(),
+                          {{"requeued", 1.0}});
+    }
     insert_by_policy(std::move(batch));
     try_dispatch();
     return;
   }
   const gpu::JobSpec spec = scheduler_.make_job(batch, *slice, next_job_id_++);
+  if (tracer != nullptr && tracer->wants(obs::kSpans)) {
+    tracer->async_begin(obs::kSpans, "exec", batch.id,
+                        static_cast<int>(id_) + 1, sim_.now(),
+                        {{"slice", static_cast<double>(slice_id)}});
+  }
   batch.exec_start = sim_.now();
   batch.served_on = slice->profile();
   const double fill = batch.work_fraction();
@@ -301,6 +391,13 @@ void WorkerNode::begin_exec(workload::Batch batch, SliceId slice_id,
 
 void WorkerNode::on_complete(workload::Batch batch,
                              const gpu::JobCompletion& done) {
+  obs::Tracer* tracer = config_.tracer;
+  if (tracer != nullptr && tracer->wants(obs::kSpans)) {
+    tracer->async_end(obs::kSpans, "exec", batch.id,
+                      static_cast<int>(id_) + 1, sim_.now(),
+                      {{"failed", done.failed ? 1.0 : 0.0},
+                       {"exec_time", done.exec_time}});
+  }
   if (done.failed) {
     handle_lost(std::move(batch));
     return;
@@ -336,6 +433,12 @@ void WorkerNode::handle_lost(workload::Batch batch) {
     pool.idle_since.push_back(sim_.now());
   }
   ++lost_batches_;
+  if (obs::Tracer* t = config_.tracer;
+      t != nullptr && t->wants(obs::kSpans)) {
+    t->instant(obs::kSpans, "lost", static_cast<int>(id_) + 1,
+               {{"batch", static_cast<double>(batch.id)},
+                {"strict", batch.strict ? 1.0 : 0.0}});
+  }
   // Reset service-side fields so a retry accounts from scratch.
   batch.cold_start = 0.0;
   batch.reserved_gb = 0.0;
@@ -415,9 +518,17 @@ std::vector<workload::Batch> WorkerNode::take_queue() {
       std::make_move_iterator(queue_.begin()),
       std::make_move_iterator(queue_.end()));
   queue_.clear();
+  obs::Tracer* tracer = config_.tracer;
   for (const workload::Batch& b : flushed) {
     outstanding_work_ =
         std::max(0.0, outstanding_work_ - b.model->solo_time_7g);
+    if (tracer != nullptr && tracer->wants(obs::kSpans)) {
+      // Batches leave this node's queue; redistribution re-opens the span
+      // wherever they land next.
+      tracer->async_end(obs::kSpans, "queue", b.id,
+                        static_cast<int>(id_) + 1, sim_.now(),
+                        {{"flushed", 1.0}});
+    }
   }
   return flushed;
 }
@@ -430,12 +541,26 @@ std::vector<workload::Batch> WorkerNode::evict() {
       std::make_move_iterator(queue_.begin()),
       std::make_move_iterator(queue_.end()));
   queue_.clear();
+  obs::Tracer* tracer = config_.tracer;
+  if (tracer != nullptr && tracer->wants(obs::kSpans)) {
+    for (const workload::Batch& b : flushed) {
+      tracer->async_end(obs::kSpans, "queue", b.id,
+                        static_cast<int>(id_) + 1, sim_.now(),
+                        {{"evicted", 1.0}});
+    }
+  }
   // Batches whose containers were still booting never reached the GPU:
   // they move to another node (their cold-start charge resets).
   for (auto& [token, batch] : booting_) {
     batch.cold_start = 0.0;
+    batch.reserved_gb = 0.0;  // the reservation dies with the GPU below
     PROTEAN_DCHECK(running_ > 0);
     --running_;
+    if (tracer != nullptr && tracer->wants(obs::kSpans)) {
+      tracer->async_end(obs::kSpans, "boot", batch.id,
+                        static_cast<int>(id_) + 1, sim_.now(),
+                        {{"evicted", 1.0}});
+    }
     flushed.push_back(std::move(batch));
   }
   booting_.clear();
@@ -478,7 +603,7 @@ void WorkerNode::restore() {
   gpu_ = std::make_unique<gpu::Gpu>(
       sim_, id_, scheduler_.initial_geometry(), scheduler_.sharing_mode(),
       config_.reconfigure_time, config_.interference, config_.gpu_memory_gb,
-      config_.memcache.enabled);
+      config_.memcache.enabled, config_.tracer);
   gpu_->set_capacity_callback([this] { try_dispatch(); });
   install_reconfig_fault_hook();
   maybe_sync_cache();

@@ -43,6 +43,10 @@ class WorkerNode {
   const memcache::ModelCache* cache() const noexcept { return cache_.get(); }
   memcache::ModelCache* cache() noexcept { return cache_.get(); }
 
+  /// The deployment's span tracer (src/obs); nullptr when tracing is off.
+  /// Schedulers use it to emit placement-decision records.
+  obs::Tracer* tracer() const noexcept { return config_.tracer; }
+
   // ---- lifecycle (driven by the spot market) ------------------------------
   bool up() const noexcept { return up_; }
   bool draining() const noexcept { return draining_; }

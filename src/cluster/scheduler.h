@@ -66,4 +66,14 @@ class Scheduler {
   }
 };
 
+/// Emits one scheduler-decision record ("sched" instant, category sched) to
+/// the node's tracer: which scheme looked at how many candidate slices for
+/// `batch`, which slice (if any) it chose, and the policy's score for the
+/// pick (η for PROTEAN, scheme-specific otherwise; 0 when the policy has no
+/// score). A no-op when tracing is off — call it unconditionally from
+/// place() implementations.
+void trace_placement(WorkerNode& node, const workload::Batch& batch,
+                     const char* scheme, std::size_t candidates,
+                     const gpu::Slice* chosen, double score);
+
 }  // namespace protean::cluster

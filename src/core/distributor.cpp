@@ -49,7 +49,7 @@ std::vector<TaggedSlice> JobDistributor::compute_tags(
 gpu::Slice* JobDistributor::choose_strict_slice(
     const workload::Batch& batch, const std::vector<TaggedSlice>& tagged,
     double be_fbr_density, const memcache::ModelCache* cache,
-    double affinity_weight) {
+    double affinity_weight, double* eta_out) {
   gpu::Slice* best = nullptr;
   double best_eta = std::numeric_limits<double>::infinity();
   // Two passes: slices not fully claimed by BE work first (Algorithm 1's
@@ -82,7 +82,10 @@ gpu::Slice* JobDistributor::choose_strict_slice(
         best = &slice;
       }
     }
-    if (best != nullptr) return best;
+    if (best != nullptr) {
+      if (eta_out != nullptr) *eta_out = best_eta;
+      return best;
+    }
   }
   return nullptr;
 }

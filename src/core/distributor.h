@@ -38,11 +38,13 @@ class JobDistributor {
   /// FBR per GB of queued BE work). When a model cache is supplied with a
   /// positive `affinity_weight`, slices holding the batch's weights get
   /// their η discounted by 1/(1 + affinity_weight) — the cache-affinity
-  /// term. Returns nullptr if nothing admits.
+  /// term. Returns nullptr if nothing admits. When `eta_out` is non-null it
+  /// receives the winning slice's η (untouched when nothing admits) — the
+  /// score reported in scheduler-decision trace records.
   static gpu::Slice* choose_strict_slice(
       const workload::Batch& batch, const std::vector<TaggedSlice>& tagged,
       double be_fbr_density, const memcache::ModelCache* cache = nullptr,
-      double affinity_weight = 0.0);
+      double affinity_weight = 0.0, double* eta_out = nullptr);
 
   /// choose_best_effort_slice ⑧: First-Fit bin packing over slices in
   /// ascending size order. When `protect_largest` is set (strict work is

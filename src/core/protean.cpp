@@ -21,8 +21,12 @@ std::string ProteanScheduler::name() const {
 
 gpu::Slice* ProteanScheduler::place(const workload::Batch& batch,
                                     cluster::WorkerNode& node) {
+  const char* scheme = options_.oracle ? "oracle" : "protean";
   auto slices = node.gpu().slices();
-  if (slices.empty()) return nullptr;  // reconfiguring
+  if (slices.empty()) {  // reconfiguring
+    cluster::trace_placement(node, batch, scheme, 0, nullptr, 0.0);
+    return nullptr;
+  }
   const auto tagged =
       JobDistributor::compute_tags(std::move(slices), node.be_mem_queued());
   if (batch.strict) {
@@ -33,15 +37,22 @@ gpu::Slice* ProteanScheduler::place(const workload::Batch& batch,
         gpu::Slice& slice = *it->slice;
         if (batch.model->fits(slice.profile()) &&
             slice.can_admit(workload::job_spec_for(batch, slice.profile()))) {
+          cluster::trace_placement(node, batch, scheme, tagged.size(), &slice,
+                                   0.0);
           return &slice;
         }
       }
+      cluster::trace_placement(node, batch, scheme, tagged.size(), nullptr,
+                               0.0);
       return nullptr;
     }
     const double density = JobDistributor::be_fbr_density(node.queue());
-    return JobDistributor::choose_strict_slice(
+    double eta = 0.0;
+    gpu::Slice* chosen = JobDistributor::choose_strict_slice(
         batch, tagged, density, node.cache(),
-        node.config().memcache.affinity_weight);
+        node.config().memcache.affinity_weight, &eta);
+    cluster::trace_placement(node, batch, scheme, tagged.size(), chosen, eta);
+    return chosen;
   }
   // The largest slice is only reserved while strict work is actually
   // around (resident, queued, or seen recently); a 100%-BE workload may
@@ -54,9 +65,11 @@ gpu::Slice* ProteanScheduler::place(const workload::Batch& batch,
   if (!strict_present) {
     strict_present = batch.enqueued_at - node.last_strict_seen() < 3.0;
   }
-  return JobDistributor::choose_best_effort_slice(
+  gpu::Slice* chosen = JobDistributor::choose_best_effort_slice(
       batch, tagged, strict_present, node.cache(),
       node.config().memcache.affinity_weight);
+  cluster::trace_placement(node, batch, scheme, tagged.size(), chosen, 0.0);
+  return chosen;
 }
 
 void ProteanScheduler::on_monitor(cluster::WorkerNode& node,

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <limits>
 #include <memory>
+#include <string>
 
 #include "common/log.h"
+#include "obs/trace.h"
 
 namespace protean::gpu {
 
@@ -33,9 +35,58 @@ Slice::Slice(sim::Simulator& simulator, Gpu* owner, SliceId id,
       mem_capacity_(memory_gb(profile) * (gpu_memory_gb / 40.0)),
       shared_weights_(shared_weights),
       last_update_(simulator.now()),
-      util_last_update_(simulator.now()) {}
+      util_last_update_(simulator.now()) {
+  if (obs::Tracer* t = tracer(); t != nullptr && t->wants(obs::kSpans)) {
+    t->thread_name(trace_pid(), static_cast<int>(id_),
+                   "slice " + std::to_string(id_) + " (" +
+                       traits(profile_).name + ")");
+  }
+}
 
-Slice::~Slice() { sim_.cancel(completion_event_); }
+Slice::~Slice() {
+  // A slice destroyed while running (node eviction resets the whole GPU)
+  // still owns an open busy interval; flush it so trace replay accounts the
+  // same busy time the integrals did.
+  if (!jobs_.empty()) trace_busy_close();
+  sim_.cancel(completion_event_);
+}
+
+obs::Tracer* Slice::tracer() const noexcept {
+  return owner_ != nullptr ? owner_->tracer_ : nullptr;
+}
+
+int Slice::trace_pid() const noexcept {
+  return owner_ != nullptr ? static_cast<int>(owner_->id_) + 1 : 0;
+}
+
+void Slice::trace_busy_close() {
+  obs::Tracer* t = tracer();
+  if (t == nullptr || !t->wants(obs::kSpans)) return;
+  t->complete(obs::kSpans, "busy", trace_pid(), static_cast<int>(id_),
+              busy_since_, sim_.now());
+}
+
+void Slice::trace_counters() {
+  obs::Tracer* t = tracer();
+  if (t == nullptr || !t->wants(obs::kCounters)) return;
+  const double p = pressure();
+  const double s = current_slowdown();
+  const MemGb m = memory_in_use();
+  const int r = reservation_count_;
+  if (p == trace_pressure_ && s == trace_slowdown_ && m == trace_mem_ &&
+      r == trace_reservations_) {
+    return;
+  }
+  trace_pressure_ = p;
+  trace_slowdown_ = s;
+  trace_mem_ = m;
+  trace_reservations_ = r;
+  t->counter(obs::kCounters, "s" + std::to_string(id_), trace_pid(),
+             {{"pressure", p},
+              {"slowdown", s},
+              {"mem_gb", m},
+              {"reservations", static_cast<double>(r)}});
+}
 
 MemGb Slice::admission_demand(const JobSpec& spec) const noexcept {
   if (!shared_weights_ || spec.weight_gb <= 0.0) return spec.mem_gb;
@@ -94,8 +145,12 @@ void Slice::submit(const JobSpec& spec, CompletionCallback on_done) {
   if (!spec.strict) be_mem_in_use_ += charge;
   fbr_sum_ += spec.fbr;
   sm_sum_ += spec.sm_share;
-  if (was_idle && owner_ != nullptr) owner_->on_slice_activity_change(true);
+  if (was_idle) {
+    busy_since_ = sim_.now();
+    if (owner_ != nullptr) owner_->on_slice_activity_change(true);
+  }
   reschedule_completion();
+  trace_counters();
 }
 
 void Slice::settle() {
@@ -181,6 +236,16 @@ void Slice::complete_front_runner() {
   }
   const bool now_idle = jobs_.empty();
   reschedule_completion();
+  // The idle transition must land *before* the completion callbacks: a
+  // callback may resubmit to this very slice (re-marking it busy) or kick
+  // off a drain, and applying the stale `now_idle` afterwards would count
+  // the slice idle while it runs the resubmitted job — undercounting
+  // Gpu::busy_seconds() and splicing its trace busy spans.
+  if (now_idle) {
+    trace_busy_close();
+    if (owner_ != nullptr) owner_->on_slice_activity_change(false);
+  }
+  trace_counters();
   for (Running& job : done) {
     JobCompletion completion;
     completion.id = job.spec.id;
@@ -190,10 +255,7 @@ void Slice::complete_front_runner() {
     completion.solo_time = job.spec.solo_time;
     if (job.on_done) job.on_done(completion);
   }
-  if (owner_ != nullptr) {
-    if (now_idle) owner_->on_slice_activity_change(false);
-    owner_->on_job_complete();
-  }
+  if (owner_ != nullptr) owner_->on_job_complete();
 }
 
 std::size_t Slice::abort_jobs() {
@@ -209,7 +271,12 @@ std::size_t Slice::abort_jobs() {
   sm_sum_ = 0.0;
   weight_refs_.clear();
   weight_charged_gb_ = 0.0;
+  // The container died with its jobs: the next time-share submit of the
+  // same model must boot a fresh context and pay the swap overhead again.
+  last_model_tag_ = nullptr;
+  trace_busy_close();
   if (owner_ != nullptr) owner_->on_slice_activity_change(false);
+  trace_counters();
   for (Running& job : lost) {
     JobCompletion completion;
     completion.id = job.spec.id;
@@ -237,6 +304,7 @@ void Slice::reserve_memory(MemGb gb) {
   settle();
   reserved_gb_ += gb;
   ++reservation_count_;
+  trace_counters();
 }
 
 void Slice::release_reservation(MemGb gb) {
@@ -246,7 +314,16 @@ void Slice::release_reservation(MemGb gb) {
   reserved_gb_ = std::max(0.0, reserved_gb_ - gb);
   --reservation_count_;
   if (reservation_count_ == 0) reserved_gb_ = 0.0;
+  trace_counters();
   if (owner_ != nullptr) owner_->on_job_complete();  // may unblock a drain
+}
+
+void Slice::clear_reservations() {
+  if (reservation_count_ == 0) return;
+  settle();
+  reserved_gb_ = 0.0;
+  reservation_count_ = 0;
+  trace_counters();
 }
 
 void Slice::set_swap_slowdown(double factor) {
@@ -255,6 +332,7 @@ void Slice::set_swap_slowdown(double factor) {
   settle();
   swap_factor_ = factor;
   reschedule_completion();
+  trace_counters();
 }
 
 double Slice::swap_stall_seconds() const noexcept {
@@ -280,7 +358,8 @@ double Slice::memory_gb_seconds() const noexcept {
 
 Gpu::Gpu(sim::Simulator& simulator, GpuId id, Geometry geometry,
          SharingMode mode, Duration reconfigure_time,
-         InterferenceParams interference, MemGb memory_gb, bool shared_weights)
+         InterferenceParams interference, MemGb memory_gb, bool shared_weights,
+         obs::Tracer* tracer)
     : sim_(simulator),
       id_(id),
       geometry_(std::move(geometry)),
@@ -289,6 +368,7 @@ Gpu::Gpu(sim::Simulator& simulator, GpuId id, Geometry geometry,
       interference_(interference),
       memory_gb_(memory_gb),
       shared_weights_(shared_weights),
+      tracer_(tracer),
       busy_last_update_(simulator.now()) {
   PROTEAN_CHECK_MSG(geometry_.valid(), "invalid initial geometry");
   PROTEAN_CHECK_MSG(memory_gb_ > 0.0, "GPU memory must be positive");
@@ -363,8 +443,18 @@ void Gpu::maybe_finish_drain() {
   const bool fault = reconfig_should_fail_ && reconfig_should_fail_();
   const Duration downtime =
       fault ? reconfigure_time_ * reconfig_fail_multiplier_ : reconfigure_time_;
-  reconfig_event_ = sim_.schedule_after(downtime, [this, fault] {
+  reconfig_event_ = sim_.schedule_after(downtime, [this, fault, downtime] {
     reconfig_event_ = sim::EventHandle();
+    if (tracer_ != nullptr && tracer_->wants(obs::kSpans)) {
+      // Emitted at completion so the span carries its real extent; tid 999
+      // keeps the downtime lane clear of the per-slice busy lanes.
+      tracer_->thread_name(static_cast<int>(id_) + 1, 999, "reconfig");
+      tracer_->complete(obs::kSpans, "reconfigure", static_cast<int>(id_) + 1,
+                        999, sim_.now() - downtime, sim_.now(),
+                        {{"ok", fault ? 0.0 : 1.0},
+                         {"geometry", fault ? geometry_.to_string()
+                                            : target_geometry_.to_string()}});
+    }
     if (fault) {
       build_slices();
       state_ = State::kReady;
@@ -401,6 +491,16 @@ bool Gpu::fail_slice(SliceId id) {
   Slice& victim = **it;
   victim.abort_jobs();
   victim.set_accepting(false);
+  // An ECC hit mid-boot can land while a container holds a memory
+  // reservation on the victim; the reservation dies with the slice, and
+  // must not keep a concurrent drain waiting on a slice that no longer
+  // exists (maybe_finish_drain only scans live slices, but the count must
+  // not linger if the victim is ever inspected before erase).
+  victim.clear_reservations();
+  if (tracer_ != nullptr && tracer_->wants(obs::kSpans)) {
+    tracer_->instant(obs::kSpans, "slice_failed", static_cast<int>(id_) + 1,
+                     {{"slice", static_cast<double>(id)}});
+  }
   // Retire the dead slice's integrals, as reconfiguration does.
   mem_integral_retired_ += victim.memory_gb_seconds();
   swap_stall_retired_ += victim.swap_stall_seconds();

@@ -41,6 +41,10 @@
 #include "gpu/mig.h"
 #include "sim/simulator.h"
 
+namespace protean::obs {
+class Tracer;
+}
+
 namespace protean::gpu {
 
 enum class SharingMode { kTimeShare, kMps };
@@ -199,6 +203,17 @@ class Slice {
   /// Progress rate of a resident job under the current pressure.
   double job_rate(const Running& job) const noexcept;
 
+  /// Fault path (Gpu::fail_slice): drops in-flight boot reservations so a
+  /// destroyed slice cannot leave the owning GPU's drain waiting on memory
+  /// that no longer exists.
+  void clear_reservations();
+
+  // Tracing (no-ops when the owning GPU has no tracer).
+  obs::Tracer* tracer() const noexcept;
+  int trace_pid() const noexcept;
+  void trace_busy_close();
+  void trace_counters();
+
   /// Accounts progress since last_update_ at the previous slowdown, then
   /// recomputes the next completion event.
   void settle();
@@ -234,6 +249,13 @@ class Slice {
   SimTime last_update_ = 0.0;
   const void* last_model_tag_ = nullptr;
   sim::EventHandle completion_event_;
+  /// Start of the current busy interval; valid while jobs_ is non-empty.
+  SimTime busy_since_ = 0.0;
+  // Last emitted counter sample (dedup so settle-heavy runs stay compact).
+  double trace_pressure_ = -1.0;
+  double trace_slowdown_ = -1.0;
+  MemGb trace_mem_ = -1.0;
+  int trace_reservations_ = -1;
 
   // Utilization accounting.
   double busy_integral_ = 0.0;
@@ -252,9 +274,13 @@ class Gpu {
   /// selects the part (A100-40GB vs A100-80GB); slice capacities scale
   /// proportionally. `shared_weights` turns on per-model weight charging
   /// for the model-cache subsystem.
+  /// `tracer`, when non-null, receives per-slice busy spans, settle-point
+  /// counter timelines and reconfiguration spans (src/obs); the engine
+  /// never reads from it, so a null tracer is behaviour-identical.
   Gpu(sim::Simulator& simulator, GpuId id, Geometry geometry, SharingMode mode,
       Duration reconfigure_time = 2.0, InterferenceParams interference = {},
-      MemGb memory_gb = 40.0, bool shared_weights = false);
+      MemGb memory_gb = 40.0, bool shared_weights = false,
+      obs::Tracer* tracer = nullptr);
   ~Gpu();  // cancels the pending reconfiguration-downtime event, if any
   Gpu(const Gpu&) = delete;
   Gpu& operator=(const Gpu&) = delete;
@@ -345,6 +371,8 @@ class Gpu {
   InterferenceParams interference_;
   MemGb memory_gb_ = 40.0;
   bool shared_weights_ = false;
+  // Declared before slices_ so ~Slice (busy-span flush) can still read it.
+  obs::Tracer* tracer_ = nullptr;
 
   std::vector<std::unique_ptr<Slice>> slices_;
   State state_ = State::kReady;

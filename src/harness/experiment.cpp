@@ -1,6 +1,7 @@
 #include "harness/experiment.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "cluster/cluster.h"
 #include "common/check.h"
@@ -21,6 +22,12 @@ const workload::ModelProfile& model_by_name(const std::string& name) {
 
 Report run_experiment(const ExperimentConfig& config) {
   sim::Simulator sim;
+  // The tracer outlives the deployment: slice destructors flush their open
+  // busy spans into it, so the file is written only after teardown.
+  std::optional<obs::Tracer> tracer;
+  if (config.trace_out.enabled()) {
+    tracer.emplace(sim, config.trace_out.categories);
+  }
 
   auto scheduler = sched::make_scheduler(config.scheme);
   cluster::ClusterConfig cluster_config = config.cluster;
@@ -30,7 +37,10 @@ Report run_experiment(const ExperimentConfig& config) {
   }
   cluster_config.market.seed = config.seed ^ 0xC0FFEEULL;
   cluster_config.fault.seed = config.seed ^ 0xFA017ULL;
+  cluster_config.tracer = tracer.has_value() ? &*tracer : nullptr;
 
+  Report report;
+  {
   cluster::Cluster deployment(sim, cluster_config, *scheduler);
 
   trace::DriverConfig driver_config;
@@ -72,7 +82,6 @@ Report run_experiment(const ExperimentConfig& config) {
 
   const auto& collector = deployment.collector();
 
-  Report report;
   report.scheme = scheduler->name();
   report.strict_model = config.strict_model;
   report.min_possible_ms = to_ms(driver_config.strict_model->solo_time_7g);
@@ -170,7 +179,34 @@ Report run_experiment(const ExperimentConfig& config) {
     report.faults.duplicate_hedges = collector.duplicate_hedges();
   }
 
+  if (tracer.has_value()) {
+    // Collector aggregates the invariant checker replays the span stream
+    // against (tools/trace_stats --check, obs::check_invariants).
+    double busy = 0.0;
+    for (NodeId id = 0; id < cluster_config.node_count; ++id) {
+      busy += deployment.node(id).gpu_busy_seconds();
+    }
+    tracer->set_summary("busy_seconds", busy);
+    tracer->set_summary(
+        "cold_starts", static_cast<double>(deployment.total_cold_starts()));
+    tracer->set_summary("retries", static_cast<double>(collector.retries()));
+    tracer->set_summary("hedges", static_cast<double>(collector.hedges()));
+    tracer->set_summary(
+        "lost_batches", static_cast<double>(deployment.total_lost_batches()));
+    // Informational context (not cross-checked).
+    tracer->set_summary("strict_completed",
+                        static_cast<double>(collector.strict_completed()));
+    tracer->set_summary("be_completed",
+                        static_cast<double>(collector.be_completed()));
+    tracer->set_summary(
+        "reconfigurations",
+        static_cast<double>(deployment.total_reconfigurations()));
+    tracer->set_summary("horizon", config.trace.horizon + config.drain_grace);
+  }
+
   deployment.stop();
+  }  // deployment teardown flushes open busy spans into the tracer
+  if (tracer.has_value()) tracer->write_file(config.trace_out.path);
   return report;
 }
 

@@ -11,6 +11,7 @@
 #include "cluster/config.h"
 #include "memcache/model_cache.h"
 #include "metrics/collector.h"
+#include "obs/trace.h"
 #include "sched/registry.h"
 #include "trace/trace.h"
 
@@ -44,6 +45,11 @@ struct ExperimentConfig {
   bool keep_mem_timeline = false;
   /// Keep per-node cache access logs (offline Belady studies; memcache only).
   bool keep_cache_access_log = false;
+
+  /// Timeline/span trace output (docs/observability.md). Disabled (empty
+  /// path) by default; when enabled the run writes a Chrome trace-event
+  /// JSON file after the deployment is torn down.
+  obs::TraceOptions trace_out;
 
   std::uint64_t seed = 42;
 
@@ -129,6 +135,10 @@ struct ExperimentConfig {
   }
   ExperimentConfig& with_seed(std::uint64_t s) {
     seed = s;
+    return *this;
+  }
+  ExperimentConfig& with_trace(obs::TraceOptions options) {
+    trace_out = std::move(options);
     return *this;
   }
 };

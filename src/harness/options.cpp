@@ -5,6 +5,7 @@
 #include <map>
 
 #include "memcache/config.h"
+#include "obs/trace.h"
 #include "trace/io.h"
 #include "workload/model.h"
 
@@ -134,6 +135,12 @@ Sweep:
 
 Output:
   --json                emit a JSON document instead of a table
+  --trace FILE[:FILTER] any --trace value that is not a built-in kind above
+                        writes a Chrome trace-event timeline (open in
+                        Perfetto) to FILE after the run; FILTER is a comma
+                        list of spans | counters | sched (default all).
+                        Multi-run grids write FILE-0.json, FILE-1.json, ...
+                        See docs/observability.md
   --dump-mem-timeline FILE
                         write per-node resident-weight timelines as JSON
                         (requires --memcache; classic runs only)
@@ -231,7 +238,15 @@ CliParseResult parse_cli(const std::vector<std::string>& args) {
       } else if (kind == "constant") {
         opts.config.trace.kind = trace::TraceKind::kConstant;
       } else {
-        return fail("unknown trace kind: " + *value);
+        // Any other value is a timeline-trace output spec, FILE[:FILTER]
+        // (docs/observability.md).
+        const auto trace_out = obs::TraceOptions::parse(*value);
+        if (!trace_out) {
+          return fail("bad --trace value: " + *value +
+                      " (want wiki | twitter | constant, or FILE[:FILTER] "
+                      "with FILTER from spans,counters,sched)");
+        }
+        opts.config.trace_out = *trace_out;
       }
     } else if (arg == "--trace-file") {
       const auto value = next("--trace-file");
@@ -386,6 +401,7 @@ CliParseResult parse_cli(const std::vector<std::string>& args) {
   const auto seed = opts.config.seed;
   const bool keep_mem_timeline = opts.config.keep_mem_timeline;
   const bool keep_cache_log = opts.config.keep_cache_access_log;
+  const auto trace_out = opts.config.trace_out;
   opts.config = primary_config(model_name, horizon);
   opts.config.strict_fraction = strict_fraction;
   opts.config.trace.kind = kind;
@@ -395,6 +411,7 @@ CliParseResult parse_cli(const std::vector<std::string>& args) {
   opts.config.seed = seed;
   opts.config.keep_mem_timeline = keep_mem_timeline;
   opts.config.keep_cache_access_log = keep_cache_log;
+  opts.config.trace_out = trace_out;
   if (rps_given) {
     opts.config.trace.target_rps = rps;
   }

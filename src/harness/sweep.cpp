@@ -114,7 +114,9 @@ std::vector<ExperimentConfig> SweepConfig::grid() const {
   std::vector<ExperimentConfig> out;
   const auto axis_values = axis.values();
   const auto seed_list = seeds();
-  out.reserve(axis_values.size() * schemes.size() * seed_list.size());
+  const std::size_t total =
+      axis_values.size() * schemes.size() * seed_list.size();
+  out.reserve(total);
   for (double value : axis_values) {
     for (sched::Scheme scheme : schemes) {
       for (std::uint64_t seed : seed_list) {
@@ -122,6 +124,11 @@ std::vector<ExperimentConfig> SweepConfig::grid() const {
         axis.apply(config, value);
         config.scheme = scheme;
         config.seed = seed;
+        // A multi-cell grid can't have every run write the same trace
+        // file: derive one path per grid index (foo.json → foo-3.json).
+        if (config.trace_out.enabled() && total > 1) {
+          config.trace_out = config.trace_out.with_index(out.size());
+        }
         out.push_back(std::move(config));
       }
     }

@@ -51,14 +51,18 @@ void ModelCache::sync_slices(const std::vector<gpu::Slice*>& live) {
                        : 0.0;
     next.emplace(s->id(), std::move(state));
   }
-  // Whatever is left in slices_ belonged to destroyed slices; the drain
-  // before a reconfiguration guarantees nothing was still pinned.
-#ifndef NDEBUG
+  // Whatever is left in slices_ belonged to destroyed slices. A drained
+  // reconfiguration never leaves pins behind, but the fault path can: an
+  // ECC fail_slice destroys a slice while a booting container still holds
+  // its acquire() pin. The weights vanished with the instance memory, so
+  // the pin is implicitly released here (release() on the dead id is a
+  // no-op); count it so tests can assert nothing leaks silently.
   for (const auto& [id, state] : slices_) {
     (void)id;
-    for (const Entry& e : state.entries) PROTEAN_DCHECK(e.pins == 0);
+    for (const Entry& e : state.entries) {
+      if (e.pins > 0) orphaned_pins_ += static_cast<std::uint64_t>(e.pins);
+    }
   }
-#endif
   slices_ = std::move(next);
   for (auto& [id, state] : slices_) {
     // Re-apply budgets: a geometry change may have shrunk this slice's

@@ -87,6 +87,10 @@ class ModelCache {
   MemGb budget_gb(SliceId slice) const;
 
   const CacheStats& stats() const noexcept { return stats_; }
+  /// Pins dropped because their slice was destroyed with the pin still held
+  /// (ECC fail_slice racing a container boot). The paired release() is a
+  /// no-op, so this is informational, not a leak.
+  std::uint64_t orphaned_pins() const noexcept { return orphaned_pins_; }
   /// (time, total resident GB) — one point per change, coalesced per time.
   const std::vector<std::pair<SimTime, MemGb>>& timeline() const noexcept {
     return timeline_;
@@ -133,6 +137,7 @@ class ModelCache {
   metrics::Collector* collector_;
   std::map<SliceId, SliceState> slices_;
   CacheStats stats_;
+  std::uint64_t orphaned_pins_ = 0;
   std::vector<std::pair<SimTime, MemGb>> timeline_;
   std::vector<CacheAccess> log_;
   /// Sorted future reference times per model (kOracle policy only).

@@ -46,7 +46,10 @@ double Histogram::min() const noexcept {
 
 double Histogram::max() const noexcept {
   for (std::size_t i = buckets_.size(); i-- > 0;) {
-    if (buckets_[i] > 0) return bucket_lower_bound(i + 1);
+    // The last bucket's geometric upper bound overshoots the configured
+    // range (record() clamps values to max_value_, so nothing above it was
+    // ever observed); clamp the reported bound accordingly.
+    if (buckets_[i] > 0) return std::min(bucket_lower_bound(i + 1), max_value_);
   }
   return 0.0;
 }
@@ -64,10 +67,12 @@ double Histogram::percentile(double p) const noexcept {
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
     seen += buckets_[i];
     if (seen >= std::max<std::uint64_t>(target, 1)) {
-      return bucket_lower_bound(i + 1);
+      // Same clamp as max(): the top bucket's geometric bound exceeds the
+      // range the histogram was configured (and clamped) to.
+      return std::min(bucket_lower_bound(i + 1), max_value_);
     }
   }
-  return bucket_lower_bound(buckets_.size());
+  return max_value_;
 }
 
 void Histogram::merge(const Histogram& other) {

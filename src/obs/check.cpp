@@ -1,0 +1,485 @@
+#include "obs/check.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/trace.h"
+
+namespace protean::obs {
+namespace {
+
+// ---- minimal JSON reader ---------------------------------------------------
+// The harness's json.h is writer-only, so the checker carries its own small
+// recursive-descent reader. It supports exactly the JSON subset any trace
+// viewer would: objects, arrays, strings, numbers, bools, null.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* find(const char* key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  std::optional<JsonValue> parse(std::string* error) {
+    std::optional<JsonValue> v = value();
+    skip_ws();
+    if (v && pos_ != text_.size()) {
+      fail("trailing characters after document");
+      v.reset();
+    }
+    if (!v && error != nullptr) *error = error_;
+    return v;
+  }
+
+ private:
+  void fail(const std::string& message) {
+    if (error_.empty()) {
+      error_ = message + " at offset " + std::to_string(pos_);
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool consume(char expected) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<JsonValue> value() {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return std::nullopt;
+    }
+    const char c = text_[pos_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    if (c == 't' || c == 'f') return bool_value();
+    if (c == 'n') return null_value();
+    return number_value();
+  }
+
+  std::optional<JsonValue> object() {
+    JsonValue out;
+    out.kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (consume('}')) return out;
+    while (true) {
+      skip_ws();
+      std::optional<std::string> key = string_body();
+      if (!key) return std::nullopt;
+      if (!consume(':')) {
+        fail("expected ':' in object");
+        return std::nullopt;
+      }
+      std::optional<JsonValue> v = value();
+      if (!v) return std::nullopt;
+      out.object.emplace_back(std::move(*key), std::move(*v));
+      if (consume(',')) continue;
+      if (consume('}')) return out;
+      fail("expected ',' or '}' in object");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> array() {
+    JsonValue out;
+    out.kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (consume(']')) return out;
+    while (true) {
+      std::optional<JsonValue> v = value();
+      if (!v) return std::nullopt;
+      out.array.push_back(std::move(*v));
+      if (consume(',')) continue;
+      if (consume(']')) return out;
+      fail("expected ',' or ']' in array");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<std::string> string_body() {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      fail("expected string");
+      return std::nullopt;
+    }
+    ++pos_;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          // Decode BMP escapes to a byte when ASCII, '?' otherwise; the
+          // tracer never emits multi-byte escapes so this is exact in
+          // practice.
+          if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+            return std::nullopt;
+          }
+          const std::string hex = text_.substr(pos_, 4);
+          pos_ += 4;
+          char* end = nullptr;
+          const long code = std::strtol(hex.c_str(), &end, 16);
+          if (end != hex.c_str() + 4) {
+            fail("bad \\u escape");
+            return std::nullopt;
+          }
+          out += code < 0x80 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default:
+          fail("unknown escape");
+          return std::nullopt;
+      }
+    }
+    fail("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> string_value() {
+    std::optional<std::string> body = string_body();
+    if (!body) return std::nullopt;
+    JsonValue out;
+    out.kind = JsonValue::Kind::kString;
+    out.string = std::move(*body);
+    return out;
+  }
+
+  std::optional<JsonValue> bool_value() {
+    JsonValue out;
+    out.kind = JsonValue::Kind::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out.boolean = true;
+      pos_ += 4;
+      return out;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out.boolean = false;
+      pos_ += 5;
+      return out;
+    }
+    fail("bad literal");
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> null_value() {
+    if (text_.compare(pos_, 4, "null") != 0) {
+      fail("bad literal");
+      return std::nullopt;
+    }
+    pos_ += 4;
+    return JsonValue{};
+  }
+
+  std::optional<JsonValue> number_value() {
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(start, &end);
+    if (end == start) {
+      fail("expected value");
+      return std::nullopt;
+    }
+    pos_ += static_cast<std::size_t>(end - start);
+    JsonValue out;
+    out.kind = JsonValue::Kind::kNumber;
+    out.number = v;
+    return out;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+double num_or(const JsonValue* v, double fallback) {
+  return v != nullptr && v->kind == JsonValue::Kind::kNumber ? v->number
+                                                             : fallback;
+}
+
+std::string str_or(const JsonValue* v, const std::string& fallback) {
+  return v != nullptr && v->kind == JsonValue::Kind::kString ? v->string
+                                                             : fallback;
+}
+
+/// Sum of the union of [start, end] intervals, in input units.
+double interval_union(std::vector<std::pair<double, double>>& spans) {
+  std::sort(spans.begin(), spans.end());
+  double total = 0.0;
+  double cur_lo = 0.0;
+  double cur_hi = -1.0;
+  bool open = false;
+  for (const auto& [lo, hi] : spans) {
+    if (!open || lo > cur_hi) {
+      if (open) total += cur_hi - cur_lo;
+      cur_lo = lo;
+      cur_hi = hi;
+      open = true;
+    } else {
+      cur_hi = std::max(cur_hi, hi);
+    }
+  }
+  if (open) total += cur_hi - cur_lo;
+  return total;
+}
+
+bool nearly_equal(double a, double b) {
+  const double tol = 1e-6 * std::max({1.0, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) <= tol;
+}
+
+std::string fmt(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::optional<ParsedTrace> parse_trace_json(const std::string& text,
+                                            std::string* error) {
+  JsonReader reader(text);
+  std::optional<JsonValue> root = reader.parse(error);
+  if (!root) return std::nullopt;
+  if (root->kind != JsonValue::Kind::kObject) {
+    if (error != nullptr) *error = "trace root is not an object";
+    return std::nullopt;
+  }
+  const JsonValue* events = root->find("traceEvents");
+  if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+    if (error != nullptr) *error = "missing traceEvents array";
+    return std::nullopt;
+  }
+
+  ParsedTrace out;
+  out.events.reserve(events->array.size());
+  for (const JsonValue& e : events->array) {
+    if (e.kind != JsonValue::Kind::kObject) continue;
+    ParsedEvent ev;
+    ev.ph = str_or(e.find("ph"), "");
+    ev.name = str_or(e.find("name"), "");
+    ev.cat = str_or(e.find("cat"), "");
+    ev.pid = static_cast<int>(num_or(e.find("pid"), 0.0));
+    ev.tid = static_cast<int>(num_or(e.find("tid"), 0.0));
+    ev.ts_us = num_or(e.find("ts"), 0.0);
+    ev.dur_us = num_or(e.find("dur"), 0.0);
+    ev.id = str_or(e.find("id"), "");
+    if (const JsonValue* args = e.find("args");
+        args != nullptr && args->kind == JsonValue::Kind::kObject) {
+      for (const auto& [k, v] : args->object) {
+        if (v.kind == JsonValue::Kind::kNumber) {
+          ev.num_args[k] = v.number;
+        } else if (v.kind == JsonValue::Kind::kString) {
+          ev.str_args[k] = v.string;
+        }
+      }
+    }
+    out.events.push_back(std::move(ev));
+  }
+
+  if (const JsonValue* collector = root->find("collector");
+      collector != nullptr && collector->kind == JsonValue::Kind::kObject) {
+    for (const auto& [k, v] : collector->object) {
+      if (v.kind == JsonValue::Kind::kNumber) out.collector[k] = v.number;
+    }
+  }
+
+  const std::string cats = str_or(root->find("categories"), "");
+  if (cats.empty()) {
+    // Traces from other producers carry no category note; assume complete.
+    out.categories = kAllCategories;
+  } else {
+    std::size_t start = 0;
+    while (start <= cats.size()) {
+      std::size_t comma = cats.find(',', start);
+      if (comma == std::string::npos) comma = cats.size();
+      const std::string token = cats.substr(start, comma - start);
+      if (token == "spans") out.categories |= kSpans;
+      if (token == "counters") out.categories |= kCounters;
+      if (token == "sched") out.categories |= kSched;
+      start = comma + 1;
+    }
+  }
+  return out;
+}
+
+std::optional<ParsedTrace> parse_trace_file(const std::string& path,
+                                            std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::string text;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return parse_trace_json(text, error);
+}
+
+TraceStats compute_stats(const ParsedTrace& trace) {
+  TraceStats stats;
+  stats.events = trace.events.size();
+  std::map<int, std::vector<std::pair<double, double>>> busy_spans;
+  bool have_ts = false;
+  for (const ParsedEvent& e : trace.events) {
+    ++stats.by_phase[e.ph];
+    if (e.ph == "M") continue;
+    if (!have_ts || e.ts_us < stats.first_ts_us) stats.first_ts_us = e.ts_us;
+    const double end = e.ts_us + (e.ph == "X" ? e.dur_us : 0.0);
+    if (!have_ts || end > stats.last_ts_us) stats.last_ts_us = end;
+    have_ts = true;
+    if (e.ph == "i") {
+      ++stats.instants[e.name];
+      if (e.name == "sched") ++stats.decisions;
+    } else if (e.ph == "b") {
+      ++stats.async_begins[e.name];
+    } else if (e.ph == "C") {
+      ++stats.counter_samples;
+    } else if (e.ph == "X") {
+      ++stats.complete_spans;
+      if (e.name == "busy") {
+        busy_spans[e.pid].emplace_back(e.ts_us, e.ts_us + e.dur_us);
+      } else if (e.name == "reconfigure") {
+        stats.reconfigure_seconds += e.dur_us / 1e6;
+      }
+    }
+  }
+  for (auto& [pid, spans] : busy_spans) {
+    const double secs = interval_union(spans) / 1e6;
+    stats.busy_by_pid[pid] = secs;
+    stats.busy_union_seconds += secs;
+  }
+  return stats;
+}
+
+CheckResult check_invariants(const ParsedTrace& trace) {
+  CheckResult result;
+  const TraceStats stats = compute_stats(trace);
+
+  auto check = [&result](const std::string& name, double span_side,
+                         double collector_side) {
+    if (nearly_equal(span_side, collector_side)) {
+      result.checked.push_back(name + ": " + fmt(span_side) + " == " +
+                               fmt(collector_side));
+    } else {
+      result.ok = false;
+      result.failures.push_back(name + ": trace says " + fmt(span_side) +
+                                ", collector says " + fmt(collector_side));
+    }
+  };
+
+  const bool have_spans = (trace.categories & kSpans) != 0;
+  auto aggregate = [&trace](const char* key) -> std::optional<double> {
+    auto it = trace.collector.find(key);
+    if (it == trace.collector.end()) return std::nullopt;
+    return it->second;
+  };
+
+  if (have_spans) {
+    if (auto busy = aggregate("busy_seconds")) {
+      check("busy_seconds (union of busy spans)", stats.busy_union_seconds,
+            *busy);
+    }
+    auto count_of = [&stats](const char* name) {
+      auto it = stats.instants.find(name);
+      return it == stats.instants.end() ? 0.0
+                                        : static_cast<double>(it->second);
+    };
+    if (auto v = aggregate("cold_starts")) {
+      check("cold_starts (cold_start instants)", count_of("cold_start"), *v);
+    }
+    if (auto v = aggregate("retries")) {
+      check("retries (retry instants)", count_of("retry"), *v);
+    }
+    if (auto v = aggregate("hedges")) {
+      check("hedges (hedge instants)", count_of("hedge"), *v);
+    }
+    if (auto v = aggregate("lost_batches")) {
+      check("lost_batches (lost instants)", count_of("lost"), *v);
+    }
+    // "drop" instants are viewer context only: the collector's dropped
+    // counter is per *request* (batch.count) and also has a legacy
+    // no-resilience path, so there is no batch-level aggregate to pin
+    // them against.
+  }
+
+  // Structural sanity, independent of category filters.
+  for (const ParsedEvent& e : trace.events) {
+    if (e.ph == "X" && e.dur_us < 0.0) {
+      result.ok = false;
+      result.failures.push_back("negative duration on X span '" + e.name +
+                                "' at ts " + fmt(e.ts_us));
+    }
+    if (e.ph != "M" && !std::isfinite(e.ts_us)) {
+      result.ok = false;
+      result.failures.push_back("non-finite timestamp on '" + e.name + "'");
+    }
+  }
+  // Async begin/end balance per (cat, id, name).
+  std::map<std::string, long> open;
+  for (const ParsedEvent& e : trace.events) {
+    if (e.ph != "b" && e.ph != "e") continue;
+    const std::string key = e.cat + "/" + e.name + "/" + e.id;
+    open[key] += e.ph == "b" ? 1 : -1;
+  }
+  for (const auto& [key, depth] : open) {
+    if (depth < 0) {
+      result.ok = false;
+      result.failures.push_back("async end without begin: " + key);
+    }
+    // depth > 0 is legal: spans still open at the horizon (queued work).
+  }
+  return result;
+}
+
+}  // namespace protean::obs

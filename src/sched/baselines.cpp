@@ -27,18 +27,24 @@ gpu::Slice* whole_gpu_slice(cluster::WorkerNode& node) {
 gpu::Slice* MoleculeBetaScheduler::place(const workload::Batch& batch,
                                          cluster::WorkerNode& node) {
   gpu::Slice* slice = whole_gpu_slice(node);
-  if (slice == nullptr || !slice->can_admit(probe(batch, *slice))) {
-    return nullptr;  // busy: time sharing queues behind the running batch
+  const std::size_t candidates = slice != nullptr ? 1 : 0;
+  if (slice != nullptr && !slice->can_admit(probe(batch, *slice))) {
+    slice = nullptr;  // busy: time sharing queues behind the running batch
   }
+  cluster::trace_placement(node, batch, "molecule-beta", candidates, slice,
+                           0.0);
   return slice;
 }
 
 gpu::Slice* InflessLlamaScheduler::place(const workload::Batch& batch,
                                          cluster::WorkerNode& node) {
   gpu::Slice* slice = whole_gpu_slice(node);
-  if (slice == nullptr || !slice->can_admit(probe(batch, *slice))) {
-    return nullptr;  // consolidate everything; only memory limits admission
+  const std::size_t candidates = slice != nullptr ? 1 : 0;
+  if (slice != nullptr && !slice->can_admit(probe(batch, *slice))) {
+    slice = nullptr;  // consolidate everything; only memory limits admission
   }
+  cluster::trace_placement(node, batch, "infless-llama", candidates, slice,
+                           0.0);
   return slice;
 }
 
@@ -65,6 +71,9 @@ gpu::Slice* NaiveSlicingScheduler::place(const workload::Batch& batch,
       best_score = score;
     }
   }
+  cluster::trace_placement(node, batch, "naive-slicing",
+                           node.gpu().slices().size(), best,
+                           best != nullptr ? best_score : 0.0);
   return best;
 }
 
@@ -80,6 +89,8 @@ gpu::Slice* MigOnlyScheduler::place(const workload::Batch& batch,
       best = slice;
     }
   }
+  cluster::trace_placement(node, batch, "mig-only", node.gpu().slices().size(),
+                           best, 0.0);
   return best;
 }
 
@@ -104,6 +115,8 @@ gpu::Slice* MpsMigScheduler::place(const workload::Batch& batch,
       best = slice;
     }
   }
+  cluster::trace_placement(node, batch, "mps-mig", node.gpu().slices().size(),
+                           best, 0.0);
   return best;
 }
 
@@ -112,46 +125,63 @@ gpu::Slice* SmartMpsMigScheduler::place(const workload::Batch& batch,
   // Strict requests get the largest slice; BE requests are kept off it
   // whenever any other slice can take them (Section 2.2 straw man).
   auto slices = node.gpu().slices();
-  if (slices.empty()) return nullptr;
+  if (slices.empty()) {
+    cluster::trace_placement(node, batch, "smart-mps-mig", 0, nullptr, 0.0);
+    return nullptr;
+  }
   std::sort(slices.begin(), slices.end(),
             [](const gpu::Slice* a, const gpu::Slice* b) {
               return gpu::traits(a->profile()).compute_units >
                      gpu::traits(b->profile()).compute_units;
             });
+  gpu::Slice* chosen = nullptr;
   if (batch.strict) {
     for (gpu::Slice* slice : slices) {  // largest first
       if (batch.model->fits(slice->profile()) &&
           slice->can_admit(probe(batch, *slice))) {
-        return slice;
+        chosen = slice;
+        break;
       }
     }
-    return nullptr;
-  }
-  // BE: smallest-first, excluding the largest slice unless it is the only
-  // option with room.
-  for (auto it = slices.rbegin(); it != slices.rend(); ++it) {
-    gpu::Slice* slice = *it;
-    if (slice == slices.front() && slices.size() > 1) continue;
-    if (batch.model->fits(slice->profile()) &&
-        slice->can_admit(probe(batch, *slice))) {
-      return slice;
+  } else {
+    // BE: smallest-first, excluding the largest slice unless it is the only
+    // option with room.
+    for (auto it = slices.rbegin(); it != slices.rend(); ++it) {
+      gpu::Slice* slice = *it;
+      if (slice == slices.front() && slices.size() > 1) continue;
+      if (batch.model->fits(slice->profile()) &&
+          slice->can_admit(probe(batch, *slice))) {
+        chosen = slice;
+        break;
+      }
     }
   }
-  return nullptr;
+  cluster::trace_placement(node, batch, "smart-mps-mig", slices.size(), chosen,
+                           0.0);
+  return chosen;
 }
 
 gpu::Slice* GpuletScheduler::place(const workload::Batch& batch,
                                    cluster::WorkerNode& node) {
   gpu::Slice* slice = whole_gpu_slice(node);
-  if (slice == nullptr) return nullptr;
+  if (slice == nullptr) {
+    cluster::trace_placement(node, batch, "gpulet", 0, nullptr, 0.0);
+    return nullptr;
+  }
   // GPUlet carves the GPU into one strict and one BE SM partition; each
   // partition serves one batch at a time (spatio-temporal sharing).
   const std::size_t strict_resident = slice->strict_jobs();
   const std::size_t be_resident = slice->running_jobs() - strict_resident;
-  if (batch.strict && strict_resident > 0) return nullptr;
-  if (!batch.strict && be_resident > 0) return nullptr;
-  const gpu::JobSpec spec = make_job(batch, *slice, 0);
-  return slice->can_admit(spec) ? slice : nullptr;
+  gpu::Slice* chosen = slice;
+  if ((batch.strict && strict_resident > 0) ||
+      (!batch.strict && be_resident > 0)) {
+    chosen = nullptr;
+  } else {
+    const gpu::JobSpec spec = make_job(batch, *slice, 0);
+    if (!slice->can_admit(spec)) chosen = nullptr;
+  }
+  cluster::trace_placement(node, batch, "gpulet", 1, chosen, 0.0);
+  return chosen;
 }
 
 gpu::JobSpec GpuletScheduler::make_job(const workload::Batch& batch,

@@ -462,5 +462,79 @@ TEST(Gpu, MemoryIntegralSurvivesReconfiguration) {
   EXPECT_GE(gpu.memory_gb_seconds(), before - 1e-9);
 }
 
+TEST(Gpu, CallbackResubmitKeepsBusyAccountingContinuous) {
+  // Regression: complete_front_runner used to mark the slice idle *after*
+  // running completion callbacks. A callback that resubmits flips the slice
+  // busy again, and the stale decrement then left the busy counter pinned,
+  // inflating busy_seconds forever.
+  sim::Simulator sim;
+  Gpu gpu(sim, 0, Geometry::g4_3(), SharingMode::kMps);
+  Slice* slice = gpu.slices().front();
+  Done done;
+  bool resubmitted = false;
+  slice->submit(job(1, 0.1, 0.5, 0.5, 2.0), [&](const JobCompletion&) {
+    if (!resubmitted) {
+      resubmitted = true;
+      slice->submit(job(2, 0.1, 0.5, 0.5, 2.0), done.cb());
+    }
+  });
+  sim.run_to_completion();
+  ASSERT_EQ(done.completions.size(), 1u);
+  EXPECT_NEAR(gpu.busy_seconds(), 0.2, 1e-9);
+  // Advance well past the work: an idle GPU must not keep accruing.
+  sim.run_until(1.0);
+  EXPECT_NEAR(gpu.busy_seconds(), 0.2, 1e-9);
+}
+
+TEST(Slice, AbortResetsModelTagSoNextSubmitPaysSwap) {
+  // Regression: abort_jobs left last_model_tag_ set, so a resubmit of the
+  // same model after a container death skipped the context-swap overhead.
+  sim::Simulator sim;
+  InterferenceParams params;
+  params.timeshare_overhead = 0.05;
+  Slice slice(sim, nullptr, 0, SliceProfile::k7g, SharingMode::kTimeShare,
+              params);
+  Done done;
+  static const int model_a = 0;
+  JobSpec spec = job(1, 0.1, 0.9, 1.0, 1.0);
+  spec.model_tag = &model_a;
+  slice.submit(spec, done.cb());
+  sim.run_to_completion();
+  ASSERT_EQ(done.completions.size(), 1u);
+  EXPECT_NEAR(done.completions[0].exec_time, 0.15, 1e-9);
+
+  slice.submit(spec, done.cb());
+  EXPECT_EQ(slice.abort_jobs(), 1u);  // the container died with the job
+  ASSERT_EQ(done.completions.size(), 2u);
+  EXPECT_TRUE(done.completions[1].failed);
+
+  // Same model after the abort: the replacement container swaps in again.
+  slice.submit(spec, done.cb());
+  sim.run_to_completion();
+  ASSERT_EQ(done.completions.size(), 3u);
+  EXPECT_NEAR(done.completions[2].exec_time, 0.15, 1e-9);
+}
+
+TEST(Gpu, FailSliceDropsBootReservationsAndReconfigureCompletes) {
+  // An ECC hit can land while a booting container holds a reservation on
+  // the victim; the drained reconfiguration that follows must not wait on
+  // memory that died with the slice.
+  sim::Simulator sim;
+  Gpu gpu(sim, 0, Geometry::g4_3(), SharingMode::kMps, 2.0);
+  Slice* victim = gpu.slices()[1];
+  victim->reserve_memory(5.0);
+  EXPECT_EQ(victim->reservations(), 1);
+  ASSERT_TRUE(gpu.fail_slice(victim->id()));
+  bool reconfigured = false;
+  ASSERT_TRUE(
+      gpu.request_reconfigure(Geometry::g4_2_1(), [&] { reconfigured = true; }));
+  sim.run_to_completion();
+  EXPECT_TRUE(reconfigured);
+  for (const Slice* s : const_cast<const Gpu&>(gpu).slices()) {
+    EXPECT_EQ(s->reservations(), 0);
+    EXPECT_DOUBLE_EQ(s->reserved_memory(), 0.0);
+  }
+}
+
 }  // namespace
 }  // namespace protean::gpu

@@ -115,5 +115,26 @@ TEST(Histogram, P0AndP100AreBounds) {
   EXPECT_NEAR(h.percentile(100.0), 5.0, 5.0 * 0.03);
 }
 
+TEST(Histogram, MaxNeverExceedsConfiguredBound) {
+  // Regression: record() clamps values into [min, max], but max() and
+  // percentile() returned the containing bucket's *upper* edge, which for
+  // the last bucket overshoots the configured bound by up to one growth
+  // factor.
+  Histogram h(0.001, 10.0);
+  h.record(1e9);  // clamps to 10.0
+  EXPECT_LE(h.max(), 10.0);
+  EXPECT_LE(h.percentile(100.0), 10.0);
+  EXPECT_LE(h.percentile(99.0), 10.0);
+}
+
+TEST(Histogram, PercentileClampsEveryQuantileToBound) {
+  Histogram h(0.001, 10.0);
+  for (int i = 0; i < 100; ++i) h.record(1e6);
+  for (double p : {0.0, 50.0, 90.0, 99.0, 100.0}) {
+    EXPECT_LE(h.percentile(p), 10.0) << "p=" << p;
+  }
+  EXPECT_LE(h.max(), 10.0);
+}
+
 }  // namespace
 }  // namespace protean::metrics

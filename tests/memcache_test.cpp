@@ -271,6 +271,31 @@ TEST(ModelCache, SyncSlicesDropsDeadSlicesAndRebudgets) {
   EXPECT_DOUBLE_EQ(cache.budget_gb(1), 0.0);
 }
 
+TEST(ModelCache, SyncSlicesCountsOrphanedPinsInsteadOfCrashing) {
+  // Regression: ECC (Gpu::fail_slice) can destroy a slice while a booting
+  // container still holds its acquire() pin. Dropping the dead slice used
+  // to assert pins == 0 in Debug builds; the pin is now counted as
+  // orphaned, and the paired release() stays a harmless no-op.
+  sim::Simulator sim;
+  gpu::Slice s0(sim, nullptr, 0, gpu::SliceProfile::k2g,
+                gpu::SharingMode::kMps);
+  gpu::Slice s1(sim, nullptr, 1, gpu::SliceProfile::k2g,
+                gpu::SharingMode::kMps);
+  ModelCache cache(sim, lru_config(8.0));
+  cache.sync_slices({&s0, &s1});
+
+  const auto m = make_model("m", 3.0);
+  EXPECT_FALSE(cache.acquire(s1, &m));  // pin held: container booting
+  EXPECT_EQ(cache.orphaned_pins(), 0u);
+
+  cache.sync_slices({&s0});  // slice 1 died with the pin outstanding
+  EXPECT_EQ(cache.orphaned_pins(), 1u);
+  EXPECT_FALSE(cache.resident(1, &m));
+  cache.release(1, &m);  // the boot continuation's release: a no-op
+  EXPECT_EQ(cache.orphaned_pins(), 1u);
+  EXPECT_DOUBLE_EQ(cache.resident_gb(), 0.0);
+}
+
 TEST(ModelCache, SyncSlicesTrimsShrunkBudgets) {
   sim::Simulator sim;
   gpu::Slice s0(sim, nullptr, 0, gpu::SliceProfile::k7g,

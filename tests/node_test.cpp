@@ -174,6 +174,45 @@ TEST(WorkerNode, EvictionDuringColdBootIsSafe) {
   EXPECT_EQ(f.node->batches_served(), 0u);
 }
 
+TEST(WorkerNode, EccDuringColdBootOrphansPinWithoutLeaking) {
+  // Regression: an ECC slice failure mid-boot destroys the slice while the
+  // booting container still holds a cache pin and a memory reservation.
+  // The pin must be accounted as orphaned (not a Debug-check crash), the
+  // reservation must die with the slice, and the batch must still be served
+  // on a surviving slice.
+  sim::Simulator sim;
+  ClusterConfig config;
+  config.cold_start = 5.0;
+  config.memcache.enabled = true;
+  config.memcache.capacity_gb = 16.0;
+  sched::SmartMpsMigScheduler scheduler;  // static (4g,3g): two slices
+  metrics::Collector collector;
+  WorkerNode node(sim, 0, config, scheduler, collector);
+  std::vector<Batch> redistributed;
+  node.set_redistribute([&](Batch&& b) { redistributed.push_back(std::move(b)); });
+  ASSERT_NE(node.cache(), nullptr);
+
+  node.enqueue(make_batch(resnet(), true, 0.0));
+  sim.run_until(1.0);  // booting on the largest slice, pin + reservation held
+  ASSERT_TRUE(node.inject_ecc(/*selector=*/0.0));  // kill the 4g slice
+
+  EXPECT_EQ(node.cache()->orphaned_pins(), 1u);
+  for (const gpu::Slice* slice :
+       const_cast<const gpu::Gpu&>(node.gpu()).slices()) {
+    EXPECT_EQ(slice->reservations(), 0);
+  }
+  sim.run_until(sim.now() + 60.0);
+  // The boot continuation found its slice gone, requeued the batch, and a
+  // surviving slice served it; nothing was stranded or double-counted.
+  EXPECT_EQ(node.batches_served() + redistributed.size(), 1u);
+  EXPECT_EQ(node.lost_batches(), 0u);
+  for (const gpu::Slice* slice :
+       const_cast<const gpu::Gpu&>(node.gpu()).slices()) {
+    EXPECT_EQ(slice->reservations(), 0);
+    EXPECT_EQ(slice->running_jobs(), 0u);
+  }
+}
+
 TEST(WorkerNode, OutstandingWorkTracksQueueAndRunning) {
   Fixture f;
   f.node->prewarm(resnet(), 2);

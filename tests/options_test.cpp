@@ -107,6 +107,41 @@ TEST(Cli, TwitterTraceScalesToPeak) {
   EXPECT_TRUE(opts.config.trace.scale_to_peak);
 }
 
+TEST(Cli, TraceFileValueEnablesTimelineOutput) {
+  // A --trace value that is not a built-in workload kind is a span-trace
+  // output spec; the workload trace kind stays at its default.
+  const auto opts = must_parse({"--trace", "out/run.json"});
+  EXPECT_EQ(opts.config.trace.kind, trace::TraceKind::kWiki);
+  EXPECT_TRUE(opts.config.trace_out.enabled());
+  EXPECT_EQ(opts.config.trace_out.path, "out/run.json");
+  EXPECT_EQ(opts.config.trace_out.categories, obs::kAllCategories);
+}
+
+TEST(Cli, TraceFilterSelectsCategories) {
+  const auto opts = must_parse({"--trace", "run.json:sched,counters"});
+  EXPECT_TRUE(opts.config.trace_out.enabled());
+  EXPECT_EQ(opts.config.trace_out.path, "run.json");
+  EXPECT_EQ(opts.config.trace_out.categories,
+            obs::kSched | obs::kCounters);
+  EXPECT_FALSE((opts.config.trace_out.categories & obs::kSpans) != 0);
+}
+
+TEST(Cli, TraceSurvivesModelRederivation) {
+  // parse_cli re-derives model-dependent defaults at the end; the trace
+  // output spec must survive the config rebuild like the other knobs.
+  const auto opts =
+      must_parse({"--model", "BERT", "--trace", "run.json:spans"});
+  EXPECT_EQ(opts.config.strict_model, "BERT");
+  EXPECT_TRUE(opts.config.trace_out.enabled());
+  EXPECT_EQ(opts.config.trace_out.categories,
+            static_cast<unsigned>(obs::kSpans));
+}
+
+TEST(Cli, BadTraceFilterFails) {
+  EXPECT_NE(must_fail({"--trace", "run.json:bogus"}).find("bad --trace"),
+            std::string::npos);
+}
+
 TEST(Cli, NumericValidation) {
   EXPECT_FALSE(parse_cli({"--rps", "-5"}).options);
   EXPECT_FALSE(parse_cli({"--rps", "abc"}).options);
