@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/log.h"
 #include "obs/trace.h"
+#include "telemetry/registry.h"
 
 namespace protean::cluster {
 
@@ -38,6 +39,40 @@ Cluster::Cluster(sim::Simulator& simulator, const ClusterConfig& config,
     injector_ =
         std::make_unique<fault::FaultInjector>(sim_, config_.fault, *this);
   }
+  if (config_.telemetry != nullptr) register_telemetry(*config_.telemetry);
+}
+
+void Cluster::register_telemetry(telemetry::MetricsRegistry& registry) {
+  registry.gauge("cluster_backlog_depth", [this] {
+    return static_cast<double>(backlog_.size());
+  });
+  registry.gauge("cluster_gpu_utilization_pct",
+                 [this] { return gpu_utilization_pct(); });
+  registry.gauge("cluster_memory_utilization_pct",
+                 [this] { return memory_utilization_pct(); });
+  registry.gauge("cold_starts_total", [this] {
+    return static_cast<double>(collector_.cold_starts());
+  });
+  registry.gauge("requests_dropped_total", [this] {
+    return static_cast<double>(collector_.dropped());
+  });
+  registry.gauge("fault_retries_total", [this] {
+    return static_cast<double>(collector_.retries());
+  });
+  registry.gauge("fault_hedges_total", [this] {
+    return static_cast<double>(collector_.hedges());
+  });
+  registry.gauge("fault_lost_requests_total", [this] {
+    return static_cast<double>(collector_.lost_requests());
+  });
+  registry.gauge("memcache_hit_ratio", [this] {
+    const double accesses = static_cast<double>(collector_.cache_hits() +
+                                                collector_.cache_misses());
+    if (accesses == 0.0) return 0.0;
+    return static_cast<double>(collector_.cache_hits()) / accesses;
+  });
+  gateway_->register_telemetry(registry);
+  for (auto& node : nodes_) node->register_telemetry(registry);
 }
 
 Cluster::~Cluster() { stop(); }

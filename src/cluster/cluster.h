@@ -86,6 +86,8 @@ class Cluster : public spot::NodeLifecycleListener, public fault::FaultTarget {
  private:
   void monitor_tick();
   void drain_backlog();
+  /// Registers cluster/gateway/node instruments into config.telemetry.
+  void register_telemetry(telemetry::MetricsRegistry& registry);
   WorkerNode* pick_node(const workload::Batch& batch);
   /// Retry/drop decision for a batch aborted by a fault.
   void on_lost_batch(workload::Batch&& batch);

@@ -13,6 +13,10 @@ namespace protean::obs {
 class Tracer;
 }
 
+namespace protean::telemetry {
+class MetricsRegistry;
+}
+
 namespace protean::cluster {
 
 /// How the Dispatcher ② spreads batches over worker nodes.
@@ -92,6 +96,12 @@ struct ClusterConfig {
   /// (the default) disables every hook, keeping runs byte-identical to a
   /// build without the subsystem.
   obs::Tracer* tracer = nullptr;
+
+  /// Telemetry registry (src/telemetry); non-owning, must outlive the
+  /// deployment. When set, the cluster, gateway and nodes register their
+  /// instruments into it at construction. Null (the default) skips all
+  /// registration — same byte-identity contract as the tracer.
+  telemetry::MetricsRegistry* telemetry = nullptr;
 };
 
 }  // namespace protean::cluster

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "obs/trace.h"
+#include "telemetry/registry.h"
 
 namespace protean::cluster {
 
@@ -113,6 +114,41 @@ void Gateway::flush_all() {
   for (auto& [key, acc] : acc_) {
     while (acc.pending > 0) seal(key, acc, key.first->batch_size);
   }
+}
+
+std::size_t Gateway::pending_requests() const noexcept {
+  std::size_t total = 0;
+  for (const auto& [key, acc] : acc_) {
+    total += static_cast<std::size_t>(acc.pending);
+  }
+  return total;
+}
+
+Duration Gateway::oldest_pending_age() const noexcept {
+  const SimTime now = sim_.now();
+  Duration oldest = 0.0;
+  for (const auto& [key, acc] : acc_) {
+    if (acc.pending == 0) continue;
+    oldest = std::max(oldest, now - acc.grains.front().t0);
+  }
+  return oldest;
+}
+
+void Gateway::register_telemetry(telemetry::MetricsRegistry& registry) {
+  registry.gauge("gateway_pending_requests", [this] {
+    return static_cast<double>(pending_requests());
+  });
+  registry.gauge("gateway_oldest_pending_age_seconds",
+                 [this] { return oldest_pending_age(); });
+  registry.gauge("gateway_requests_seen_total", [this] {
+    return static_cast<double>(requests_seen_);
+  });
+  registry.gauge("gateway_batches_formed_total", [this] {
+    return static_cast<double>(batches_formed_);
+  });
+  registry.gauge("gateway_partial_batches_total", [this] {
+    return static_cast<double>(partial_batches_);
+  });
 }
 
 }  // namespace protean::cluster

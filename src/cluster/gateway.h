@@ -44,6 +44,16 @@ class Gateway : public trace::RequestSink {
   std::uint64_t partial_batches() const noexcept { return partial_batches_; }
   std::uint64_t requests_seen() const noexcept { return requests_seen_; }
 
+  /// Requests accumulated but not yet sealed into a batch, across all
+  /// (model, strictness) streams.
+  std::size_t pending_requests() const noexcept;
+  /// Age of the oldest accumulated request (0 when nothing is pending).
+  Duration oldest_pending_age() const noexcept;
+
+  /// Registers the gateway's instruments (src/telemetry): queue depth,
+  /// backlog age, and cumulative batch-formation counts.
+  void register_telemetry(telemetry::MetricsRegistry& registry);
+
  private:
   /// A burst of `count` arrivals spread uniformly over [t0, t1).
   struct Grain {

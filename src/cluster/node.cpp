@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/log.h"
 #include "obs/trace.h"
+#include "telemetry/registry.h"
 
 namespace protean::cluster {
 
@@ -19,6 +20,7 @@ gpu::JobSpec Scheduler::make_job(const workload::Batch& batch,
 void trace_placement(WorkerNode& node, const workload::Batch& batch,
                      const char* scheme, std::size_t candidates,
                      const gpu::Slice* chosen, double score) {
+  node.count_placement(chosen != nullptr);
   obs::Tracer* t = node.tracer();
   if (t == nullptr || !t->wants(obs::kSched)) return;
   t->instant(obs::kSched, "sched", static_cast<int>(node.id()) + 1,
@@ -63,6 +65,68 @@ WorkerNode::WorkerNode(sim::Simulator& simulator, NodeId id,
 }
 
 WorkerNode::~WorkerNode() = default;
+
+void WorkerNode::count_placement(bool placed) {
+  if (placed) {
+    if (placements_placed_ != nullptr) placements_placed_->inc();
+  } else {
+    if (placements_deferred_ != nullptr) placements_deferred_->inc();
+  }
+}
+
+void WorkerNode::register_telemetry(telemetry::MetricsRegistry& registry) {
+  const std::string node_label = "{node=\"" + std::to_string(id_) + "\"}";
+  registry.gauge("node_up" + node_label,
+                 [this] { return up_ ? 1.0 : 0.0; });
+  registry.gauge("node_queue_depth" + node_label, [this] {
+    return static_cast<double>(queue_.size());
+  });
+  registry.gauge("node_running_jobs" + node_label, [this] {
+    return static_cast<double>(running_);
+  });
+  registry.gauge("node_outstanding_work_seconds" + node_label,
+                 [this] { return outstanding_work_; });
+  registry.gauge("node_warm_containers" + node_label, [this] {
+    return static_cast<double>(warm_containers());
+  });
+  registry.gauge("node_gpu_busy_seconds_total" + node_label,
+                 [this] { return gpu_busy_seconds(); });
+  // Whole-GPU aggregates; 0 while the VM is down or the GPU reconfigures.
+  registry.gauge("node_gpu_resident_gb" + node_label, [this] {
+    return gpu_ ? gpu_->resident_gb() : 0.0;
+  });
+  registry.gauge("node_gpu_max_pressure" + node_label, [this] {
+    return gpu_ ? gpu_->max_pressure() : 0.0;
+  });
+  registry.gauge("node_gpu_max_slowdown" + node_label, [this] {
+    return gpu_ ? gpu_->max_slowdown() : 0.0;
+  });
+  // Per-slice gauges are keyed by *slot*: index into the live slice list
+  // (descending by size), a stable identity within one MIG geometry. A
+  // slot reports 0 while absent (fewer slices, reconfiguration, VM down).
+  constexpr std::size_t kMaxSlices = 7;  // MIG: at most 7 instances
+  for (std::size_t slot = 0; slot < kMaxSlices; ++slot) {
+    const std::string label =
+        "{node=\"" + std::to_string(id_) + "\",slice=\"" +
+        std::to_string(slot) + "\"}";
+    registry.gauge("slice_pressure" + label, [this, slot] {
+      const gpu::Slice* s = gpu_ ? gpu_->slice_at(slot) : nullptr;
+      return s != nullptr ? s->pressure() : 0.0;
+    });
+    registry.gauge("slice_slowdown" + label, [this, slot] {
+      const gpu::Slice* s = gpu_ ? gpu_->slice_at(slot) : nullptr;
+      return s != nullptr ? s->current_slowdown() : 0.0;
+    });
+    registry.gauge("slice_resident_gb" + label, [this, slot] {
+      const gpu::Slice* s = gpu_ ? gpu_->slice_at(slot) : nullptr;
+      return s != nullptr ? s->memory_in_use() : 0.0;
+    });
+  }
+  placements_placed_ =
+      registry.counter("placement_decisions_total" + node_label);
+  placements_deferred_ =
+      registry.counter("placement_deferred_total" + node_label);
+}
 
 void WorkerNode::insert_by_policy(workload::Batch&& batch) {
   if (scheduler_.reorder_strict_first() && batch.strict) {

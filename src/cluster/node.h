@@ -24,6 +24,10 @@
 #include "sim/simulator.h"
 #include "workload/batch.h"
 
+namespace protean::telemetry {
+class Counter;
+}
+
 namespace protean::cluster {
 
 class WorkerNode {
@@ -46,6 +50,16 @@ class WorkerNode {
   /// The deployment's span tracer (src/obs); nullptr when tracing is off.
   /// Schedulers use it to emit placement-decision records.
   obs::Tracer* tracer() const noexcept { return config_.tracer; }
+
+  /// Registers this node's instruments (src/telemetry): queue/running
+  /// gauges, per-slice pressure/slowdown/resident-GB, and the
+  /// placement-decision counters trace_placement feeds.
+  void register_telemetry(telemetry::MetricsRegistry& registry);
+
+  /// Placement-decision accounting (called by trace_placement on every
+  /// Scheduler::place, independent of tracing). No-op until
+  /// register_telemetry installs the counters.
+  void count_placement(bool placed);
 
   // ---- lifecycle (driven by the spot market) ------------------------------
   bool up() const noexcept { return up_; }
@@ -224,6 +238,10 @@ class WorkerNode {
   double gpu_mem_retired_ = 0.0;
   double swap_stall_retired_ = 0.0;
   int reconfigs_retired_ = 0;
+
+  // ---- telemetry (inert unless config.telemetry is set) ------------------
+  telemetry::Counter* placements_placed_ = nullptr;
+  telemetry::Counter* placements_deferred_ = nullptr;
 
   // ---- fault-injection state (inert unless config.fault.enabled) ---------
   std::function<void(workload::Batch&&)> lost_handler_;

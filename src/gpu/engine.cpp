@@ -413,6 +413,11 @@ std::vector<const Slice*> Gpu::slices() const {
   return out;
 }
 
+const Slice* Gpu::slice_at(std::size_t i) const noexcept {
+  if (state_ != State::kReady && state_ != State::kDraining) return nullptr;
+  return i < slices_.size() ? slices_[i].get() : nullptr;
+}
+
 bool Gpu::request_reconfigure(const Geometry& target,
                               std::function<void()> on_done) {
   PROTEAN_CHECK_MSG(target.valid(), "invalid target geometry");
@@ -546,6 +551,24 @@ double Gpu::swap_stall_seconds() const noexcept {
   double total = swap_stall_retired_;
   for (const auto& s : slices_) total += s->swap_stall_seconds();
   return total;
+}
+
+MemGb Gpu::resident_gb() const noexcept {
+  MemGb total = 0.0;
+  for (const auto& s : slices_) total += s->memory_in_use();
+  return total;
+}
+
+double Gpu::max_pressure() const noexcept {
+  double peak = 0.0;
+  for (const auto& s : slices_) peak = std::max(peak, s->pressure());
+  return peak;
+}
+
+double Gpu::max_slowdown() const noexcept {
+  double peak = slices_.empty() ? 0.0 : 1.0;
+  for (const auto& s : slices_) peak = std::max(peak, s->current_slowdown());
+  return peak;
 }
 
 }  // namespace protean::gpu

@@ -293,6 +293,10 @@ class Gpu {
   std::vector<Slice*> slices();
   std::vector<const Slice*> slices() const;
 
+  /// Allocation-free variant for hot paths (telemetry gauges): the i-th
+  /// live slice, or nullptr when absent or the GPU is not serving.
+  const Slice* slice_at(std::size_t i) const noexcept;
+
   bool reconfiguring() const noexcept { return state_ != State::kReady; }
 
   /// Requests a geometry change. New submissions are refused immediately;
@@ -353,6 +357,14 @@ class Gpu {
   MemGb memory_capacity() const noexcept { return memory_gb_; }
   /// Number of completed reconfigurations.
   int reconfigurations() const noexcept { return reconfig_count_; }
+
+  // Telemetry aggregates over the live slice set (0 while reconfiguring).
+  /// Memory in use across live slices, GB (incl. reservations + weights).
+  MemGb resident_gb() const noexcept;
+  /// Largest per-slice contention pressure P.
+  double max_pressure() const noexcept;
+  /// Largest per-slice slowdown S(P) (1.0 when idle or time-shared).
+  double max_slowdown() const noexcept;
 
  private:
   friend class Slice;

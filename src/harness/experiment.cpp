@@ -28,6 +28,14 @@ Report run_experiment(const ExperimentConfig& config) {
   if (config.trace_out.enabled()) {
     tracer.emplace(sim, config.trace_out.categories);
   }
+  // Same lifetime contract for the telemetry pipeline: its registry holds
+  // gauge callbacks into the deployment, but scrapes only run while the
+  // simulation does, and the files are written after teardown.
+  std::optional<telemetry::TelemetryPipeline> pipeline;
+  if (config.telemetry.enabled()) {
+    pipeline.emplace(sim, config.telemetry, config.burn,
+                     tracer.has_value() ? &*tracer : nullptr);
+  }
 
   auto scheduler = sched::make_scheduler(config.scheme);
   cluster::ClusterConfig cluster_config = config.cluster;
@@ -38,10 +46,23 @@ Report run_experiment(const ExperimentConfig& config) {
   cluster_config.market.seed = config.seed ^ 0xC0FFEEULL;
   cluster_config.fault.seed = config.seed ^ 0xFA017ULL;
   cluster_config.tracer = tracer.has_value() ? &*tracer : nullptr;
+  cluster_config.telemetry =
+      pipeline.has_value() ? &pipeline->registry() : nullptr;
 
   Report report;
   {
   cluster::Cluster deployment(sim, cluster_config, *scheduler);
+  if (config.sketch_collector) {
+    deployment.collector().use_sketch_store(config.sketch_alpha);
+  }
+  if (pipeline.has_value()) {
+    deployment.collector().set_batch_observer(
+        [&pipeline](SimTime when, bool strict, double lat_first,
+                    double lat_last, int count, double slo) {
+          pipeline->observe_batch(when, strict, lat_first, lat_last, count,
+                                  slo);
+        });
+  }
 
   trace::DriverConfig driver_config;
   driver_config.trace = config.trace;
@@ -79,6 +100,9 @@ Report run_experiment(const ExperimentConfig& config) {
 
   deployment.gateway().flush_all();
   sim.run_until(config.trace.horizon + config.drain_grace);
+  // Final scrape at the end of the drain window; gauges still read live
+  // deployment state, so this must precede teardown.
+  if (pipeline.has_value()) pipeline->finish(sim.now());
 
   const auto& collector = deployment.collector();
 
@@ -179,6 +203,15 @@ Report run_experiment(const ExperimentConfig& config) {
     report.faults.duplicate_hedges = collector.duplicate_hedges();
   }
 
+  if (pipeline.has_value()) {
+    report.telemetry.enabled = true;
+    report.telemetry.scrapes = pipeline->scrape_count();
+    const telemetry::BurnSummary burn = pipeline->burn_summary();
+    report.telemetry.alerts_fired = burn.alerts_fired;
+    report.telemetry.first_alert_at_s = burn.first_alert_at;
+    report.telemetry.alert_active_seconds = burn.alert_active_seconds;
+  }
+
   if (tracer.has_value()) {
     // Collector aggregates the invariant checker replays the span stream
     // against (tools/trace_stats --check, obs::check_invariants).
@@ -207,6 +240,7 @@ Report run_experiment(const ExperimentConfig& config) {
   deployment.stop();
   }  // deployment teardown flushes open busy spans into the tracer
   if (tracer.has_value()) tracer->write_file(config.trace_out.path);
+  if (pipeline.has_value()) pipeline->write_files();
   return report;
 }
 

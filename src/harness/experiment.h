@@ -13,6 +13,7 @@
 #include "metrics/collector.h"
 #include "obs/trace.h"
 #include "sched/registry.h"
+#include "telemetry/pipeline.h"
 #include "trace/trace.h"
 
 namespace protean::harness {
@@ -50,6 +51,21 @@ struct ExperimentConfig {
   /// path) by default; when enabled the run writes a Chrome trace-event
   /// JSON file after the deployment is torn down.
   obs::TraceOptions trace_out;
+
+  /// Telemetry output (docs/telemetry.md). Disabled (empty path) by
+  /// default; when enabled the run scrapes a metrics registry every
+  /// `telemetry.interval` sim-seconds and writes a JSONL timeline plus an
+  /// OpenMetrics snapshot after the run.
+  telemetry::TelemetryOptions telemetry;
+  /// SLO burn-rate alerting knobs (only read when telemetry is enabled).
+  telemetry::BurnRateConfig burn;
+
+  /// Back the Collector's latency store with quantile sketches instead of
+  /// per-request float vectors (metrics/sketch.h): percentiles gain an
+  /// `sketch_alpha` relative-error bound, memory stops growing
+  /// O(requests). Independent of `telemetry`.
+  bool sketch_collector = false;
+  double sketch_alpha = 0.01;
 
   std::uint64_t seed = 42;
 
@@ -141,6 +157,19 @@ struct ExperimentConfig {
     trace_out = std::move(options);
     return *this;
   }
+  ExperimentConfig& with_telemetry(telemetry::TelemetryOptions options) {
+    telemetry = std::move(options);
+    return *this;
+  }
+  ExperimentConfig& with_burn(const telemetry::BurnRateConfig& config) {
+    burn = config;
+    return *this;
+  }
+  ExperimentConfig& with_sketch_collector(double alpha = 0.01) {
+    sketch_collector = true;
+    sketch_alpha = alpha;
+    return *this;
+  }
 };
 
 struct Report {
@@ -203,6 +232,16 @@ struct Report {
     std::uint64_t duplicate_hedges = 0;  ///< twin finished after primary
   };
   FaultStats faults;
+
+  /// Telemetry results (zeroed unless config.telemetry is enabled).
+  struct TelemetryStats {
+    bool enabled = false;
+    std::uint64_t scrapes = 0;
+    std::uint64_t alerts_fired = 0;
+    double first_alert_at_s = -1.0;  ///< negative: no alert ever fired
+    double alert_active_seconds = 0.0;
+  };
+  TelemetryStats telemetry;
 
   std::vector<float> strict_latencies;  ///< filled if keep_latency_samples
   /// Per-node (time, resident GB) timelines; filled if keep_mem_timeline.

@@ -158,6 +158,16 @@ Json report_to_json(const Report& report) {
     f.emplace_back("duplicate_hedges", report.faults.duplicate_hedges);
     o.emplace_back("faults", Json(std::move(f)));
   }
+  if (report.telemetry.enabled) {
+    // Appended only when telemetry is on, so plain runs serialize
+    // byte-identically to pre-telemetry builds.
+    Json::Object t;
+    t.emplace_back("scrapes", report.telemetry.scrapes);
+    t.emplace_back("alerts_fired", report.telemetry.alerts_fired);
+    t.emplace_back("first_alert_at_s", report.telemetry.first_alert_at_s);
+    t.emplace_back("alert_active_s", report.telemetry.alert_active_seconds);
+    o.emplace_back("telemetry", Json(std::move(t)));
+  }
   if (!report.strict_latencies.empty()) {
     Json::Object percentiles;
     for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.9}) {

@@ -6,6 +6,7 @@
 
 #include "memcache/config.h"
 #include "obs/trace.h"
+#include "telemetry/pipeline.h"
 #include "trace/io.h"
 #include "workload/model.h"
 
@@ -141,6 +142,17 @@ Output:
                         list of spans | counters | sched (default all).
                         Multi-run grids write FILE-0.json, FILE-1.json, ...
                         See docs/observability.md
+  --telemetry FILE[:INTERVAL]
+                        scrape live metrics every INTERVAL sim-seconds
+                        (default 10) and write a JSONL timeline to FILE
+                        plus an OpenMetrics snapshot to FILE.om after the
+                        run. Multi-run grids write FILE-0, FILE-1, ...
+                        See docs/telemetry.md
+  --sketch ALPHA        back the collector's latency store with
+                        relative-error quantile sketches (ALPHA in
+                        (0, 0.5], e.g. 0.01): percentiles carry an ALPHA
+                        relative-error bound, memory stops growing with
+                        request count
   --dump-mem-timeline FILE
                         write per-node resident-weight timelines as JSON
                         (requires --memcache; classic runs only)
@@ -168,6 +180,7 @@ const std::vector<std::string>& cli_flags() {
       "--seed",          "--seeds",
       "--jobs",          "--gpu-mem",
       "--memcache",      "--memcache-oversubscribe",
+      "--telemetry",     "--sketch",
       "--dump-mem-timeline", "--sweep",
   };
   return flags;
@@ -371,6 +384,24 @@ CliParseResult parse_cli(const std::vector<std::string>& args) {
                     " (want POLICY:GB, policies: lru | gdsf | oracle)");
       }
       opts.config.cluster.memcache = *mc;
+    } else if (arg == "--telemetry") {
+      const auto value = next("--telemetry");
+      if (!value) return fail("--telemetry needs FILE[:INTERVAL]");
+      const auto telemetry = telemetry::TelemetryOptions::parse(*value);
+      if (!telemetry) {
+        return fail("bad --telemetry value: " + *value +
+                    " (want FILE[:INTERVAL] with a positive INTERVAL in "
+                    "seconds)");
+      }
+      opts.config.telemetry = *telemetry;
+    } else if (arg == "--sketch") {
+      const auto value = next("--sketch");
+      const auto alpha = value ? parse_double(*value) : std::nullopt;
+      if (!alpha || !(*alpha > 0.0 && *alpha <= 0.5)) {
+        return fail("--sketch needs an ALPHA in (0, 0.5]");
+      }
+      opts.config.sketch_collector = true;
+      opts.config.sketch_alpha = *alpha;
     } else if (arg == "--dump-mem-timeline") {
       const auto value = next("--dump-mem-timeline");
       if (!value) return fail("--dump-mem-timeline needs a file path");
@@ -402,6 +433,9 @@ CliParseResult parse_cli(const std::vector<std::string>& args) {
   const bool keep_mem_timeline = opts.config.keep_mem_timeline;
   const bool keep_cache_log = opts.config.keep_cache_access_log;
   const auto trace_out = opts.config.trace_out;
+  const auto telemetry = opts.config.telemetry;
+  const bool sketch_collector = opts.config.sketch_collector;
+  const double sketch_alpha = opts.config.sketch_alpha;
   opts.config = primary_config(model_name, horizon);
   opts.config.strict_fraction = strict_fraction;
   opts.config.trace.kind = kind;
@@ -412,6 +446,9 @@ CliParseResult parse_cli(const std::vector<std::string>& args) {
   opts.config.keep_mem_timeline = keep_mem_timeline;
   opts.config.keep_cache_access_log = keep_cache_log;
   opts.config.trace_out = trace_out;
+  opts.config.telemetry = telemetry;
+  opts.config.sketch_collector = sketch_collector;
+  opts.config.sketch_alpha = sketch_alpha;
   if (rps_given) {
     opts.config.trace.target_rps = rps;
   }

@@ -129,6 +129,9 @@ std::vector<ExperimentConfig> SweepConfig::grid() const {
         if (config.trace_out.enabled() && total > 1) {
           config.trace_out = config.trace_out.with_index(out.size());
         }
+        if (config.telemetry.enabled() && total > 1) {
+          config.telemetry = config.telemetry.with_index(out.size());
+        }
         out.push_back(std::move(config));
       }
     }

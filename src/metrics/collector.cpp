@@ -6,6 +6,20 @@
 
 namespace protean::metrics {
 
+void Collector::use_sketch_store(double alpha) {
+  PROTEAN_CHECK_MSG(strict_lat_.empty() && be_lat_.empty(),
+                    "use_sketch_store must precede the first record()");
+  strict_sketch_.emplace(alpha);
+  be_sketch_.emplace(alpha);
+}
+
+std::size_t Collector::latency_store_bytes() const noexcept {
+  if (strict_sketch_) {
+    return strict_sketch_->approx_bytes() + be_sketch_->approx_bytes();
+  }
+  return (strict_lat_.capacity() + be_lat_.capacity()) * sizeof(float);
+}
+
 void Collector::record(const workload::Batch& batch) {
   PROTEAN_CHECK_MSG(batch.completed_at > 0.0, "batch not completed");
   PROTEAN_CHECK_MSG(batch.count > 0, "empty batch");
@@ -21,8 +35,11 @@ void Collector::record(const workload::Batch& batch) {
   const double lat_last = batch.completed_at - batch.last_arrival;
   PROTEAN_DCHECK(lat_first >= lat_last - 1e-9);
 
+  auto& sketch = batch.strict ? strict_sketch_ : be_sketch_;
   auto& sink = batch.strict ? strict_lat_ : be_lat_;
-  sink.reserve(sink.size() + static_cast<std::size_t>(batch.count));
+  if (!sketch) {
+    sink.reserve(sink.size() + static_cast<std::size_t>(batch.count));
+  }
   for (int i = 0; i < batch.count; ++i) {
     // Requests are spread uniformly over [first_arrival, last_arrival];
     // request 0 is the earliest, i.e. the longest-waiting.
@@ -31,13 +48,21 @@ void Collector::record(const workload::Batch& batch) {
             ? 0.0
             : static_cast<double>(i) / static_cast<double>(batch.count - 1);
     const double lat = lat_first + (lat_last - lat_first) * frac;
-    sink.push_back(static_cast<float>(lat));
+    if (sketch) {
+      sketch->add(lat);
+    } else {
+      sink.push_back(static_cast<float>(lat));
+    }
     if (batch.strict) {
       ++strict_total_;
       if (lat <= batch.slo + 1e-9) ++strict_compliant_;
     } else {
       ++be_total_;
     }
+  }
+  if (observer_) {
+    observer_(batch.completed_at, batch.strict, lat_first, lat_last,
+              batch.count, batch.slo);
   }
 
   BatchBreakdown bb;

@@ -9,10 +9,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <optional>
 #include <unordered_set>
 #include <vector>
 
 #include "common/types.h"
+#include "metrics/sketch.h"
 #include "metrics/stats.h"
 #include "workload/batch.h"
 
@@ -54,6 +57,38 @@ class Collector {
   /// steady-state behaviour).
   void set_measure_from(SimTime t) noexcept { measure_from_ = t; }
   SimTime measure_from() const noexcept { return measure_from_; }
+
+  /// Batch completion observer: invoked once per recorded batch with
+  /// (completion time, strict?, worst latency, best latency, request
+  /// count, SLO seconds). Per-request latencies are the linear ramp
+  /// `lat_first + (lat_last - lat_first) * i / (count - 1)` — the same
+  /// spread the collector's own statistics use — so a consumer can expand
+  /// them bit-identically (telemetry::TelemetryPipeline::observe_batch
+  /// does). Batches arrive in non-decreasing completion-time order;
+  /// batches filtered by measure_from never reach the observer. Null
+  /// (the default) costs nothing — this is the live-telemetry feed
+  /// (src/telemetry), kept out of the collector's own statistics and
+  /// deliberately per-batch so the per-request hot loop stays tight.
+  using BatchObserver =
+      std::function<void(SimTime, bool, double, double, int, double)>;
+  void set_batch_observer(BatchObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+  /// Switches the latency store from per-request float vectors to
+  /// relative-error quantile sketches (DDSketch-style, see
+  /// metrics/sketch.h): percentiles then carry an `alpha` relative-error
+  /// bound instead of being exact, `strict_latencies()`/`be_latencies()`
+  /// stay empty, and memory no longer grows O(requests). SLO-compliance
+  /// counting is unaffected — it never reads the store. Must be called
+  /// before the first record().
+  void use_sketch_store(double alpha);
+  bool sketch_store() const noexcept { return strict_sketch_.has_value(); }
+
+  /// Approximate heap footprint of the latency store (bytes): vector
+  /// capacities, or sketch buckets in sketch mode. The telemetry overhead
+  /// bench compares the two.
+  std::size_t latency_store_bytes() const noexcept;
 
   /// Records a completed batch. The batch must have completed_at set.
   void record(const workload::Batch& batch);
@@ -114,12 +149,24 @@ class Collector {
   double slo_compliance_pct() const noexcept;
 
   /// Latency percentile in seconds over strict (or BE) request latencies.
-  double strict_percentile(double p) const { return percentile(strict_lat_, p); }
-  double be_percentile(double p) const { return percentile(be_lat_, p); }
-  double strict_mean() const { return mean_f(strict_lat_); }
-  double be_mean() const { return mean_f(be_lat_); }
+  /// Exact over the sample vectors; within the configured relative-error
+  /// bound in sketch mode.
+  double strict_percentile(double p) const {
+    return strict_sketch_ ? strict_sketch_->percentile(p)
+                          : percentile(strict_lat_, p);
+  }
+  double be_percentile(double p) const {
+    return be_sketch_ ? be_sketch_->percentile(p) : percentile(be_lat_, p);
+  }
+  double strict_mean() const {
+    return strict_sketch_ ? strict_sketch_->mean() : mean_f(strict_lat_);
+  }
+  double be_mean() const {
+    return be_sketch_ ? be_sketch_->mean() : mean_f(be_lat_);
+  }
 
   /// Full latency samples (seconds), for CDFs and significance tests.
+  /// Empty in sketch mode (per-request samples are not retained).
   const std::vector<float>& strict_latencies() const noexcept {
     return strict_lat_;
   }
@@ -151,6 +198,9 @@ class Collector {
  private:
   std::vector<float> strict_lat_;
   std::vector<float> be_lat_;
+  std::optional<QuantileSketch> strict_sketch_;
+  std::optional<QuantileSketch> be_sketch_;
+  BatchObserver observer_;
   std::vector<BatchBreakdown> batches_;
   std::uint64_t strict_total_ = 0;
   std::uint64_t strict_compliant_ = 0;

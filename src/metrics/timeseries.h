@@ -1,8 +1,12 @@
 // Fixed-width windowed time series.
 //
 // Records (time, value) observations into fixed-width buckets and exposes
-// per-bucket count / mean / max — the structure behind Fig. 7-style
-// timeline plots and any "metric over time" reporting.
+// per-bucket count / mean / min / max / sum — the structure behind
+// Fig. 7-style timeline plots and any "metric over time" reporting.
+// Empty buckets report 0 for every statistic; check count() to tell an
+// empty bucket from a genuine zero (min/max of negative-valued buckets
+// are preserved exactly, so a 0.0 from an empty bucket is the only
+// ambiguity).
 #pragma once
 
 #include <algorithm>
@@ -29,6 +33,7 @@ class TimeSeries {
     ++b.count;
     b.sum += value;
     b.max = b.count == 1 ? value : std::max(b.max, value);
+    b.min = b.count == 1 ? value : std::min(b.min, value);
   }
 
   Duration bucket_width() const noexcept { return width_; }
@@ -50,6 +55,38 @@ class TimeSeries {
     if (index >= buckets_.size() || buckets_[index].count == 0) return 0.0;
     return buckets_[index].max;
   }
+  double min(std::size_t index) const noexcept {
+    if (index >= buckets_.size() || buckets_[index].count == 0) return 0.0;
+    return buckets_[index].min;
+  }
+  double sum(std::size_t index) const noexcept {
+    if (index >= buckets_.size()) return 0.0;
+    return buckets_[index].sum;
+  }
+
+  /// Folds another series into this one, bucket by bucket. Widths must
+  /// match; the result covers the longer of the two series. Used to
+  /// combine per-seed timelines in sweep aggregates.
+  void merge(const TimeSeries& other) {
+    PROTEAN_CHECK_MSG(width_ == other.width_,
+                      "cannot merge series with different bucket widths");
+    if (other.buckets_.size() > buckets_.size()) {
+      buckets_.resize(other.buckets_.size());
+    }
+    for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+      const Bucket& src = other.buckets_[i];
+      if (src.count == 0) continue;
+      Bucket& dst = buckets_[i];
+      if (dst.count == 0) {
+        dst = src;
+      } else {
+        dst.count += src.count;
+        dst.sum += src.sum;
+        dst.max = std::max(dst.max, src.max);
+        dst.min = std::min(dst.min, src.min);
+      }
+    }
+  }
 
   /// Largest per-bucket mean across the series (0 when empty).
   double peak_mean() const noexcept {
@@ -65,6 +102,7 @@ class TimeSeries {
     std::uint64_t count = 0;
     double sum = 0.0;
     double max = 0.0;
+    double min = 0.0;
   };
   Duration width_;
   std::vector<Bucket> buckets_;

@@ -52,6 +52,91 @@ TEST(TimeSeries, PeakMeanScansAllBuckets) {
   EXPECT_DOUBLE_EQ(TimeSeries(1.0).peak_mean(), 0.0);
 }
 
+TEST(TimeSeries, MinTracksSmallestPerBucket) {
+  TimeSeries ts(1.0);
+  ts.record(0.2, 5.0);
+  ts.record(0.8, 2.0);
+  ts.record(0.9, 9.0);
+  EXPECT_DOUBLE_EQ(ts.min(0), 2.0);
+  EXPECT_DOUBLE_EQ(ts.max(0), 9.0);
+}
+
+TEST(TimeSeries, MinHandlesNegativeValues) {
+  // All-negative buckets keep exact extrema; no spurious clamp to zero.
+  TimeSeries ts(1.0);
+  ts.record(0.1, -2.0);
+  ts.record(0.2, -7.0);
+  EXPECT_DOUBLE_EQ(ts.min(0), -7.0);
+  EXPECT_DOUBLE_EQ(ts.max(0), -2.0);
+  EXPECT_DOUBLE_EQ(ts.sum(0), -9.0);
+}
+
+TEST(TimeSeries, MinAndSumOfEmptyBucketsAreZero) {
+  TimeSeries ts(1.0);
+  ts.record(5.5, 3.0);  // buckets 0..4 exist but are empty
+  EXPECT_EQ(ts.count(2), 0u);
+  EXPECT_DOUBLE_EQ(ts.min(2), 0.0);
+  EXPECT_DOUBLE_EQ(ts.sum(2), 0.0);
+  EXPECT_DOUBLE_EQ(ts.min(99), 0.0);  // out of range is safe
+  EXPECT_DOUBLE_EQ(ts.sum(99), 0.0);
+}
+
+TEST(TimeSeries, SumAccumulatesPerBucket) {
+  TimeSeries ts(2.0);
+  ts.record(0.5, 1.5);
+  ts.record(1.5, 2.5);
+  ts.record(2.5, 10.0);
+  EXPECT_DOUBLE_EQ(ts.sum(0), 4.0);
+  EXPECT_DOUBLE_EQ(ts.sum(1), 10.0);
+}
+
+TEST(TimeSeries, MergeCombinesBucketStatistics) {
+  TimeSeries a(1.0);
+  a.record(0.1, 4.0);
+  a.record(1.2, -1.0);
+  TimeSeries b(1.0);
+  b.record(0.4, 2.0);
+  b.record(2.8, 6.0);  // extends the merged series
+  a.merge(b);
+  EXPECT_EQ(a.bucket_count(), 3u);
+  EXPECT_EQ(a.count(0), 2u);
+  EXPECT_DOUBLE_EQ(a.sum(0), 6.0);
+  EXPECT_DOUBLE_EQ(a.min(0), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(0), 4.0);
+  EXPECT_DOUBLE_EQ(a.min(1), -1.0);  // bucket empty in b stays intact
+  EXPECT_EQ(a.count(2), 1u);         // bucket copied wholesale from b
+  EXPECT_DOUBLE_EQ(a.max(2), 6.0);
+}
+
+TEST(TimeSeries, MergeSkipsEmptySourceBuckets) {
+  TimeSeries a(1.0);
+  a.record(0.5, -3.0);
+  TimeSeries b(1.0);
+  b.record(1.5, 8.0);  // bucket 0 in b exists implicitly but is empty
+  a.merge(b);
+  // An empty source bucket must not disturb negative extrema with zeros.
+  EXPECT_DOUBLE_EQ(a.min(0), -3.0);
+  EXPECT_DOUBLE_EQ(a.max(0), -3.0);
+  EXPECT_EQ(a.count(0), 1u);
+}
+
+TEST(TimeSeries, MergeIntoEmptySeriesCopies) {
+  TimeSeries a(1.0);
+  TimeSeries b(1.0);
+  b.record(0.3, 2.0);
+  b.record(0.4, 5.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(0), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(0), 3.5);
+  EXPECT_DOUBLE_EQ(a.min(0), 2.0);
+}
+
+TEST(TimeSeries, MergeRejectsMismatchedWidths) {
+  TimeSeries a(1.0);
+  TimeSeries b(2.0);
+  EXPECT_THROW(a.merge(b), std::logic_error);
+}
+
 TEST(TimeSeries, RejectsInvalidInput) {
   EXPECT_THROW(TimeSeries(0.0), std::logic_error);
   TimeSeries ts(1.0);

@@ -1,0 +1,334 @@
+// metrics_diff — compare two telemetry JSONL dumps.
+//
+//   protean_sim --telemetry a.jsonl ...   # run A
+//   protean_sim --telemetry b.jsonl ...   # run B
+//   metrics_diff a.jsonl b.jsonl                    # exact comparison
+//   metrics_diff a.jsonl b.jsonl --rel-tol 1e-3     # CI golden-file check
+//
+// Scrape lines ({"t":..,"metrics":{..}}) are aligned by scrape index and
+// compared per metric; alert-event lines are compared for exact structural
+// equality (state sequence) but their burn values obey the tolerances.
+// Exit 0 when every sample is within tolerance, 1 on any drift or
+// structural mismatch (missing metric, extra scrape), 2 on usage errors.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Sample {
+  double t = 0.0;
+  double value = 0.0;
+};
+
+struct AlertEvent {
+  double t = 0.0;
+  std::string state;
+  double fast_burn = 0.0;
+  double slow_burn = 0.0;
+};
+
+struct Dump {
+  // Metric name -> one sample per scrape it appeared in, in file order.
+  std::map<std::string, std::vector<Sample>> series;
+  std::vector<AlertEvent> alerts;
+  std::size_t scrapes = 0;
+};
+
+// --- minimal parser for the pipeline's own JSONL output -----------------
+
+bool skip_ws(const std::string& s, std::size_t& i) {
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+  return i < s.size();
+}
+
+bool expect(const std::string& s, std::size_t& i, char c) {
+  if (i >= s.size() || s[i] != c) return false;
+  ++i;
+  return true;
+}
+
+// Parses a JSON string (with \" and \\ escapes) starting at the quote.
+std::optional<std::string> parse_string(const std::string& s,
+                                        std::size_t& i) {
+  if (!expect(s, i, '"')) return std::nullopt;
+  std::string out;
+  while (i < s.size()) {
+    const char c = s[i++];
+    if (c == '"') return out;
+    if (c == '\\') {
+      if (i >= s.size()) return std::nullopt;
+      out += s[i++];
+    } else {
+      out += c;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<double> parse_number(const std::string& s, std::size_t& i) {
+  char* end = nullptr;
+  const double value = std::strtod(s.c_str() + i, &end);
+  if (end == s.c_str() + i) return std::nullopt;
+  i = static_cast<std::size_t>(end - s.c_str());
+  return value;
+}
+
+// Parses one line of pipeline output into `dump`. Returns false on any
+// line that does not match the expected shapes.
+bool parse_line(const std::string& line, Dump& dump) {
+  std::size_t i = 0;
+  if (!expect(line, i, '{')) return false;
+  auto key = parse_string(line, i);
+  if (!key || *key != "t" || !expect(line, i, ':')) return false;
+  const auto t = parse_number(line, i);
+  if (!t || !expect(line, i, ',')) return false;
+
+  key = parse_string(line, i);
+  if (!key || !expect(line, i, ':')) return false;
+
+  if (*key == "metrics") {
+    if (!expect(line, i, '{')) return false;
+    if (i < line.size() && line[i] == '}') {
+      ++i;  // empty scrape
+    } else {
+      for (;;) {
+        const auto name = parse_string(line, i);
+        if (!name || !expect(line, i, ':')) return false;
+        const auto value = parse_number(line, i);
+        if (!value) return false;
+        dump.series[*name].push_back({*t, *value});
+        if (i < line.size() && line[i] == ',') {
+          ++i;
+          continue;
+        }
+        if (!expect(line, i, '}')) return false;
+        break;
+      }
+    }
+    ++dump.scrapes;
+    return expect(line, i, '}');
+  }
+
+  if (*key == "event") {
+    const auto event = parse_string(line, i);
+    if (!event || *event != "slo_burn_alert") return false;
+    AlertEvent alert;
+    alert.t = *t;
+    while (expect(line, i, ',')) {
+      const auto field = parse_string(line, i);
+      if (!field || !expect(line, i, ':')) return false;
+      if (*field == "state") {
+        const auto state = parse_string(line, i);
+        if (!state) return false;
+        alert.state = *state;
+      } else {
+        const auto value = parse_number(line, i);
+        if (!value) return false;
+        if (*field == "fast_burn") alert.fast_burn = *value;
+        if (*field == "slow_burn") alert.slow_burn = *value;
+      }
+    }
+    dump.alerts.push_back(std::move(alert));
+    return expect(line, i, '}');
+  }
+  return false;
+}
+
+std::optional<Dump> load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  Dump dump;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (!parse_line(line, dump)) {
+      std::fprintf(stderr, "metrics_diff: %s:%zu: unparseable line\n",
+                   path.c_str(), line_no);
+      return std::nullopt;
+    }
+  }
+  return dump;
+}
+
+// --- comparison ---------------------------------------------------------
+
+struct Tolerance {
+  double abs = 0.0;
+  double rel = 0.0;
+
+  bool within(double a, double b) const {
+    const double delta = std::fabs(a - b);
+    return delta <= abs + rel * std::max(std::fabs(a), std::fabs(b));
+  }
+};
+
+struct MetricDelta {
+  std::string name;
+  double max_delta = 0.0;
+  double mean_delta = 0.0;
+  std::size_t samples = 0;
+  std::size_t out_of_tolerance = 0;
+};
+
+void usage(std::FILE* out) {
+  std::fputs(
+      "usage: metrics_diff A.jsonl B.jsonl [--abs-tol X] [--rel-tol Y]\n"
+      "                    [--show N]\n"
+      "  --abs-tol X   absolute tolerance per sample (default 0)\n"
+      "  --rel-tol Y   relative tolerance per sample (default 0)\n"
+      "  --show N      print at most N offending metrics (default 20)\n",
+      out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  Tolerance tol;
+  std::size_t show = 20;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next_value = [&]() -> std::optional<double> {
+      if (i + 1 >= argc) return std::nullopt;
+      char* end = nullptr;
+      const double v = std::strtod(argv[++i], &end);
+      if (end == nullptr || *end != '\0') return std::nullopt;
+      return v;
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      return 0;
+    } else if (arg == "--abs-tol") {
+      const auto v = next_value();
+      if (!v || *v < 0.0) { usage(stderr); return 2; }
+      tol.abs = *v;
+    } else if (arg == "--rel-tol") {
+      const auto v = next_value();
+      if (!v || *v < 0.0) { usage(stderr); return 2; }
+      tol.rel = *v;
+    } else if (arg == "--show") {
+      const auto v = next_value();
+      if (!v || *v < 0.0) { usage(stderr); return 2; }
+      show = static_cast<std::size_t>(*v);
+    } else if (arg.rfind("--", 0) == 0) {
+      usage(stderr);
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2) {
+    usage(stderr);
+    return 2;
+  }
+
+  const auto a = load(paths[0]);
+  const auto b = load(paths[1]);
+  if (!a || !b) {
+    if (!a) std::fprintf(stderr, "metrics_diff: cannot read %s\n",
+                         paths[0].c_str());
+    if (!b) std::fprintf(stderr, "metrics_diff: cannot read %s\n",
+                         paths[1].c_str());
+    return 1;
+  }
+
+  bool structural_ok = true;
+  if (a->scrapes != b->scrapes) {
+    std::fprintf(stderr, "scrape count differs: %zu vs %zu\n", a->scrapes,
+                 b->scrapes);
+    structural_ok = false;
+  }
+  for (const auto& [name, samples] : a->series) {
+    const auto it = b->series.find(name);
+    if (it == b->series.end()) {
+      std::fprintf(stderr, "metric only in %s: %s\n", paths[0].c_str(),
+                   name.c_str());
+      structural_ok = false;
+    } else if (it->second.size() != samples.size()) {
+      std::fprintf(stderr, "sample count differs for %s: %zu vs %zu\n",
+                   name.c_str(), samples.size(), it->second.size());
+      structural_ok = false;
+    }
+  }
+  for (const auto& [name, samples] : b->series) {
+    if (a->series.find(name) == a->series.end()) {
+      std::fprintf(stderr, "metric only in %s: %s\n", paths[1].c_str(),
+                   name.c_str());
+      structural_ok = false;
+    }
+  }
+
+  // Alert streams must agree on shape and state order; burn values drift
+  // within the numeric tolerance like any other sample.
+  bool alerts_ok = a->alerts.size() == b->alerts.size();
+  if (alerts_ok) {
+    for (std::size_t i = 0; i < a->alerts.size(); ++i) {
+      const auto& ea = a->alerts[i];
+      const auto& eb = b->alerts[i];
+      if (ea.state != eb.state || !tol.within(ea.t, eb.t) ||
+          !tol.within(ea.fast_burn, eb.fast_burn) ||
+          !tol.within(ea.slow_burn, eb.slow_burn)) {
+        alerts_ok = false;
+        break;
+      }
+    }
+  }
+  if (!alerts_ok) {
+    std::fprintf(stderr, "alert event streams differ (%zu vs %zu events)\n",
+                 a->alerts.size(), b->alerts.size());
+  }
+
+  std::vector<MetricDelta> offenders;
+  std::size_t compared = 0;
+  double global_max = 0.0;
+  for (const auto& [name, sa] : a->series) {
+    const auto it = b->series.find(name);
+    if (it == b->series.end()) continue;
+    const auto& sb = it->second;
+    const std::size_t n = std::min(sa.size(), sb.size());
+    MetricDelta delta;
+    delta.name = name;
+    delta.samples = n;
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = std::fabs(sa[i].value - sb[i].value);
+      total += d;
+      delta.max_delta = std::max(delta.max_delta, d);
+      if (!tol.within(sa[i].value, sb[i].value)) ++delta.out_of_tolerance;
+    }
+    delta.mean_delta = n > 0 ? total / static_cast<double>(n) : 0.0;
+    global_max = std::max(global_max, delta.max_delta);
+    compared += n;
+    if (delta.out_of_tolerance > 0) offenders.push_back(std::move(delta));
+  }
+
+  std::printf("compared %zu samples across %zu metrics (%zu scrapes)\n",
+              compared, a->series.size(), a->scrapes);
+  std::printf("max |delta| = %g\n", global_max);
+  if (!offenders.empty()) {
+    std::printf("%zu metric(s) out of tolerance (abs %g, rel %g):\n",
+                offenders.size(), tol.abs, tol.rel);
+    for (std::size_t i = 0; i < offenders.size() && i < show; ++i) {
+      const auto& o = offenders[i];
+      std::printf("  %-48s max %-12g mean %-12g (%zu/%zu samples)\n",
+                  o.name.c_str(), o.max_delta, o.mean_delta,
+                  o.out_of_tolerance, o.samples);
+    }
+    if (offenders.size() > show) {
+      std::printf("  ... and %zu more\n", offenders.size() - show);
+    }
+  }
+
+  if (!structural_ok || !alerts_ok || !offenders.empty()) return 1;
+  std::printf("dumps match within tolerance\n");
+  return 0;
+}

@@ -112,6 +112,22 @@ void print_reports(const harness::CliOptions& opts,
                 static_cast<unsigned long long>(r.faults.duplicate_hedges),
                 static_cast<unsigned long long>(r.dropped));
   }
+  for (const auto& r : reports) {
+    if (!r.telemetry.enabled) continue;
+    if (r.telemetry.alerts_fired > 0) {
+      std::printf("\n%s telemetry: %llu scrapes | %llu SLO burn alerts, "
+                  "first at %.1f s, %.1f min in violation\n",
+                  r.scheme.c_str(),
+                  static_cast<unsigned long long>(r.telemetry.scrapes),
+                  static_cast<unsigned long long>(r.telemetry.alerts_fired),
+                  r.telemetry.first_alert_at_s,
+                  r.telemetry.alert_active_seconds / 60.0);
+    } else {
+      std::printf("\n%s telemetry: %llu scrapes | no SLO burn alerts\n",
+                  r.scheme.c_str(),
+                  static_cast<unsigned long long>(r.telemetry.scrapes));
+    }
+  }
 }
 
 void print_aggregates(const harness::CliOptions& opts,
