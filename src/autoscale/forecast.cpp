@@ -1,0 +1,58 @@
+#include "autoscale/forecast.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace protean::autoscale {
+
+RateForecaster::RateForecaster(double ewma_alpha, Duration season_period,
+                               Duration tick)
+    : alpha_(std::clamp(ewma_alpha, 0.0, 1.0)),
+      season_period_(season_period),
+      tick_(tick > 0.0 ? tick : 1.0) {
+  if (season_period_ > 0.0) {
+    const auto buckets = static_cast<std::size_t>(
+        std::ceil(season_period_ / tick_));
+    season_.assign(std::max<std::size_t>(1, buckets), 1.0);
+    season_seen_.assign(season_.size(), false);
+  }
+}
+
+std::size_t RateForecaster::bucket_of(SimTime t) const {
+  const double phase = std::fmod(t, season_period_);
+  const auto b = static_cast<std::size_t>(phase / tick_);
+  return std::min(b, season_.size() - 1);
+}
+
+void RateForecaster::observe(SimTime now, double rate) {
+  rate = std::max(0.0, rate);
+  if (observations_ == 0) {
+    level_ = rate;
+  } else {
+    level_ = alpha_ * rate + (1.0 - alpha_) * level_;
+  }
+  ++observations_;
+  if (!season_.empty() && level_ > 1e-9) {
+    const std::size_t b = bucket_of(now);
+    const double factor = rate / level_;
+    if (!season_seen_[b]) {
+      season_[b] = factor;
+      season_seen_[b] = true;
+    } else {
+      season_[b] = alpha_ * factor + (1.0 - alpha_) * season_[b];
+    }
+  }
+}
+
+double RateForecaster::seasonal_factor(SimTime t) const {
+  if (season_.empty()) return 1.0;
+  const std::size_t b = bucket_of(t);
+  return season_seen_[b] ? season_[b] : 1.0;
+}
+
+double RateForecaster::forecast(SimTime now) const {
+  if (observations_ == 0) return 0.0;
+  return std::max(0.0, level_ * seasonal_factor(now + tick_));
+}
+
+}  // namespace protean::autoscale

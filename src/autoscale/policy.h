@@ -1,0 +1,97 @@
+// Autoscaling policies and their registry.
+//
+// A Policy is a pure function from observed Signals to a Decision — no
+// clock, no RNG, no cluster access — so policies are unit-testable with
+// synthetic signal sequences and every run is deterministic. The
+// controller (autoscale/controller.h) owns the actuation: hysteresis
+// gating, per-tick action caps and the cluster/market calls.
+//
+// The registry mirrors sched::parse_scheme / all_schemes /
+// scheme_cli_name, so sweeps and tools enumerate policies the same way
+// they enumerate schemes and the printed list can never drift from the
+// enum.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "autoscale/config.h"
+#include "common/types.h"
+
+namespace protean::autoscale {
+
+/// One control tick's worth of observed state, assembled by the controller
+/// from the telemetry pipeline, the burn-rate monitor and the cluster.
+struct Signals {
+  SimTime now = 0.0;
+  /// Strict SLO attainment over the last scrape window, percent (100 when
+  /// the window saw no strict traffic).
+  double window_attainment_pct = 100.0;
+  std::uint64_t window_strict_total = 0;
+  /// Multi-window SLO burn rates and the monitor's hysteresis state.
+  double fast_burn = 0.0;
+  double slow_burn = 0.0;
+  bool alert_firing = false;
+  /// Gateway arrival rate over the last tick, requests/s.
+  double arrival_rps = 0.0;
+  /// Next-tick arrival forecast (0 until the forecaster has data).
+  double forecast_rps = 0.0;
+  /// GPU utilization of the *active* fleet over the last tick, percent.
+  double window_util_pct = 0.0;
+  /// Cluster dispatch backlog plus queued batches across active nodes.
+  std::size_t backlog = 0;
+  /// Nodes up or being acquired, minus nodes being decommissioned.
+  std::uint32_t committed_nodes = 0;
+  std::uint32_t min_nodes = 1;
+  std::uint32_t max_nodes = 1;
+};
+
+/// Vertical (MIG geometry) stance for this tick.
+enum class VerticalStance : std::uint8_t {
+  kHold,
+  kPromote,  ///< consolidate toward larger slices (strict latency headroom)
+  kDemote,   ///< split toward smaller slices (throughput / BE packing)
+};
+
+struct Decision {
+  /// Desired active fleet size; the controller clamps to [min, max] and
+  /// rate-limits the move (max_step_up / max_step_down, settle_ticks).
+  std::uint32_t target_nodes = 0;
+  VerticalStance vertical = VerticalStance::kHold;
+  /// Warm-container floor for the strict model per active node (0: leave
+  /// the pools alone).
+  int warm_per_node = 0;
+  /// Prefetch the strict model's weights on active nodes (memcache only).
+  bool prefetch_strict = false;
+};
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+  virtual const char* name() const noexcept = 0;
+  virtual Decision decide(const Signals& signals,
+                          const AutoscaleConfig& config) = 0;
+};
+
+// ---- registry (mirrors sched/registry.h) ----------------------------------
+
+const char* policy_name(PolicyKind kind) noexcept;
+
+/// Canonical CLI identifier ("reactive", "predictive"). parse_policy
+/// accepts every one of them plus the display names, case-insensitively.
+const char* policy_cli_name(PolicyKind kind) noexcept;
+
+/// Round-trips: parse_policy(policy_name(p)) == p and
+/// parse_policy(policy_cli_name(p)) == p for every policy.
+std::optional<PolicyKind> parse_policy(std::string_view text);
+
+std::unique_ptr<Policy> make_policy(PolicyKind kind);
+
+/// Every policy, in enum declaration order.
+const std::vector<PolicyKind>& all_policies();
+
+}  // namespace protean::autoscale

@@ -14,8 +14,19 @@ Cluster::Cluster(sim::Simulator& simulator, const ClusterConfig& config,
                  Scheduler& scheduler)
     : sim_(simulator), config_(config), scheduler_(scheduler) {
   PROTEAN_CHECK_MSG(config_.node_count > 0, "cluster needs nodes");
-  nodes_.reserve(config_.node_count);
-  for (NodeId id = 0; id < config_.node_count; ++id) {
+  // With autoscaling on, extra node slots beyond the base fleet exist from
+  // construction (node identities are stable) but start parked: the market
+  // provisions only the base node_count, and the control loop acquires and
+  // releases the rest. Disabled, slots == node_count and the market config
+  // is untouched — byte-identical to the legacy static fleet.
+  std::uint32_t slots = config_.node_count;
+  if (config_.autoscale.enabled) {
+    slots = config_.autoscale.resolve_max(config_.node_count);
+    config_.market.initial_nodes = config_.node_count;
+    config_.market.reference_nodes = config_.node_count;
+  }
+  nodes_.reserve(slots);
+  for (NodeId id = 0; id < slots; ++id) {
     nodes_.push_back(std::make_unique<WorkerNode>(sim_, id, config_,
                                                   scheduler_, collector_));
   }
@@ -25,8 +36,7 @@ Cluster::Cluster(sim::Simulator& simulator, const ClusterConfig& config,
   }
   gateway_ = std::make_unique<Gateway>(
       sim_, config_, [this](workload::Batch&& b) { dispatch(std::move(b)); });
-  market_ = std::make_unique<spot::Market>(sim_, config_.market,
-                                           config_.node_count, *this);
+  market_ = std::make_unique<spot::Market>(sim_, config_.market, slots, *this);
   dispatch_policy_ = scheduler_.dispatch_policy().value_or(config_.dispatch);
   dispatch_rng_ = Rng(config_.dispatch_seed).fork(0xd15);
   if (config_.fault.enabled) {
@@ -246,6 +256,24 @@ void Cluster::drain_backlog() {
   }
 }
 
+void Cluster::begin_decommission(NodeId id) {
+  WorkerNode& node = *nodes_.at(id);
+  if (!node.up()) return;
+  node.set_draining(true);
+  for (workload::Batch& b : node.take_queue()) {
+    dispatch(std::move(b));
+  }
+}
+
+void Cluster::cancel_decommission(NodeId id) {
+  WorkerNode& node = *nodes_.at(id);
+  // Only clear a drain we set ourselves: a market eviction notice also
+  // drains, and that one must stand until the VM actually dies.
+  if (!node.up() || market_->node_draining(id)) return;
+  node.set_draining(false);
+  drain_backlog();
+}
+
 void Cluster::on_eviction_notice(NodeId id, SimTime eviction_at) {
   (void)eviction_at;
   WorkerNode& node = *nodes_.at(id);
@@ -304,9 +332,12 @@ void Cluster::monitor_tick() {
   for (auto& node : nodes_) {
     if (node->up() && node->gpu().reconfiguring()) ++reconfiguring;
   }
+  // Budget scales with the *base* fleet so an autoscaled-out deployment
+  // does not loosen the paper's 30% simultaneous-reconfiguration bound
+  // (nodes_.size() == node_count when autoscaling is off).
   const int cap = std::max(
       1, static_cast<int>(std::floor(config_.max_reconfig_fraction *
-                                     static_cast<double>(nodes_.size()))));
+                                     static_cast<double>(config_.node_count))));
   int budget = std::max(0, cap - reconfiguring);
   for (auto& node : nodes_) {
     if (!node->up()) continue;
@@ -319,7 +350,9 @@ double Cluster::gpu_utilization_pct() const {
   if (elapsed <= 0.0) return 0.0;
   double busy = 0.0;
   for (const auto& node : nodes_) busy += node->gpu_busy_seconds();
-  return 100.0 * busy / (elapsed * static_cast<double>(nodes_.size()));
+  // Normalized by the base fleet (== nodes_.size() unless autoscaling),
+  // so elastic runs report utilization against the provisioned baseline.
+  return 100.0 * busy / (elapsed * static_cast<double>(config_.node_count));
 }
 
 double Cluster::memory_utilization_pct() const {
@@ -328,7 +361,7 @@ double Cluster::memory_utilization_pct() const {
   double gbs = 0.0;
   for (const auto& node : nodes_) gbs += node->gpu_memory_gb_seconds();
   return 100.0 * gbs / (elapsed * config_.gpu_memory_gb *
-                        static_cast<double>(nodes_.size()));
+                        static_cast<double>(config_.node_count));
 }
 
 std::uint64_t Cluster::total_cold_starts() const {

@@ -49,6 +49,14 @@ class Cluster : public spot::NodeLifecycleListener, public fault::FaultTarget {
   /// as capacity returns.
   void dispatch(workload::Batch&& batch);
 
+  // ---- autoscaler support --------------------------------------------------
+  /// Gracefully drains a node ahead of a controlled release: new work stops
+  /// routing to it and its queued batches move to other nodes; running jobs
+  /// finish. The autoscaler calls Market::release once the node is idle.
+  void begin_decommission(NodeId node);
+  /// Reverses begin_decommission (the load came back before release).
+  void cancel_decommission(NodeId node);
+
   // ---- spot::NodeLifecycleListener ----------------------------------------
   void on_eviction_notice(NodeId node, SimTime eviction_at) override;
   void on_node_evicted(NodeId node) override;

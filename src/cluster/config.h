@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "autoscale/config.h"
 #include "common/types.h"
 #include "fault/config.h"
 #include "gpu/engine.h"
@@ -91,6 +92,13 @@ struct ClusterConfig {
   /// Fault injection & resilience (src/fault). Disabled by default; with
   /// faults off every run is byte-identical to a build without this knob.
   fault::FaultConfig fault;
+
+  /// SLO-aware online autoscaling (src/autoscale). Disabled by default;
+  /// when enabled the cluster builds resolve_max(node_count) node slots,
+  /// the market provisions only the base node_count at start, and the
+  /// control loop acquires/releases the rest. With autoscaling off every
+  /// run is byte-identical to a build without this knob.
+  autoscale::AutoscaleConfig autoscale;
 
   /// Span tracer (src/obs); non-owning, must outlive the deployment. Null
   /// (the default) disables every hook, keeping runs byte-identical to a

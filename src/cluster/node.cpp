@@ -222,6 +222,34 @@ void WorkerNode::prewarm(const workload::ModelProfile& model, int count) {
   for (int i = 0; i < count; ++i) pool.idle_since.push_back(sim_.now());
 }
 
+int WorkerNode::warm_count(const workload::ModelProfile& model) const {
+  const auto it = containers_.find(&model);
+  return it == containers_.end() ? 0 : it->second.warm;
+}
+
+int WorkerNode::boost_warm(const workload::ModelProfile& model, int target) {
+  if (!up_) return 0;
+  auto& pool = containers_[&model];
+  const int have = pool.warm + pool.busy + pool.proactive_booting +
+                   (pool.spare_booting ? 1 : 0);
+  const int boots = target - have;
+  if (boots <= 0) return 0;
+  pool.proactive_booting += boots;
+  proactive_boots_ += static_cast<std::uint64_t>(boots);
+  const std::uint64_t epoch = epoch_;
+  for (int i = 0; i < boots; ++i) {
+    sim_.schedule_after(config_.cold_start, [this, &model, epoch] {
+      if (epoch != epoch_ || !up_) return;
+      auto& p = containers_[&model];
+      if (p.proactive_booting > 0) --p.proactive_booting;
+      ++p.warm;
+      p.idle_since.push_back(sim_.now());
+      try_dispatch();
+    });
+  }
+  return boots;
+}
+
 bool WorkerNode::container_available(
     const workload::ModelProfile& model) const {
   const auto it = containers_.find(&model);

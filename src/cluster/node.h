@@ -168,6 +168,16 @@ class WorkerNode {
   /// experiments use this to start in the steady state the paper measures).
   void prewarm(const workload::ModelProfile& model, int count);
 
+  /// Idle warm containers currently pooled for `model`.
+  int warm_count(const workload::ModelProfile& model) const;
+  /// Predictive warm-pool boost (the autoscaler's warm floor): boots
+  /// containers in the background until warm + busy + booting reaches
+  /// `target`. Proactive boots pay the normal cold-start delay but are
+  /// counted separately from reactive cold starts (proactive_boots()).
+  /// Returns the number of boots started.
+  int boost_warm(const workload::ModelProfile& model, int target);
+  std::uint64_t proactive_boots() const noexcept { return proactive_boots_; }
+
   /// True when a batch of `model` can obtain a container now: a warm one is
   /// idle, or the pool is empty so a cold start is unavoidable. When false,
   /// the batch waits (a container frees within ~one exec time, far less
@@ -180,6 +190,7 @@ class WorkerNode {
     int warm = 0;                    // idle warm containers
     int busy = 0;                    // containers currently serving a batch
     bool spare_booting = false;      // background scale-up in flight
+    int proactive_booting = 0;       // autoscaler warm-pool boots in flight
     std::deque<SimTime> idle_since;  // one entry per warm container
   };
 
@@ -231,6 +242,7 @@ class WorkerNode {
   double outstanding_work_ = 0.0;
   JobId next_job_id_ = 1;
   std::uint64_t cold_starts_ = 0;
+  std::uint64_t proactive_boots_ = 0;
   std::uint64_t batches_served_ = 0;
   std::uint64_t dropped_jobs_ = 0;
   std::uint64_t epoch_ = 0;  // bumped on evict/restore to orphan callbacks

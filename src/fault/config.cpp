@@ -42,8 +42,15 @@ std::optional<FaultKind> parse_kind(const std::string& name) {
   return std::nullopt;
 }
 
-/// Parses one scripted token, "KIND@T:nID".
-std::optional<ScriptedFault> parse_scripted(const std::string& token) {
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::optional<ScriptedFault> parse_scripted_fault(const std::string& token) {
   const std::size_t at = token.find('@');
   const std::size_t colon = token.find(':', at == std::string::npos ? 0 : at);
   if (at == std::string::npos || colon == std::string::npos || colon < at) {
@@ -66,13 +73,25 @@ std::optional<ScriptedFault> parse_scripted(const std::string& token) {
   return fault;
 }
 
-std::string fmt(double v) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%g", v);
-  return buf;
+bool apply_fault_knob(FaultConfig& config, const std::string& key,
+                      double value) {
+  if (key == "crash-rate" && value >= 0.0) {
+    config.crash_rate = value;
+  } else if (key == "kill-rate" && value >= 0.0) {
+    config.kill_rate = value;
+  } else if (key == "ecc-rate" && value >= 0.0) {
+    config.ecc_rate = value;
+  } else if (key == "reconfig-fail" && value >= 0.0 && value <= 1.0) {
+    config.reconfig_fail_prob = value;
+  } else if (key == "reboot" && value > 0.0) {
+    config.reboot_delay = value;
+  } else if (key == "ecc-repair" && value > 0.0) {
+    config.ecc_repair_delay = value;
+  } else {
+    return false;
+  }
+  return true;
 }
-
-}  // namespace
 
 std::optional<FaultConfig> parse_fault_spec(const std::string& spec,
                                             FaultConfig base) {
@@ -87,7 +106,7 @@ std::optional<FaultConfig> parse_fault_spec(const std::string& spec,
     if (token.empty()) return std::nullopt;
 
     if (token.find('@') != std::string::npos) {
-      const auto scripted = parse_scripted(token);
+      const auto scripted = parse_scripted_fault(token);
       if (!scripted) return std::nullopt;
       base.script.push_back(*scripted);
       continue;
@@ -97,21 +116,7 @@ std::optional<FaultConfig> parse_fault_spec(const std::string& spec,
     const std::string key = token.substr(0, eq);
     const auto value = parse_double(token.substr(eq + 1));
     if (!value) return std::nullopt;
-    if (key == "crash-rate" && *value >= 0.0) {
-      base.crash_rate = *value;
-    } else if (key == "kill-rate" && *value >= 0.0) {
-      base.kill_rate = *value;
-    } else if (key == "ecc-rate" && *value >= 0.0) {
-      base.ecc_rate = *value;
-    } else if (key == "reconfig-fail" && *value >= 0.0 && *value <= 1.0) {
-      base.reconfig_fail_prob = *value;
-    } else if (key == "reboot" && *value > 0.0) {
-      base.reboot_delay = *value;
-    } else if (key == "ecc-repair" && *value > 0.0) {
-      base.ecc_repair_delay = *value;
-    } else {
-      return std::nullopt;
-    }
+    if (!apply_fault_knob(base, key, *value)) return std::nullopt;
   }
   base.enabled = true;
   return base;

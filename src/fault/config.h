@@ -108,6 +108,17 @@ struct FaultConfig {
 std::optional<FaultConfig> parse_fault_spec(const std::string& spec,
                                             FaultConfig base = {});
 
+/// Leaf parser for one scripted token, `KIND@T:nID` (a `--faults` list
+/// element). Exposed so flag front-ends (harness::FlagSpec) can compose
+/// the grammar without re-implementing it.
+std::optional<ScriptedFault> parse_scripted_fault(const std::string& token);
+
+/// Applies one `key=value` rate/recovery knob from the `--faults` grammar
+/// (crash-rate, kill-rate, ecc-rate, reconfig-fail, reboot, ecc-repair).
+/// Returns false if the key is unknown or the value is out of range.
+bool apply_fault_knob(FaultConfig& config, const std::string& key,
+                      double value);
+
 /// Canonical spec string; parse_fault_spec(to_spec(c)) reproduces the plan
 /// fields of `c` (retry/hedge knobs have their own flags).
 std::string to_spec(const FaultConfig& config);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "autoscale/controller.h"
 #include "cluster/cluster.h"
 #include "common/check.h"
 #include "harness/sweep.h"
@@ -30,10 +31,19 @@ Report run_experiment(const ExperimentConfig& config) {
   }
   // Same lifetime contract for the telemetry pipeline: its registry holds
   // gauge callbacks into the deployment, but scrapes only run while the
-  // simulation does, and the files are written after teardown.
+  // simulation does, and the files are written after teardown. The
+  // autoscale control loop rides the scrape tick, so enabling it without
+  // --telemetry creates a file-less pipeline at the autoscaler's cadence
+  // (an explicit --telemetry interval wins — one scrape schedule).
   std::optional<telemetry::TelemetryPipeline> pipeline;
   if (config.telemetry.enabled()) {
     pipeline.emplace(sim, config.telemetry, config.burn,
+                     tracer.has_value() ? &*tracer : nullptr);
+  } else if (config.cluster.autoscale.enabled) {
+    telemetry::TelemetryOptions fileless;
+    fileless.path.clear();
+    fileless.interval = config.cluster.autoscale.tick;
+    pipeline.emplace(sim, fileless, config.burn,
                      tracer.has_value() ? &*tracer : nullptr);
   }
 
@@ -80,6 +90,14 @@ Report run_experiment(const ExperimentConfig& config) {
     driver_config.be_schedule.emplace_back(when, &model_by_name(name));
   }
   trace::WorkloadDriver driver(sim, driver_config, deployment.sink());
+
+  // The controller registers itself as the pipeline's scrape listener;
+  // construction order (after cluster + driver) only reflects its borrows.
+  std::optional<autoscale::AutoscaleController> controller;
+  if (config.cluster.autoscale.enabled && pipeline.has_value()) {
+    controller.emplace(sim, deployment, *pipeline, config.cluster.autoscale,
+                       driver_config.strict_model);
+  }
 
   // Start in the steady state the paper measures: a long-running deployment
   // already has warm containers for the active models on every node.
@@ -172,7 +190,9 @@ Report run_experiment(const ExperimentConfig& config) {
         accesses > 0.0
             ? 100.0 * static_cast<double>(collector.cache_hits()) / accesses
             : 0.0;
-    for (NodeId id = 0; id < cluster_config.node_count; ++id) {
+    // All fleet slots, not just the base fleet — autoscale-acquired nodes
+    // carry caches too (identical when the autoscaler is off).
+    for (NodeId id = 0; id < deployment.node_count(); ++id) {
       cluster::WorkerNode& node = deployment.node(id);
       report.memcache.swap_stall_seconds += node.swap_stall_seconds();
       if (config.keep_mem_timeline && node.cache() != nullptr) {
@@ -203,7 +223,7 @@ Report run_experiment(const ExperimentConfig& config) {
     report.faults.duplicate_hedges = collector.duplicate_hedges();
   }
 
-  if (pipeline.has_value()) {
+  if (config.telemetry.enabled() && pipeline.has_value()) {
     report.telemetry.enabled = true;
     report.telemetry.scrapes = pipeline->scrape_count();
     const telemetry::BurnSummary burn = pipeline->burn_summary();
@@ -212,11 +232,31 @@ Report run_experiment(const ExperimentConfig& config) {
     report.telemetry.alert_active_seconds = burn.alert_active_seconds;
   }
 
+  if (controller.has_value()) {
+    const autoscale::AutoscaleStats& as = controller->stats();
+    report.autoscale.enabled = true;
+    report.autoscale.policy =
+        autoscale::policy_cli_name(config.cluster.autoscale.policy);
+    report.autoscale.ticks = as.ticks;
+    report.autoscale.acquisitions = as.acquisitions;
+    report.autoscale.releases = as.releases;
+    report.autoscale.promotes = as.promotes;
+    report.autoscale.demotes = as.demotes;
+    report.autoscale.warm_boosts = as.warm_boosts;
+    report.autoscale.prefetched_slices = as.prefetched_slices;
+    report.autoscale.peak_nodes = as.peak_nodes;
+    report.autoscale.low_nodes = as.low_nodes;
+    report.autoscale.avg_nodes =
+        as.ticks > 0
+            ? as.committed_ticks / static_cast<double>(as.ticks)
+            : static_cast<double>(config.cluster.node_count);
+  }
+
   if (tracer.has_value()) {
     // Collector aggregates the invariant checker replays the span stream
     // against (tools/trace_stats --check, obs::check_invariants).
     double busy = 0.0;
-    for (NodeId id = 0; id < cluster_config.node_count; ++id) {
+    for (NodeId id = 0; id < deployment.node_count(); ++id) {
       busy += deployment.node(id).gpu_busy_seconds();
     }
     tracer->set_summary("busy_seconds", busy);

@@ -149,6 +149,10 @@ struct ExperimentConfig {
     cluster.fault = fc;
     return *this;
   }
+  ExperimentConfig& with_autoscale(const autoscale::AutoscaleConfig& ac) {
+    cluster.autoscale = ac;
+    return *this;
+  }
   ExperimentConfig& with_seed(std::uint64_t s) {
     seed = s;
     return *this;
@@ -233,7 +237,9 @@ struct Report {
   };
   FaultStats faults;
 
-  /// Telemetry results (zeroed unless config.telemetry is enabled).
+  /// Telemetry results (zeroed unless config.telemetry is enabled — an
+  /// autoscale-only run drives its file-less pipeline without reporting
+  /// telemetry output).
   struct TelemetryStats {
     bool enabled = false;
     std::uint64_t scrapes = 0;
@@ -242,6 +248,23 @@ struct Report {
     double alert_active_seconds = 0.0;
   };
   TelemetryStats telemetry;
+
+  /// Autoscaler results (zeroed unless cluster.autoscale.enabled).
+  struct AutoscaleStats {
+    bool enabled = false;
+    std::string policy;
+    std::uint64_t ticks = 0;
+    int acquisitions = 0;
+    int releases = 0;
+    int promotes = 0;
+    int demotes = 0;
+    std::uint64_t warm_boosts = 0;
+    std::uint64_t prefetched_slices = 0;
+    std::uint32_t peak_nodes = 0;
+    std::uint32_t low_nodes = 0;
+    double avg_nodes = 0.0;  ///< mean committed fleet over control ticks
+  };
+  AutoscaleStats autoscale;
 
   std::vector<float> strict_latencies;  ///< filled if keep_latency_samples
   /// Per-node (time, resident GB) timelines; filled if keep_mem_timeline.

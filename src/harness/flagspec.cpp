@@ -1,0 +1,195 @@
+#include "harness/flagspec.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace protean::harness {
+
+namespace {
+
+std::string fmt_bound(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::optional<double> parse_spec_number(const std::string& token) {
+  if (token.empty()) return std::nullopt;
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(token, &pos);
+    if (pos != token.size() || !std::isfinite(v)) return std::nullopt;
+    return v;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+FlagSpec::FlagSpec(const std::string& spec, Head mode) {
+  if (spec.empty()) {
+    fail("empty spec");
+    return;
+  }
+  std::string rest = spec;
+  if (mode != Head::kNone) {
+    const std::size_t colon = mode == Head::kFirstColon
+                                  ? spec.find(':')
+                                  : spec.rfind(':');
+    head_ = colon == std::string::npos ? spec : spec.substr(0, colon);
+    if (head_.empty()) {
+      fail("empty head before ':'");
+      return;
+    }
+    if (colon == std::string::npos) return;  // head only, no items
+    rest = spec.substr(colon + 1);
+    if (rest.empty()) {
+      fail("empty segment after ':'");
+      return;
+    }
+  }
+  std::size_t start = 0;
+  while (start <= rest.size()) {
+    const std::size_t comma = rest.find(',', start);
+    const std::size_t end = comma == std::string::npos ? rest.size() : comma;
+    const std::string token = rest.substr(start, end - start);
+    start = comma == std::string::npos ? rest.size() + 1 : comma + 1;
+    if (token.empty()) {
+      fail("empty segment in spec");
+      return;
+    }
+    SpecItem item;
+    const std::size_t eq = token.find('=');
+    if (eq != std::string::npos) {
+      if (eq == 0) {
+        fail("empty key in '" + token + "'");
+        return;
+      }
+      item.key = token.substr(0, eq);
+      item.value = token.substr(eq + 1);
+      item.keyed = true;
+    } else {
+      item.key = token;
+    }
+    items_.push_back(std::move(item));
+  }
+}
+
+void FlagSpec::fail(const std::string& message) {
+  if (error_.empty()) error_ = message;
+}
+
+void FlagSpec::consume(std::size_t index) {
+  if (index < items_.size()) items_[index].consumed = true;
+}
+
+const SpecItem* FlagSpec::find_keyed(const std::string& key) {
+  if (!ok()) return nullptr;
+  for (auto& item : items_) {
+    if (item.keyed && !item.consumed && item.key == key) {
+      item.consumed = true;
+      return &item;
+    }
+  }
+  return nullptr;
+}
+
+const SpecItem* FlagSpec::find_positional(std::size_t index) {
+  if (!ok()) return nullptr;
+  std::size_t seen = 0;
+  for (auto& item : items_) {
+    if (item.keyed) continue;
+    if (seen++ == index) {
+      item.consumed = true;
+      return &item;
+    }
+  }
+  return nullptr;
+}
+
+std::optional<std::string> FlagSpec::str(const std::string& key) {
+  const SpecItem* item = find_keyed(key);
+  if (item == nullptr) return std::nullopt;
+  if (item->value.empty()) {
+    fail("bad value for '" + key + "': empty");
+    return std::nullopt;
+  }
+  return item->value;
+}
+
+std::optional<double> FlagSpec::num(const std::string& key, double lo,
+                                    double hi) {
+  const SpecItem* item = find_keyed(key);
+  if (item == nullptr) return std::nullopt;
+  const auto v = parse_spec_number(item->value);
+  if (!v || *v < lo || *v > hi) {
+    fail("bad value for '" + key + "': '" + item->value +
+         "' (want a number in [" + fmt_bound(lo) + ", " + fmt_bound(hi) +
+         "])");
+    return std::nullopt;
+  }
+  return v;
+}
+
+std::optional<std::uint32_t> FlagSpec::count(const std::string& key,
+                                             std::uint32_t lo,
+                                             std::uint32_t hi) {
+  const SpecItem* item = find_keyed(key);
+  if (item == nullptr) return std::nullopt;
+  const auto v = parse_spec_number(item->value);
+  if (!v || *v != std::floor(*v) || *v < static_cast<double>(lo) ||
+      *v > static_cast<double>(hi)) {
+    fail("bad value for '" + key + "': '" + item->value +
+         "' (want an integer in [" + fmt_bound(lo) + ", " + fmt_bound(hi) +
+         "])");
+    return std::nullopt;
+  }
+  return static_cast<std::uint32_t>(*v);
+}
+
+bool FlagSpec::present(const std::string& key) {
+  if (!ok()) return false;
+  for (auto& item : items_) {
+    if (!item.keyed && !item.consumed && item.key == key) {
+      item.consumed = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<std::string> FlagSpec::positional(std::size_t index) {
+  const SpecItem* item = find_positional(index);
+  if (item == nullptr) return std::nullopt;
+  return item->key;
+}
+
+std::optional<double> FlagSpec::positional_num(std::size_t index, double lo,
+                                               double hi) {
+  const SpecItem* item = find_positional(index);
+  if (item == nullptr) return std::nullopt;
+  const auto v = parse_spec_number(item->key);
+  if (!v || *v < lo || *v > hi) {
+    fail("bad value '" + item->key + "' (want a number in [" + fmt_bound(lo) +
+         ", " + fmt_bound(hi) + "])");
+    return std::nullopt;
+  }
+  return v;
+}
+
+bool FlagSpec::finish() {
+  if (!ok()) return false;
+  for (const auto& item : items_) {
+    if (item.consumed) continue;
+    if (item.keyed) {
+      fail("unknown key '" + item.key + "'");
+    } else {
+      fail("unexpected token '" + item.key + "'");
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace protean::harness

@@ -1,0 +1,104 @@
+// FlagSpec — the shared parser behind every spec-valued CLI flag.
+//
+// The CLI grew one hand-rolled colon/comma splitter per subsystem flag
+// (--faults, --memcache, --telemetry, --trace, --autoscale), each with its
+// own error strings. FlagSpec unifies the lexical layer: a spec is an
+// optional HEAD (the part before a ':' separator) followed by a
+// comma-separated list of items, where each item is either a bare token
+// ("16", "spans", "no-vertical", "crash@10:n1") or a KEY=VALUE pair
+// ("tick=5", "kill-rate=40").
+//
+//   --memcache  lru:16                 head=lru,   items: [16]
+//   --telemetry m.jsonl:2.5            head=m.jsonl, items: [2.5]
+//   --trace     t.json:spans,sched     head=t.json, items: [spans, sched]
+//   --autoscale predictive:max=12      head=predictive, items: [max=12]
+//   --faults    crash@10:n1,reboot=30  (no head)  items: [crash@10:n1, reboot=30]
+//
+// Subsystems keep their value semantics (policy names, fault kinds) and
+// pull tokens through typed getters that record uniform error messages:
+// "bad value for 'KEY': ..." / "unknown key 'KEY'" / "unexpected token".
+// A getter consumes its item; finish() flags whatever is left over, so an
+// unknown key can never pass silently.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace protean::harness {
+
+/// One comma-separated element of a spec.
+struct SpecItem {
+  std::string key;    ///< KEY of KEY=VALUE, or the whole bare token
+  std::string value;  ///< empty unless keyed
+  bool keyed = false;
+  bool consumed = false;
+};
+
+class FlagSpec {
+ public:
+  /// How (whether) to split a HEAD off the spec.
+  enum class Head {
+    kNone,        ///< the whole spec is the item list (--faults)
+    kFirstColon,  ///< HEAD:ITEMS at the first ':' (--memcache, --autoscale)
+    kLastColon,   ///< HEAD:ITEMS at the last ':' (--telemetry, --trace:
+                  ///< the head is a file path that may itself contain ':')
+  };
+
+  /// Lexes the spec. Structural problems (empty spec, empty head, empty
+  /// segment) surface through ok()/error(); getters on a broken spec are
+  /// inert and return nullopt.
+  FlagSpec(const std::string& spec, Head mode);
+
+  bool ok() const noexcept { return error_.empty(); }
+  /// First recorded error, in the uniform format described above.
+  const std::string& error() const noexcept { return error_; }
+  /// Records an error (first one wins) — for caller-side semantic checks
+  /// that should report through the same channel.
+  void fail(const std::string& message);
+
+  const std::string& head() const noexcept { return head_; }
+  const std::vector<SpecItem>& items() const noexcept { return items_; }
+  void consume(std::size_t index);
+
+  // ---- keyed getters -------------------------------------------------------
+  // Return nullopt when the key is absent. A present key with a malformed
+  // or out-of-range value records "bad value for 'KEY': ..." and returns
+  // nullopt. Each call consumes the (first) matching item.
+
+  std::optional<std::string> str(const std::string& key);
+  /// Finite number within [lo, hi].
+  std::optional<double> num(const std::string& key, double lo, double hi);
+  /// Unsigned integer within [lo, hi].
+  std::optional<std::uint32_t> count(const std::string& key, std::uint32_t lo,
+                                     std::uint32_t hi);
+  /// True when the bare token `key` is present (e.g. "no-vertical").
+  bool present(const std::string& key);
+
+  // ---- positional getters --------------------------------------------------
+  // Address the i-th *bare* item (positional grammars: "lru:16").
+
+  std::optional<std::string> positional(std::size_t index);
+  std::optional<double> positional_num(std::size_t index, double lo, double hi);
+
+  /// Final validation: every unconsumed keyed item records
+  /// "unknown key 'KEY'" and every unconsumed bare item records
+  /// "unexpected token 'TOK'". Returns ok().
+  bool finish();
+
+ private:
+  const SpecItem* find_keyed(const std::string& key);
+  const SpecItem* find_positional(std::size_t index);
+
+  std::string head_;
+  std::vector<SpecItem> items_;
+  std::string error_;
+};
+
+/// Shared numeric token parser (strict: the whole token must parse, the
+/// value must be finite). Exposed so subsystem leaf parsers and FlagSpec
+/// agree on what a number is.
+std::optional<double> parse_spec_number(const std::string& token);
+
+}  // namespace protean::harness

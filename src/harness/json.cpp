@@ -168,6 +168,25 @@ Json report_to_json(const Report& report) {
     t.emplace_back("alert_active_s", report.telemetry.alert_active_seconds);
     o.emplace_back("telemetry", Json(std::move(t)));
   }
+  if (report.autoscale.enabled) {
+    // Same contract as the other subsystem sections: absent unless the
+    // autoscaler ran, so disabled runs serialize byte-identically.
+    Json::Object a;
+    a.emplace_back("policy", report.autoscale.policy);
+    a.emplace_back("ticks", report.autoscale.ticks);
+    a.emplace_back("acquisitions", report.autoscale.acquisitions);
+    a.emplace_back("releases", report.autoscale.releases);
+    a.emplace_back("promotes", report.autoscale.promotes);
+    a.emplace_back("demotes", report.autoscale.demotes);
+    a.emplace_back("warm_boosts", report.autoscale.warm_boosts);
+    a.emplace_back("prefetched_slices", report.autoscale.prefetched_slices);
+    a.emplace_back("peak_nodes",
+                   static_cast<std::uint64_t>(report.autoscale.peak_nodes));
+    a.emplace_back("low_nodes",
+                   static_cast<std::uint64_t>(report.autoscale.low_nodes));
+    a.emplace_back("avg_nodes", report.autoscale.avg_nodes);
+    o.emplace_back("autoscale", Json(std::move(a)));
+  }
   if (!report.strict_latencies.empty()) {
     Json::Object percentiles;
     for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.9}) {

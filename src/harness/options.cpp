@@ -4,6 +4,9 @@
 #include <cctype>
 #include <map>
 
+#include "autoscale/policy.h"
+#include "fault/config.h"
+#include "harness/flagspec.h"
 #include "memcache/config.h"
 #include "obs/trace.h"
 #include "telemetry/pipeline.h"
@@ -43,20 +46,145 @@ std::optional<std::uint64_t> parse_u64(const std::string& s) {
   }
 }
 
+// The spec-valued flags below all sit on harness::FlagSpec, which owns the
+// lexical layer (head split, comma list, KEY=VALUE items, uniform error
+// strings); only the value semantics stay per-flag.
+
 /// Parses a "POLICY:GB" memcache spec (e.g. "lru:16" or "gdsf:12.5").
 std::optional<memcache::MemCacheConfig> parse_memcache_spec(
-    const std::string& spec, memcache::MemCacheConfig base) {
-  const std::size_t colon = spec.find(':');
-  if (colon == std::string::npos || colon == 0 || colon + 1 >= spec.size()) {
+    const std::string& spec, memcache::MemCacheConfig base,
+    std::string* why = nullptr) {
+  FlagSpec fs(spec, FlagSpec::Head::kFirstColon);
+  std::optional<memcache::EvictionPolicy> policy;
+  if (fs.ok()) {
+    policy = memcache::parse_policy(lower(fs.head()));
+    if (!policy) fs.fail("unknown policy '" + fs.head() + "'");
+  }
+  const auto capacity = fs.positional(0);
+  if (fs.ok() && !capacity) fs.fail("missing capacity");
+  std::optional<double> gb;
+  if (capacity) {
+    gb = parse_spec_number(*capacity);
+    if (!gb || !(*gb > 0.0)) {
+      fs.fail("bad capacity '" + *capacity + "' (want GB > 0)");
+    }
+  }
+  if (!fs.finish()) {
+    if (why != nullptr) *why = fs.error();
     return std::nullopt;
   }
-  const auto policy = memcache::parse_policy(lower(spec.substr(0, colon)));
-  if (!policy) return std::nullopt;
-  const auto capacity = parse_double(spec.substr(colon + 1));
-  if (!capacity || !(*capacity > 0.0)) return std::nullopt;
   base.enabled = true;
   base.policy = *policy;
-  base.capacity_gb = *capacity;
+  base.capacity_gb = *gb;
+  return base;
+}
+
+/// Parses a `--faults` item list (no head) into `base` via the fault
+/// subsystem's leaf parsers: bare tokens are scripted events, KEY=VALUE
+/// items are rate/recovery knobs.
+std::optional<fault::FaultConfig> parse_faults_flag(
+    const std::string& spec, fault::FaultConfig base,
+    std::string* why = nullptr) {
+  FlagSpec fs(spec, FlagSpec::Head::kNone);
+  for (std::size_t i = 0; i < fs.items().size() && fs.ok(); ++i) {
+    const SpecItem& item = fs.items()[i];
+    if (!item.keyed) {
+      const auto scripted = fault::parse_scripted_fault(item.key);
+      if (!scripted) {
+        fs.fail("bad token '" + item.key + "' (want KIND@T:nID)");
+        break;
+      }
+      base.script.push_back(*scripted);
+    } else {
+      const auto value = parse_spec_number(item.value);
+      if (!value || !fault::apply_fault_knob(base, item.key, *value)) {
+        fs.fail("bad value for '" + item.key + "': '" + item.value + "'");
+        break;
+      }
+    }
+    fs.consume(i);
+  }
+  if (!fs.finish()) {
+    if (why != nullptr) *why = fs.error();
+    return std::nullopt;
+  }
+  base.enabled = true;
+  return base;
+}
+
+/// Parses a timeline-trace output spec, FILE[:FILTER] with FILTER a comma
+/// list from spans | counters | sched.
+std::optional<obs::TraceOptions> parse_trace_out_spec(const std::string& spec) {
+  FlagSpec fs(spec, FlagSpec::Head::kLastColon);
+  obs::TraceOptions out;
+  out.path = fs.head();
+  if (!fs.items().empty()) {
+    out.categories = 0;
+    while (fs.present("spans")) out.categories |= obs::kSpans;
+    while (fs.present("counters")) out.categories |= obs::kCounters;
+    while (fs.present("sched")) out.categories |= obs::kSched;
+  }
+  if (!fs.finish()) return std::nullopt;
+  return out;
+}
+
+/// Parses a `--telemetry` FILE[:INTERVAL] spec.
+std::optional<telemetry::TelemetryOptions> parse_telemetry_spec(
+    const std::string& spec) {
+  FlagSpec fs(spec, FlagSpec::Head::kLastColon);
+  telemetry::TelemetryOptions out;
+  out.path = fs.head();
+  if (!fs.items().empty()) {
+    const auto interval = fs.positional_num(0, 1e-9, 1e12);
+    if (interval) out.interval = *interval;
+  }
+  if (!fs.finish()) return std::nullopt;
+  return out;
+}
+
+/// Parses an `--autoscale` POLICY[:KEY=V,...] spec (docs/autoscale.md).
+std::optional<autoscale::AutoscaleConfig> parse_autoscale_spec(
+    const std::string& spec, autoscale::AutoscaleConfig base,
+    std::string* why = nullptr) {
+  FlagSpec fs(spec, FlagSpec::Head::kFirstColon);
+  if (fs.ok()) {
+    const auto policy = autoscale::parse_policy(fs.head());
+    if (!policy) {
+      fs.fail("unknown policy '" + fs.head() +
+              "' (want reactive | predictive)");
+    } else {
+      base.policy = *policy;
+    }
+  }
+  if (const auto v = fs.num("tick", 0.1, 3600.0)) base.tick = *v;
+  if (const auto v = fs.count("min", 1, 1024)) base.min_nodes = *v;
+  if (const auto v = fs.count("max", 1, 1024)) base.max_nodes = *v;
+  if (const auto v = fs.count("step-up", 1, 64)) {
+    base.max_step_up = static_cast<int>(*v);
+  }
+  if (const auto v = fs.count("step-down", 1, 64)) {
+    base.max_step_down = static_cast<int>(*v);
+  }
+  if (const auto v = fs.count("settle", 1, 100)) {
+    base.settle_ticks = static_cast<int>(*v);
+  }
+  if (const auto v = fs.num("util", 1.0, 100.0)) base.target_util_pct = *v;
+  if (const auto v = fs.count("warm", 0, 64)) {
+    base.warm_target = static_cast<int>(*v);
+  }
+  if (const auto v = fs.num("headroom", 1.0, 4.0)) base.headroom = *v;
+  if (fs.present("no-vertical")) base.vertical = false;
+  if (fs.present("no-prefetch")) base.prefetch = false;
+  if (fs.present("on-demand")) base.prefer_spot = false;
+  if (fs.ok() && base.min_nodes != 0 && base.max_nodes != 0 &&
+      base.min_nodes > base.max_nodes) {
+    fs.fail("min > max");
+  }
+  if (!fs.finish()) {
+    if (why != nullptr) *why = fs.error();
+    return std::nullopt;
+  }
+  base.enabled = true;
   return base;
 }
 
@@ -124,6 +252,16 @@ Faults (see docs/faults.md; off unless --faults is given):
                         their SLO budget; duplicates are de-duplicated at
                         the collector
 
+Autoscaling (see docs/autoscale.md; off unless --autoscale is given):
+  --autoscale POLICY[:OPTS]
+                        close an SLO-aware scaling loop on the telemetry
+                        scrape tick. POLICY: reactive | predictive. OPTS
+                        is a comma list of KEY=VALUE knobs (tick=S, min=N,
+                        max=N, step-up=N, step-down=N, settle=N, util=PCT,
+                        warm=N, headroom=F) and bare switches no-vertical,
+                        no-prefetch, on-demand;
+                        e.g. --autoscale predictive:max=12,settle=2
+
 Sweep:
   --seeds N             replications per configuration with seeds
                         seed..seed+N-1; reports mean / stddev / 95% CI
@@ -177,6 +315,7 @@ const std::vector<std::string>& cli_flags() {
       "--slo-mult",      "--spot",
       "--p-rev",         "--faults",
       "--fault-retries", "--hedge",
+      "--autoscale",
       "--seed",          "--seeds",
       "--jobs",          "--gpu-mem",
       "--memcache",      "--memcache-oversubscribe",
@@ -253,7 +392,7 @@ CliParseResult parse_cli(const std::vector<std::string>& args) {
       } else {
         // Any other value is a timeline-trace output spec, FILE[:FILTER]
         // (docs/observability.md).
-        const auto trace_out = obs::TraceOptions::parse(*value);
+        const auto trace_out = parse_trace_out_spec(*value);
         if (!trace_out) {
           return fail("bad --trace value: " + *value +
                       " (want wiki | twitter | constant, or FILE[:FILTER] "
@@ -328,10 +467,11 @@ CliParseResult parse_cli(const std::vector<std::string>& args) {
       } else {
         spec = arg.substr(std::string("--faults=").size());
       }
-      const auto fc = fault::parse_fault_spec(spec, opts.config.cluster.fault);
+      std::string why;
+      const auto fc = parse_faults_flag(spec, opts.config.cluster.fault, &why);
       if (!fc) {
-        return fail("bad fault spec: " + spec +
-                    " (want e.g. crash@10:n1,kill-rate=40 — see docs/faults.md)");
+        return fail("bad fault spec: " + spec + " (" + why +
+                    "; want e.g. crash@10:n1,kill-rate=40 — see docs/faults.md)");
       }
       opts.config.cluster.fault = *fc;
     } else if (arg == "--fault-retries") {
@@ -377,23 +517,42 @@ CliParseResult parse_cli(const std::vector<std::string>& args) {
       } else {
         spec = arg.substr(std::string("--memcache=").size());
       }
+      std::string why;
       const auto mc =
-          parse_memcache_spec(spec, opts.config.cluster.memcache);
+          parse_memcache_spec(spec, opts.config.cluster.memcache, &why);
       if (!mc) {
-        return fail("bad memcache spec: " + spec +
-                    " (want POLICY:GB, policies: lru | gdsf | oracle)");
+        return fail("bad memcache spec: " + spec + " (" + why +
+                    "; want POLICY:GB, policies: lru | gdsf | oracle)");
       }
       opts.config.cluster.memcache = *mc;
     } else if (arg == "--telemetry") {
       const auto value = next("--telemetry");
       if (!value) return fail("--telemetry needs FILE[:INTERVAL]");
-      const auto telemetry = telemetry::TelemetryOptions::parse(*value);
+      const auto telemetry = parse_telemetry_spec(*value);
       if (!telemetry) {
         return fail("bad --telemetry value: " + *value +
                     " (want FILE[:INTERVAL] with a positive INTERVAL in "
                     "seconds)");
       }
       opts.config.telemetry = *telemetry;
+    } else if (arg == "--autoscale" || arg.rfind("--autoscale=", 0) == 0) {
+      std::string spec;
+      if (arg == "--autoscale") {
+        const auto value = next("--autoscale");
+        if (!value) return fail("--autoscale needs POLICY[:OPTS]");
+        spec = *value;
+      } else {
+        spec = arg.substr(std::string("--autoscale=").size());
+      }
+      std::string why;
+      const auto ac =
+          parse_autoscale_spec(spec, opts.config.cluster.autoscale, &why);
+      if (!ac) {
+        return fail("bad --autoscale value: " + spec + " (" + why +
+                    "; want POLICY[:KEY=V,...] with POLICY reactive | "
+                    "predictive — see docs/autoscale.md)");
+      }
+      opts.config.cluster.autoscale = *ac;
     } else if (arg == "--sketch") {
       const auto value = next("--sketch");
       const auto alpha = value ? parse_double(*value) : std::nullopt;

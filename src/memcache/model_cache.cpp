@@ -168,6 +168,46 @@ void ModelCache::release(SliceId slice, const workload::ModelProfile* model) {
   apply_swap_factor(state);
 }
 
+int ModelCache::prefetch(const workload::ModelProfile* model) {
+  if (model == nullptr) return 0;
+  int loaded = 0;
+  const SimTime now = sim_.now();
+  for (auto& [id, state] : slices_) {
+    (void)id;
+    bool already = false;
+    for (const Entry& e : state.entries) {
+      if (e.model == model) {
+        already = true;
+        break;
+      }
+    }
+    if (already) continue;
+    const MemGb weight = model->weight_gb;
+    const MemGb limit = config_.oversubscribe
+                            ? state.budget * config_.max_overcommit
+                            : state.budget;
+    // Only free budget: a speculative load must not evict demand-fetched
+    // weights (and must not push the slice into swap territory).
+    if (state.resident + weight > std::min(limit, state.budget) + 1e-9) {
+      continue;
+    }
+    Entry entry;
+    entry.model = model;
+    entry.weight_gb = weight;
+    entry.last_used = now;
+    // uses stays 0 and the GDSF priority stays at the clock: an unused
+    // prefetch is the cheapest possible eviction victim.
+    entry.gdsf_priority = state.gdsf_clock;
+    state.entries.push_back(entry);
+    state.resident += weight;
+    ++stats_.prefetches;
+    ++loaded;
+    apply_swap_factor(state);
+  }
+  if (loaded > 0) note_resident_change();
+  return loaded;
+}
+
 void ModelCache::reset() {
   slices_.clear();
   note_resident_change();

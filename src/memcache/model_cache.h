@@ -40,6 +40,7 @@ struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
+  std::uint64_t prefetches = 0;  ///< slices loaded via prefetch()
   double hit_rate() const noexcept {
     const double total = static_cast<double>(hits + misses);
     return total > 0.0 ? static_cast<double>(hits) / total : 0.0;
@@ -78,6 +79,13 @@ class ModelCache {
   /// Unpins one acquire() reference. Robust to entries that vanished with
   /// their slice (reconfiguration between acquire and release).
   void release(SliceId slice, const workload::ModelProfile* model);
+
+  /// Predictive weight prefetch (the autoscaler's memcache action): loads
+  /// the model's weights, unpinned, onto every synced slice with enough
+  /// *free* budget — prefetching never evicts resident entries, counts
+  /// neither hit nor miss, and is not logged as an access (the Belady
+  /// bound compares demand misses only). Returns slices newly loaded.
+  int prefetch(const workload::ModelProfile* model);
 
   /// Drops all state (the VM was evicted; device memory is gone).
   void reset();

@@ -80,7 +80,11 @@ void Market::start() {
   running_ = true;
   started_at_ = sim_.now();
   const bool prefer_spot = config_.policy != ProcurementPolicy::kOnDemandOnly;
-  for (NodeId node = 0; node < nodes_.size(); ++node) {
+  const std::size_t initial =
+      config_.initial_nodes == 0
+          ? nodes_.size()
+          : std::min<std::size_t>(config_.initial_nodes, nodes_.size());
+  for (NodeId node = 0; node < initial; ++node) {
     // Initial fleet: the serverless operator had time to provision before
     // the experiment window, so nodes come up instantly. Spot-preferring
     // policies still face market availability.
@@ -131,6 +135,7 @@ void Market::bring_up(NodeId node, VmTier tier) {
   PROTEAN_CHECK_MSG(!st.up, "node already up");
   st.up = true;
   st.draining = false;
+  st.acquiring = false;
   st.tier = tier;
   st.vm_since = sim_.now();
   if (tier == VmTier::kSpot) {
@@ -199,6 +204,33 @@ void Market::issue_eviction(NodeId node) {
   }
 }
 
+bool Market::acquire(NodeId node, bool prefer_spot) {
+  if (!running_) return false;
+  NodeState& st = nodes_.at(node);
+  if (st.up || st.acquiring) return false;
+  st.acquiring = true;  // cleared by bring_up (spot-only may retry past it)
+  const bool spot = prefer_spot &&
+                    config_.policy != ProcurementPolicy::kOnDemandOnly;
+  const NodeId n = node;
+  sim_.schedule_after(config_.vm_boot_time, [this, n, spot] {
+    if (!nodes_.at(n).up) provision(n, spot);
+  });
+  return true;
+}
+
+bool Market::release(NodeId node) {
+  if (!running_) return false;
+  NodeState& st = nodes_.at(node);
+  if (!st.up) return false;
+  LOG_DEBUG << "node " << node << " released back to the provider";
+  settle_cost(node);
+  st.up = false;
+  st.draining = false;
+  ++releases_;
+  listener_.on_node_evicted(node);
+  return true;
+}
+
 bool Market::force_kill(NodeId node) {
   if (!running_) return false;
   NodeState& st = nodes_.at(node);
@@ -239,6 +271,18 @@ bool Market::node_draining(NodeId node) const {
   return nodes_.at(node).draining;
 }
 
+bool Market::node_acquiring(NodeId node) const {
+  return nodes_.at(node).acquiring;
+}
+
+std::uint32_t Market::pending_acquisitions() const {
+  std::uint32_t count = 0;
+  for (const auto& st : nodes_) {
+    if (st.acquiring && !st.up) ++count;
+  }
+  return count;
+}
+
 VmTier Market::node_tier(NodeId node) const { return nodes_.at(node).tier; }
 
 std::uint32_t Market::nodes_up() const {
@@ -260,8 +304,10 @@ double Market::total_cost() const {
 
 double Market::on_demand_reference_cost() const {
   const Duration elapsed = sim_.now() - started_at_;
-  return static_cast<double>(nodes_.size()) * elapsed / 3600.0 *
-         config_.on_demand_hourly;
+  const double fleet = config_.reference_nodes != 0
+                           ? static_cast<double>(config_.reference_nodes)
+                           : static_cast<double>(nodes_.size());
+  return fleet * elapsed / 3600.0 * config_.on_demand_hourly;
 }
 
 }  // namespace protean::spot

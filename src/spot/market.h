@@ -95,6 +95,14 @@ struct MarketConfig {
   std::shared_ptr<const PriceTrace> price_trace;
   double bid = 0.0;
   std::uint64_t seed = 11;
+  /// Nodes brought up by start(). 0 (the default) provisions the whole
+  /// fleet — the legacy static-fleet behaviour; the autoscaler passes the
+  /// base fleet here and keeps the remaining slots parked for acquire().
+  std::uint32_t initial_nodes = 0;
+  /// Fleet size the on-demand reference cost is computed against. 0 (the
+  /// default) uses the full slot count; the autoscaler pins this to the
+  /// base fleet so elastic runs are compared against the same static bill.
+  std::uint32_t reference_nodes = 0;
 };
 
 /// Simulates the market for a fixed fleet of worker nodes.
@@ -113,8 +121,24 @@ class Market {
 
   bool node_up(NodeId node) const;
   bool node_draining(NodeId node) const;
+  /// True while an acquire() is waiting out the VM boot time.
+  bool node_acquiring(NodeId node) const;
   VmTier node_tier(NodeId node) const;
   std::uint32_t nodes_up() const;
+  std::uint32_t pending_acquisitions() const;
+
+  // ---- elastic fleet (the autoscaler's horizontal actions) ----------------
+  /// Requests a VM for a parked slot. The node comes up after the normal
+  /// vm_boot_time through the configured procurement path (spot requests
+  /// still face market availability). False when the slot is already up or
+  /// already being acquired, or the market is stopped.
+  bool acquire(NodeId node, bool prefer_spot);
+  /// Returns an up VM to the provider (controlled decommission: the caller
+  /// drained the node first). Settles its lease cost and notifies the
+  /// listener via on_node_evicted; not counted as an eviction. False when
+  /// the node is not up or the market is stopped.
+  bool release(NodeId node);
+  int releases() const noexcept { return releases_; }
 
   /// Dollars accrued by all VMs up to now.
   double total_cost() const;
@@ -137,6 +161,7 @@ class Market {
   struct NodeState {
     bool up = false;
     bool draining = false;
+    bool acquiring = false;  // an acquire() boot is in flight
     VmTier tier = VmTier::kOnDemand;
     SimTime vm_since = 0.0;
     double accrued_cost = 0.0;  // cost of *finished* VM leases
@@ -163,6 +188,7 @@ class Market {
   int evictions_ = 0;
   int spot_acquisitions_ = 0;
   int od_acquisitions_ = 0;
+  int releases_ = 0;
 };
 
 }  // namespace protean::spot

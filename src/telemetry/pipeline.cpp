@@ -94,7 +94,8 @@ TelemetryPipeline::TelemetryPipeline(sim::Simulator& simulator,
       options_(options),
       monitor_(burn_config, options.interval),
       tracer_(tracer) {
-  PROTEAN_CHECK_MSG(options_.enabled(), "telemetry pipeline needs a path");
+  // An empty path is the file-less mode (autoscale control loop without
+  // --telemetry): everything runs, nothing is written.
   strict_latency_ =
       registry_.summary("request_latency_seconds{class=\"strict\"}",
                         kLatencyAlpha, {0.5, 0.95, 0.99});
@@ -182,25 +183,31 @@ void TelemetryPipeline::scrape(SimTime now) {
   }
   registry_.scrape_values(&values_);
 
-  std::string line;
-  line.reserve(64 + values_.size() * 48);
-  line += "{\"t\":" + fmt_double(now) + ",\"metrics\":{";
-  for (std::size_t i = 0; i < values_.size(); ++i) {
-    if (i != 0) line += ',';
-    line += json_keys_[i];
-    line += fmt_double(values_[i]);
+  if (options_.enabled()) {
+    // File-less mode skips the JSONL render entirely — nothing is ever
+    // written, so buffering would only grow memory on long runs.
+    std::string line;
+    line.reserve(64 + values_.size() * 48);
+    line += "{\"t\":" + fmt_double(now) + ",\"metrics\":{";
+    for (std::size_t i = 0; i < values_.size(); ++i) {
+      if (i != 0) line += ',';
+      line += json_keys_[i];
+      line += fmt_double(values_[i]);
+    }
+    line += "}}";
+    lines_.push_back(std::move(line));
   }
-  line += "}}";
-  lines_.push_back(std::move(line));
 
   if (edge) {
     const BurnAlertEvent& event = monitor_.events().back();
-    std::string alert = "{\"t\":" + fmt_double(now) +
-                        ",\"event\":\"slo_burn_alert\",\"state\":\"";
-    alert += event.fired ? "firing" : "cleared";
-    alert += "\",\"fast_burn\":" + fmt_double(event.fast_burn) +
-             ",\"slow_burn\":" + fmt_double(event.slow_burn) + "}";
-    lines_.push_back(std::move(alert));
+    if (options_.enabled()) {
+      std::string alert = "{\"t\":" + fmt_double(now) +
+                          ",\"event\":\"slo_burn_alert\",\"state\":\"";
+      alert += event.fired ? "firing" : "cleared";
+      alert += "\",\"fast_burn\":" + fmt_double(event.fast_burn) +
+               ",\"slow_burn\":" + fmt_double(event.slow_burn) + "}";
+      lines_.push_back(std::move(alert));
+    }
     if (tracer_ != nullptr) {
       tracer_->instant(obs::kSpans, "slo_burn_alert", /*pid=*/0,
                        {{"state", event.fired ? "firing" : "cleared"},
@@ -213,6 +220,17 @@ void TelemetryPipeline::scrape(SimTime now) {
   // OpenMetrics snapshot from them (building it every scrape would be
   // wasted work on the hot path).
   last_values_ = values_;
+
+  // The control-loop hook runs on the still-open window; skipped on the
+  // finish() scrape so no autoscale action fires after the run.
+  if (scrape_listener_ && !finished_) {
+    const double attainment =
+        window_strict_total_ == 0
+            ? 100.0
+            : 100.0 * static_cast<double>(window_strict_ok_) /
+                  static_cast<double>(window_strict_total_);
+    scrape_listener_(now, attainment, window_strict_total_);
+  }
 
   // The attainment gauge covered [previous scrape, now); start a fresh
   // window (the latency summaries reset inside MetricsRegistry::scrape).
@@ -262,6 +280,7 @@ std::string TelemetryPipeline::render_exposition() const {
 
 bool TelemetryPipeline::write_files() const {
   PROTEAN_CHECK_MSG(finished_, "write_files() before finish()");
+  if (!options_.enabled()) return true;  // file-less mode: nothing to write
   std::string body;
   for (const auto& line : lines_) {
     body += line;

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -67,6 +68,11 @@ class TelemetryPipeline {
   /// Scrapes fire every `options.interval` sim-seconds starting at
   /// t = interval. `tracer` may be null; when set, alert edges also
   /// appear as tracer instants ("slo_burn_alert").
+  ///
+  /// An empty `options.path` runs the pipeline *file-less*: scrapes,
+  /// the attainment window, and the burn monitor all work (the autoscale
+  /// control loop rides them), but no JSONL timeline is buffered and
+  /// write_files() is a no-op.
   TelemetryPipeline(sim::Simulator& simulator,
                     const TelemetryOptions& options,
                     const BurnRateConfig& burn_config,
@@ -91,6 +97,16 @@ class TelemetryPipeline {
   /// summaries, attainment window, and burn monitor see one observation.
   void observe_request(SimTime when, bool strict, double latency_s,
                        bool compliant);
+
+  /// Observer invoked at the end of every periodic scrape — after the
+  /// burn-rate monitor refresh, before the attainment window resets —
+  /// with (scrape time, window attainment %, window strict count). The
+  /// autoscale controller hooks its control loop here. Not invoked for
+  /// the final finish() scrape (no actions after the run).
+  void set_scrape_listener(
+      std::function<void(SimTime, double, std::uint64_t)> fn) {
+    scrape_listener_ = std::move(fn);
+  }
 
   /// Performs the final scrape at `end` and stops the periodic task.
   /// Call once, after the simulation drains and before write_files().
@@ -121,6 +137,7 @@ class TelemetryPipeline {
   Summary* be_latency_;      // owned by registry_
   std::uint64_t window_strict_total_ = 0;
   std::uint64_t window_strict_ok_ = 0;
+  std::function<void(SimTime, double, std::uint64_t)> scrape_listener_;
   std::vector<std::string> lines_;
   // Scrape-plan caches: pre-escaped `"name":` JSONL fragments keyed on
   // the registry's plan version, a reused value buffer, and the final

@@ -1,0 +1,127 @@
+// FlagSpec unit tests: the shared lexical layer behind every spec-valued
+// CLI flag (--faults, --memcache, --telemetry, --trace, --autoscale).
+#include "harness/flagspec.h"
+
+#include <gtest/gtest.h>
+
+namespace protean::harness {
+namespace {
+
+TEST(FlagSpec, HeadModes) {
+  FlagSpec none("a=1,b", FlagSpec::Head::kNone);
+  EXPECT_TRUE(none.ok());
+  EXPECT_TRUE(none.head().empty());
+  ASSERT_EQ(none.items().size(), 2u);
+
+  FlagSpec first("lru:16", FlagSpec::Head::kFirstColon);
+  EXPECT_TRUE(first.ok());
+  EXPECT_EQ(first.head(), "lru");
+  ASSERT_EQ(first.items().size(), 1u);
+  EXPECT_EQ(first.items()[0].key, "16");
+
+  // kFirstColon keeps later colons inside the item list ("16:extra" is one
+  // token, not two).
+  FlagSpec nested("lru:16:extra", FlagSpec::Head::kFirstColon);
+  ASSERT_EQ(nested.items().size(), 1u);
+  EXPECT_EQ(nested.items()[0].key, "16:extra");
+
+  // kLastColon lets the head itself contain ':' (paths).
+  FlagSpec last("dir:file.json:spans,sched", FlagSpec::Head::kLastColon);
+  EXPECT_TRUE(last.ok());
+  EXPECT_EQ(last.head(), "dir:file.json");
+  ASSERT_EQ(last.items().size(), 2u);
+
+  FlagSpec head_only("file.json", FlagSpec::Head::kLastColon);
+  EXPECT_TRUE(head_only.ok());
+  EXPECT_EQ(head_only.head(), "file.json");
+  EXPECT_TRUE(head_only.items().empty());
+}
+
+TEST(FlagSpec, StructuralErrors) {
+  EXPECT_EQ(FlagSpec("", FlagSpec::Head::kNone).error(), "empty spec");
+  EXPECT_EQ(FlagSpec(":x", FlagSpec::Head::kFirstColon).error(),
+            "empty head before ':'");
+  EXPECT_EQ(FlagSpec("head:", FlagSpec::Head::kFirstColon).error(),
+            "empty segment after ':'");
+  EXPECT_EQ(FlagSpec("a,,b", FlagSpec::Head::kNone).error(),
+            "empty segment in spec");
+  EXPECT_EQ(FlagSpec("=5", FlagSpec::Head::kNone).error(),
+            "empty key in '=5'");
+}
+
+TEST(FlagSpec, TypedGettersConsumeAndValidate) {
+  FlagSpec fs("p:tick=2.5,max=12,fast,note=hi", FlagSpec::Head::kFirstColon);
+  EXPECT_EQ(fs.num("tick", 0.1, 100.0), 2.5);
+  EXPECT_EQ(fs.count("max", 1, 1024), 12u);
+  EXPECT_TRUE(fs.present("fast"));
+  EXPECT_FALSE(fs.present("fast"));  // consumed
+  EXPECT_EQ(fs.str("note"), "hi");
+  EXPECT_EQ(fs.num("absent", 0.0, 1.0), std::nullopt);
+  EXPECT_TRUE(fs.finish());
+}
+
+TEST(FlagSpec, NumReportsRangeAndMalformedValues) {
+  FlagSpec range("k=5", FlagSpec::Head::kNone);
+  EXPECT_EQ(range.num("k", 0.0, 1.0), std::nullopt);
+  EXPECT_EQ(range.error(), "bad value for 'k': '5' (want a number in [0, 1])");
+
+  FlagSpec garbage("k=abc", FlagSpec::Head::kNone);
+  EXPECT_EQ(garbage.num("k", 0.0, 10.0), std::nullopt);
+  EXPECT_NE(garbage.error().find("bad value for 'k'"), std::string::npos);
+
+  FlagSpec fractional("k=2.5", FlagSpec::Head::kNone);
+  EXPECT_EQ(fractional.count("k", 0, 10), std::nullopt);
+  EXPECT_EQ(fractional.error(),
+            "bad value for 'k': '2.5' (want an integer in [0, 10])");
+}
+
+TEST(FlagSpec, FirstErrorWins) {
+  FlagSpec fs("a=bogus,b=alsobogus", FlagSpec::Head::kNone);
+  EXPECT_EQ(fs.num("a", 0.0, 1.0), std::nullopt);
+  EXPECT_EQ(fs.num("b", 0.0, 1.0), std::nullopt);
+  EXPECT_NE(fs.error().find("'a'"), std::string::npos);
+  EXPECT_EQ(fs.error().find("'b'"), std::string::npos);
+}
+
+TEST(FlagSpec, FinishFlagsLeftovers) {
+  FlagSpec keyed("known=1,mystery=2", FlagSpec::Head::kNone);
+  EXPECT_EQ(keyed.num("known", 0.0, 10.0), 1.0);
+  EXPECT_FALSE(keyed.finish());
+  EXPECT_EQ(keyed.error(), "unknown key 'mystery'");
+
+  FlagSpec bare("stray", FlagSpec::Head::kNone);
+  EXPECT_FALSE(bare.finish());
+  EXPECT_EQ(bare.error(), "unexpected token 'stray'");
+}
+
+TEST(FlagSpec, PositionalGetters) {
+  FlagSpec fs("head:16,k=1,extra", FlagSpec::Head::kFirstColon);
+  EXPECT_EQ(fs.positional_num(0, 0.0, 100.0), 16.0);
+  EXPECT_EQ(fs.positional(1), "extra");  // keyed items are skipped
+  EXPECT_EQ(fs.positional(2), std::nullopt);
+  EXPECT_EQ(fs.count("k", 0, 5), 1u);
+  EXPECT_TRUE(fs.finish());
+}
+
+TEST(FlagSpec, GettersAreInertOnBrokenSpecs) {
+  FlagSpec fs("", FlagSpec::Head::kNone);
+  EXPECT_FALSE(fs.ok());
+  EXPECT_EQ(fs.str("k"), std::nullopt);
+  EXPECT_EQ(fs.num("k", 0.0, 1.0), std::nullopt);
+  EXPECT_FALSE(fs.present("tok"));
+  EXPECT_EQ(fs.positional(0), std::nullopt);
+  EXPECT_FALSE(fs.finish());
+  EXPECT_EQ(fs.error(), "empty spec");  // structural error is preserved
+}
+
+TEST(FlagSpec, ParseSpecNumberIsStrict) {
+  EXPECT_EQ(parse_spec_number("2.5"), 2.5);
+  EXPECT_EQ(parse_spec_number("-3"), -3.0);
+  EXPECT_EQ(parse_spec_number(""), std::nullopt);
+  EXPECT_EQ(parse_spec_number("1x"), std::nullopt);
+  EXPECT_EQ(parse_spec_number("nan"), std::nullopt);
+  EXPECT_EQ(parse_spec_number("inf"), std::nullopt);
+}
+
+}  // namespace
+}  // namespace protean::harness

@@ -305,6 +305,88 @@ TEST(Cli, FaultRetriesAndHedgeRequireFaults) {
                    .options);
 }
 
+TEST(Cli, AutoscaleDisabledByDefault) {
+  const auto opts = must_parse({});
+  EXPECT_FALSE(opts.config.cluster.autoscale.enabled);
+}
+
+TEST(Cli, AutoscaleFlagParses) {
+  const auto opts = must_parse(
+      {"--autoscale",
+       "predictive:tick=5,min=4,max=12,step-up=3,step-down=2,settle=2,"
+       "util=55,warm=6,headroom=1.3,no-vertical,no-prefetch,on-demand"});
+  const auto& ac = opts.config.cluster.autoscale;
+  EXPECT_TRUE(ac.enabled);
+  EXPECT_EQ(ac.policy, autoscale::PolicyKind::kPredictive);
+  EXPECT_DOUBLE_EQ(ac.tick, 5.0);
+  EXPECT_EQ(ac.min_nodes, 4u);
+  EXPECT_EQ(ac.max_nodes, 12u);
+  EXPECT_EQ(ac.max_step_up, 3);
+  EXPECT_EQ(ac.max_step_down, 2);
+  EXPECT_EQ(ac.settle_ticks, 2);
+  EXPECT_DOUBLE_EQ(ac.target_util_pct, 55.0);
+  EXPECT_EQ(ac.warm_target, 6);
+  EXPECT_DOUBLE_EQ(ac.headroom, 1.3);
+  EXPECT_FALSE(ac.vertical);
+  EXPECT_FALSE(ac.prefetch);
+  EXPECT_FALSE(ac.prefer_spot);
+
+  // A bare policy and the --flag=value spelling both parse.
+  const auto eq = must_parse({"--autoscale=reactive"});
+  EXPECT_TRUE(eq.config.cluster.autoscale.enabled);
+  EXPECT_EQ(eq.config.cluster.autoscale.policy,
+            autoscale::PolicyKind::kReactive);
+  EXPECT_TRUE(eq.config.cluster.autoscale.vertical);
+}
+
+TEST(Cli, AutoscaleSurvivesModelDerivation) {
+  for (const auto& args :
+       {std::vector<std::string>{"--autoscale", "predictive:max=12",
+                                 "--model", "ALBERT"},
+        std::vector<std::string>{"--model", "ALBERT", "--autoscale",
+                                 "predictive:max=12"}}) {
+    const auto opts = must_parse(args);
+    EXPECT_TRUE(opts.config.cluster.autoscale.enabled);
+    EXPECT_EQ(opts.config.cluster.autoscale.max_nodes, 12u);
+  }
+}
+
+TEST(Cli, AutoscaleErrorPathsAreClear) {
+  // FlagSpec's uniform errors surface through the flag's message: unknown
+  // policy / unknown key / malformed value / stray token all name the
+  // offending part.
+  EXPECT_NE(must_fail({"--autoscale", "bogus"}).find("unknown policy 'bogus'"),
+            std::string::npos);
+  EXPECT_NE(must_fail({"--autoscale", "predictive:frob=1"})
+                .find("unknown key 'frob'"),
+            std::string::npos);
+  EXPECT_NE(must_fail({"--autoscale", "reactive:tick=fast"})
+                .find("bad value for 'tick'"),
+            std::string::npos);
+  EXPECT_NE(must_fail({"--autoscale", "reactive:frobnob"})
+                .find("unexpected token 'frobnob'"),
+            std::string::npos);
+  EXPECT_NE(must_fail({"--autoscale", "predictive:min=9,max=4"})
+                .find("min > max"),
+            std::string::npos);
+  EXPECT_FALSE(parse_cli({"--autoscale"}).options);
+  EXPECT_FALSE(parse_cli({"--autoscale", "predictive:"}).options);
+}
+
+TEST(Cli, SpecFlagsReportFlagSpecDetail) {
+  // The legacy spec flags ride the same FlagSpec layer; their pinned
+  // "bad ... spec" prefixes now carry the uniform detail.
+  EXPECT_NE(must_fail({"--memcache", "lru"}).find("missing capacity"),
+            std::string::npos);
+  EXPECT_NE(must_fail({"--memcache", "frob:16"}).find("unknown policy 'frob'"),
+            std::string::npos);
+  EXPECT_NE(must_fail({"--faults", "crash-rate=abc"})
+                .find("bad value for 'crash-rate'"),
+            std::string::npos);
+  EXPECT_NE(must_fail({"--faults", "bogus"}).find("bad token 'bogus'"),
+            std::string::npos);
+}
+
 // ---- --help audit: the usage text and the parser can never drift ----------
 
 TEST(Cli, EveryAcceptedFlagIsDocumented) {

@@ -128,6 +128,21 @@ void print_reports(const harness::CliOptions& opts,
                   static_cast<unsigned long long>(r.telemetry.scrapes));
     }
   }
+  for (const auto& r : reports) {
+    if (!r.autoscale.enabled) continue;
+    std::printf("\n%s autoscale (%s): %llu ticks | fleet %.1f avg "
+                "(%u low, %u peak) | +%d/-%d nodes, %d promotes, "
+                "%d demotes | %llu warm boosts, %llu prefetches\n",
+                r.scheme.c_str(), r.autoscale.policy.c_str(),
+                static_cast<unsigned long long>(r.autoscale.ticks),
+                r.autoscale.avg_nodes, r.autoscale.low_nodes,
+                r.autoscale.peak_nodes, r.autoscale.acquisitions,
+                r.autoscale.releases, r.autoscale.promotes,
+                r.autoscale.demotes,
+                static_cast<unsigned long long>(r.autoscale.warm_boosts),
+                static_cast<unsigned long long>(
+                    r.autoscale.prefetched_slices));
+  }
 }
 
 void print_aggregates(const harness::CliOptions& opts,
