@@ -172,7 +172,9 @@ void AutoscaleController::apply_vertical(VerticalStance stance) {
     } else {
       ++stats_.demotes;
     }
-    --budget;
+    // The per-tick budget bounds simultaneous MIG downtime; soft-sliced
+    // GPUs repartition in place with none, so they don't consume it.
+    if (node.gpu().mode() != gpu::SharingMode::kSoftSlice) --budget;
   }
 }
 

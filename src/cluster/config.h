@@ -8,6 +8,7 @@
 #include "fault/config.h"
 #include "gpu/engine.h"
 #include "memcache/config.h"
+#include "softgpu/config.h"
 #include "spot/market.h"
 
 namespace protean::obs {
@@ -92,6 +93,13 @@ struct ClusterConfig {
   /// Fault injection & resilience (src/fault). Disabled by default; with
   /// faults off every run is byte-identical to a build without this knob.
   fault::FaultConfig fault;
+
+  /// Software-defined GPU slicing substrate (src/softgpu). Disabled by
+  /// default; when enabled, selected nodes build their GPU in kSoftSlice
+  /// mode (or a forced hardware mode) instead of the scheduler's native
+  /// sharing mode. With the substrate off every run is byte-identical to a
+  /// build without this knob.
+  softgpu::SoftGpuConfig softgpu;
 
   /// SLO-aware online autoscaling (src/autoscale). Disabled by default;
   /// when enabled the cluster builds resolve_max(node_count) node slots,

@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/log.h"
 #include "obs/trace.h"
+#include "softgpu/substrate.h"
 #include "telemetry/registry.h"
 
 namespace protean::cluster {
@@ -47,10 +48,7 @@ WorkerNode::WorkerNode(sim::Simulator& simulator, NodeId id,
     t->process_name(static_cast<int>(id_) + 1,
                     "node " + std::to_string(id_));
   }
-  gpu_ = std::make_unique<gpu::Gpu>(
-      sim_, id_, scheduler_.initial_geometry(), scheduler_.sharing_mode(),
-      config_.reconfigure_time, config_.interference, config_.gpu_memory_gb,
-      config_.memcache.enabled, config_.tracer);
+  gpu_ = make_gpu();
   gpu_->set_capacity_callback([this] { try_dispatch(); });
   install_reconfig_fault_hook();
   if (config_.memcache.enabled) {
@@ -65,6 +63,21 @@ WorkerNode::WorkerNode(sim::Simulator& simulator, NodeId id,
 }
 
 WorkerNode::~WorkerNode() = default;
+
+std::unique_ptr<gpu::Gpu> WorkerNode::make_gpu() {
+  // The substrate layer may override the scheduler's native sharing mode on
+  // this node (software slicing, or a forced hardware mode).
+  const softgpu::SoftGpuConfig& sg = config_.softgpu;
+  const gpu::SharingMode mode = softgpu::node_mode(
+      sg, scheduler_.sharing_mode(), id_, config_.node_count);
+  const gpu::SoftParams soft = mode == gpu::SharingMode::kSoftSlice
+                                   ? softgpu::engine_params(sg)
+                                   : gpu::SoftParams{};
+  return std::make_unique<gpu::Gpu>(
+      sim_, id_, scheduler_.initial_geometry(), mode,
+      config_.reconfigure_time, config_.interference, config_.gpu_memory_gb,
+      config_.memcache.enabled, config_.tracer, soft);
+}
 
 void WorkerNode::count_placement(bool placed) {
   if (placed) {
@@ -568,7 +581,11 @@ bool WorkerNode::begin_reconfigure(const gpu::Geometry& target) {
   // A degraded HBM region blocks repartitioning until the ECC repair runs.
   if (ecc_degraded_) return false;
   if (!gpu_->request_reconfigure(target)) return false;
-  if (redistribute_) {
+  // Only flush the queue when the GPU actually went down for a drain: a
+  // no-op request (already in the target geometry) and a soft in-place
+  // repartition leave the node serving, and redistributing queued batches
+  // on those paths would churn work that never had to move.
+  if (redistribute_ && gpu_->reconfiguring()) {
     for (workload::Batch& b : take_queue()) redistribute_(std::move(b));
   }
   return true;
@@ -692,10 +709,7 @@ void WorkerNode::restore() {
   up_ = true;
   draining_ = false;
   ++epoch_;
-  gpu_ = std::make_unique<gpu::Gpu>(
-      sim_, id_, scheduler_.initial_geometry(), scheduler_.sharing_mode(),
-      config_.reconfigure_time, config_.interference, config_.gpu_memory_gb,
-      config_.memcache.enabled, config_.tracer);
+  gpu_ = make_gpu();
   gpu_->set_capacity_callback([this] { try_dispatch(); });
   install_reconfig_fault_hook();
   maybe_sync_cache();

@@ -194,6 +194,9 @@ class WorkerNode {
     std::deque<SimTime> idle_since;  // one entry per warm container
   };
 
+  /// Builds this node's GPU with the substrate-resolved sharing mode
+  /// (src/softgpu may override the scheduler's native mode per node).
+  std::unique_ptr<gpu::Gpu> make_gpu();
   void start_batch(workload::Batch batch, gpu::Slice* slice);
   void maybe_boot_spare(const workload::ModelProfile& model);
   /// Re-registers the live slice set with the cache after a reconfiguration

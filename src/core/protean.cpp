@@ -13,6 +13,7 @@ ProteanScheduler::ProteanScheduler(ProteanOptions options)
 
 std::string ProteanScheduler::name() const {
   if (options_.oracle) return "Oracle";
+  if (options_.softmig) return "PROTEAN (softmig)";
   if (!options_.dynamic_reconfig) return "PROTEAN (static)";
   if (!options_.use_eta) return "PROTEAN (no eta)";
   if (!options_.reorder) return "PROTEAN (no reorder)";
@@ -109,9 +110,13 @@ void ProteanScheduler::on_monitor(cluster::WorkerNode& node,
   const auto decision =
       reconfigurator.evaluate(info, node.gpu().geometry());
   if (!decision.reconfigure) return;
-  if (reconfig_budget <= 0 || node.gpu().reconfiguring()) return;
+  // Soft-sliced GPUs repartition in place with zero downtime, so they are
+  // exempt from the cluster's concurrent-reconfiguration budget (which
+  // exists to bound simultaneous MIG downtime).
+  const bool soft = node.gpu().mode() == gpu::SharingMode::kSoftSlice;
+  if (!soft && (reconfig_budget <= 0 || node.gpu().reconfiguring())) return;
   if (node.begin_reconfigure(decision.target)) {
-    --reconfig_budget;
+    if (!soft) --reconfig_budget;
     LOG_DEBUG << "node " << node.id() << " reconfiguring to "
               << decision.target.to_string();
   }

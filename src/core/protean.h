@@ -33,6 +33,11 @@ struct ProteanOptions {
   bool dynamic_reconfig = true;
   /// Oracle mode (perfect prediction, immediate geometry application).
   bool oracle = false;
+  /// Software-defined slicing (src/softgpu): GPUs run in kSoftSlice mode,
+  /// where Algorithm 2's geometry changes apply in place with zero
+  /// downtime. Free reconfiguration removes the need for hysteresis, so
+  /// the scheme variant also drops the wait counter to 1.
+  bool softmig = false;
 };
 
 class ProteanScheduler : public cluster::Scheduler {
@@ -41,7 +46,8 @@ class ProteanScheduler : public cluster::Scheduler {
 
   std::string name() const override;
   gpu::SharingMode sharing_mode() const override {
-    return gpu::SharingMode::kMps;
+    return options_.softmig ? gpu::SharingMode::kSoftSlice
+                            : gpu::SharingMode::kMps;
   }
   gpu::Geometry initial_geometry() const override {
     return options_.initial_geometry;

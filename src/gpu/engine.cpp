@@ -25,13 +25,14 @@ double mps_slowdown(double pressure, const InterferenceParams& params) noexcept 
 Slice::Slice(sim::Simulator& simulator, Gpu* owner, SliceId id,
              SliceProfile profile, SharingMode mode,
              InterferenceParams interference, MemGb gpu_memory_gb,
-             bool shared_weights)
+             bool shared_weights, SoftParams soft)
     : sim_(simulator),
       owner_(owner),
       id_(id),
       profile_(profile),
       mode_(mode),
       interference_(interference),
+      soft_(soft),
       mem_capacity_(memory_gb(profile) * (gpu_memory_gb / 40.0)),
       shared_weights_(shared_weights),
       last_update_(simulator.now()),
@@ -105,13 +106,40 @@ bool Slice::can_admit(const JobSpec& spec) const noexcept {
 
 double Slice::pressure() const noexcept { return std::max(fbr_sum_, sm_sum_); }
 
+double Slice::soft_swap_factor() const noexcept {
+  if (mode_ != SharingMode::kSoftSlice) return 1.0;
+  const MemGb used = mem_in_use_ + weight_charged_gb_ + reserved_gb_;
+  const double over = used / mem_capacity_ - 1.0;
+  return over > 0.0 ? 1.0 + soft_.swap_penalty * over : 1.0;
+}
+
 double Slice::current_slowdown() const noexcept {
   if (mode_ == SharingMode::kTimeShare) return swap_factor_;
+  if (mode_ == SharingMode::kSoftSlice) {
+    if (soft_.time_slice) {
+      // nvshare-style exclusive windows: the whole GPU round-robins its
+      // resident jobs, each handoff costing a switch_overhead fraction.
+      const double n = static_cast<double>(std::max<std::size_t>(gpu_jobs_, 1));
+      const double overhead =
+          gpu_jobs_ > 1 ? 1.0 + soft_.switch_overhead * (n - 1.0) : 1.0;
+      return n * overhead * total_swap_factor();
+    }
+    // Fractional slicing: software throttles are statistical, so a
+    // cross_penalty share of sibling-slice pressure leaks in on top of the
+    // slice's own Eq. 1 contention.
+    const double leaked = pressure() + soft_.cross_penalty * external_pressure_;
+    return mps_slowdown(leaked, interference_) * total_swap_factor();
+  }
   return mps_slowdown(pressure(), interference_) * swap_factor_;
 }
 
 double Slice::job_rate(const Running& job) const noexcept {
   if (mode_ == SharingMode::kTimeShare) return 1.0 / swap_factor_;
+  if (mode_ == SharingMode::kSoftSlice && soft_.time_slice) {
+    // Every resident job advances at the round-robin fluid rate; solo
+    // pressure is irrelevant inside an exclusive window.
+    return 1.0 / current_slowdown();
+  }
   return std::min(1.0, job.solo_slowdown / current_slowdown());
 }
 
@@ -151,6 +179,9 @@ void Slice::submit(const JobSpec& spec, CompletionCallback on_done) {
   }
   reschedule_completion();
   trace_counters();
+  if (mode_ == SharingMode::kSoftSlice && owner_ != nullptr) {
+    owner_->soft_resettle();
+  }
 }
 
 void Slice::settle() {
@@ -167,8 +198,9 @@ void Slice::settle() {
   if (util_elapsed > 0.0) {
     if (!jobs_.empty()) {
       busy_integral_ += util_elapsed;
-      if (swap_factor_ > 1.0) {
-        swap_stall_integral_ += util_elapsed * (1.0 - 1.0 / swap_factor_);
+      const double swap = total_swap_factor();
+      if (swap > 1.0) {
+        swap_stall_integral_ += util_elapsed * (1.0 - 1.0 / swap);
       }
     }
     mem_integral_ += util_elapsed * (mem_in_use_ + weight_charged_gb_);
@@ -246,6 +278,9 @@ void Slice::complete_front_runner() {
     if (owner_ != nullptr) owner_->on_slice_activity_change(false);
   }
   trace_counters();
+  if (mode_ == SharingMode::kSoftSlice && owner_ != nullptr) {
+    owner_->soft_resettle();
+  }
   for (Running& job : done) {
     JobCompletion completion;
     completion.id = job.spec.id;
@@ -277,6 +312,9 @@ std::size_t Slice::abort_jobs() {
   trace_busy_close();
   if (owner_ != nullptr) owner_->on_slice_activity_change(false);
   trace_counters();
+  if (mode_ == SharingMode::kSoftSlice && owner_ != nullptr) {
+    owner_->soft_resettle();
+  }
   for (Running& job : lost) {
     JobCompletion completion;
     completion.id = job.spec.id;
@@ -305,6 +343,11 @@ void Slice::reserve_memory(MemGb gb) {
   reserved_gb_ += gb;
   ++reservation_count_;
   trace_counters();
+  // Reservations count against the soft oversubscription budget, so the
+  // swap factor (and with it every co-resident job's rate) just moved.
+  if (mode_ == SharingMode::kSoftSlice && owner_ != nullptr) {
+    owner_->soft_resettle();
+  }
 }
 
 void Slice::release_reservation(MemGb gb) {
@@ -315,6 +358,9 @@ void Slice::release_reservation(MemGb gb) {
   --reservation_count_;
   if (reservation_count_ == 0) reserved_gb_ = 0.0;
   trace_counters();
+  if (mode_ == SharingMode::kSoftSlice && owner_ != nullptr) {
+    owner_->soft_resettle();
+  }
   if (owner_ != nullptr) owner_->on_job_complete();  // may unblock a drain
 }
 
@@ -324,6 +370,9 @@ void Slice::clear_reservations() {
   reserved_gb_ = 0.0;
   reservation_count_ = 0;
   trace_counters();
+  if (mode_ == SharingMode::kSoftSlice && owner_ != nullptr) {
+    owner_->soft_resettle();
+  }
 }
 
 void Slice::set_swap_slowdown(double factor) {
@@ -337,8 +386,9 @@ void Slice::set_swap_slowdown(double factor) {
 
 double Slice::swap_stall_seconds() const noexcept {
   double total = swap_stall_integral_;
-  if (!jobs_.empty() && swap_factor_ > 1.0) {
-    total += (sim_.now() - util_last_update_) * (1.0 - 1.0 / swap_factor_);
+  const double swap = total_swap_factor();
+  if (!jobs_.empty() && swap > 1.0) {
+    total += (sim_.now() - util_last_update_) * (1.0 - 1.0 / swap);
   }
   return total;
 }
@@ -359,13 +409,14 @@ double Slice::memory_gb_seconds() const noexcept {
 Gpu::Gpu(sim::Simulator& simulator, GpuId id, Geometry geometry,
          SharingMode mode, Duration reconfigure_time,
          InterferenceParams interference, MemGb memory_gb, bool shared_weights,
-         obs::Tracer* tracer)
+         obs::Tracer* tracer, SoftParams soft)
     : sim_(simulator),
       id_(id),
       geometry_(std::move(geometry)),
       mode_(mode),
       reconfigure_time_(reconfigure_time),
       interference_(interference),
+      soft_(soft),
       memory_gb_(memory_gb),
       shared_weights_(shared_weights),
       tracer_(tracer),
@@ -380,6 +431,7 @@ Gpu::~Gpu() {
   // retiring the VM); the pending downtime-complete event must not fire
   // into freed memory.
   sim_.cancel(reconfig_event_);
+  sim_.cancel(reap_event_);
 }
 
 void Gpu::build_slices() {
@@ -391,9 +443,9 @@ void Gpu::build_slices() {
   slices_.clear();
   slices_.reserve(geometry_.size());
   for (SliceProfile profile : geometry_.slices()) {
-    slices_.push_back(std::make_unique<Slice>(sim_, this, next_slice_id_++,
-                                              profile, mode_, interference_,
-                                              memory_gb_, shared_weights_));
+    slices_.push_back(std::make_unique<Slice>(
+        sim_, this, next_slice_id_++, profile, mode_, interference_,
+        memory_gb_, shared_weights_, soft_));
   }
 }
 
@@ -421,6 +473,9 @@ const Slice* Gpu::slice_at(std::size_t i) const noexcept {
 bool Gpu::request_reconfigure(const Geometry& target,
                               std::function<void()> on_done) {
   PROTEAN_CHECK_MSG(target.valid(), "invalid target geometry");
+  if (mode_ == SharingMode::kSoftSlice) {
+    return soft_reconfigure(target, std::move(on_done));
+  }
   if (state_ != State::kReady) return false;
   if (target == geometry_) {
     if (on_done) on_done();
@@ -481,9 +536,94 @@ void Gpu::maybe_finish_drain() {
   });
 }
 
+bool Gpu::soft_reconfigure(const Geometry& target,
+                           std::function<void()> on_done) {
+  if (target == geometry_) {
+    if (on_done) on_done();
+    return true;
+  }
+  LOG_DEBUG << "GPU " << id_ << " soft repartition " << geometry_.to_string()
+            << " -> " << target.to_string();
+  // Supersede the current slices in place — no drain, no downtime. Idle
+  // slices retire immediately; busy ones keep running (and contending, via
+  // soft_resettle's whole-GPU coordination) until their jobs drain. Boot
+  // reservations die with the superseded slice: the node re-queues those
+  // batches when it can no longer find the slice id.
+  for (auto& s : slices_) {
+    s->set_accepting(false);
+    s->clear_reservations();
+    if (s->idle()) {
+      mem_integral_retired_ += s->memory_gb_seconds();
+      swap_stall_retired_ += s->swap_stall_seconds();
+    } else {
+      retiring_.push_back(std::move(s));
+    }
+  }
+  slices_.clear();
+  geometry_ = target;
+  slices_.reserve(geometry_.size());
+  for (SliceProfile profile : geometry_.slices()) {
+    slices_.push_back(std::make_unique<Slice>(
+        sim_, this, next_slice_id_++, profile, mode_, interference_,
+        memory_gb_, shared_weights_, soft_));
+  }
+  ++reconfig_count_;
+  ++topology_version_;
+  if (tracer_ != nullptr && tracer_->wants(obs::kSpans)) {
+    tracer_->instant(obs::kSpans, "soft_reconfigure", static_cast<int>(id_) + 1,
+                     {{"geometry", geometry_.to_string()}});
+  }
+  soft_resettle();
+  if (on_done) on_done();
+  if (on_capacity_) on_capacity_();
+  return true;
+}
+
+void Gpu::soft_resettle() {
+  if (mode_ != SharingMode::kSoftSlice || soft_resettling_) return;
+  soft_resettling_ = true;
+  const auto visit = [this](auto&& fn) {
+    for (auto& s : slices_) fn(*s);
+    for (auto& s : retiring_) fn(*s);
+  };
+  // Phase 1: charge elapsed time on every slice — live and retiring — at
+  // the rates implied by the *old* coordination state before publishing the
+  // new one; otherwise past progress would be rewritten at future rates.
+  double pressure_sum = 0.0;
+  std::size_t total_jobs = 0;
+  visit([&](Slice& s) {
+    s.settle();
+    pressure_sum += s.pressure();
+    total_jobs += s.jobs_.size();
+  });
+  // Phase 2: publish the whole-GPU view and reschedule at the new rates.
+  visit([&](Slice& s) {
+    s.gpu_jobs_ = total_jobs;
+    s.external_pressure_ = std::max(0.0, pressure_sum - s.pressure());
+    s.reschedule_completion();
+    s.trace_counters();
+  });
+  soft_resettling_ = false;
+}
+
+void Gpu::reap_retired() {
+  for (auto it = retiring_.begin(); it != retiring_.end();) {
+    if ((*it)->idle()) {
+      mem_integral_retired_ += (*it)->memory_gb_seconds();
+      swap_stall_retired_ += (*it)->swap_stall_seconds();
+      it = retiring_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 std::size_t Gpu::abort_all_jobs() {
   std::size_t lost = 0;
   for (auto& s : slices_) lost += s->abort_jobs();
+  for (auto& s : retiring_) lost += s->abort_jobs();
+  // Aborted retiring slices are idle and off their own callstack here.
+  reap_retired();
   return lost;
 }
 
@@ -531,6 +671,17 @@ void Gpu::on_slice_activity_change(bool became_busy) {
 }
 
 void Gpu::on_job_complete() {
+  if (!retiring_.empty() && !reap_scheduled_) {
+    // A retiring slice may have just gone idle inside one of its own member
+    // functions; destroying it here would free the object whose method is
+    // still on the stack. Reap on a deferred zero-delay event instead.
+    reap_scheduled_ = true;
+    reap_event_ = sim_.schedule_after(0.0, [this] {
+      reap_event_ = sim::EventHandle();
+      reap_scheduled_ = false;
+      reap_retired();
+    });
+  }
   maybe_finish_drain();
   if (on_capacity_) on_capacity_();
 }
@@ -544,30 +695,37 @@ double Gpu::busy_seconds() const noexcept {
 double Gpu::memory_gb_seconds() const noexcept {
   double total = mem_integral_retired_;
   for (const auto& s : slices_) total += s->memory_gb_seconds();
+  for (const auto& s : retiring_) total += s->memory_gb_seconds();
   return total;
 }
 
 double Gpu::swap_stall_seconds() const noexcept {
   double total = swap_stall_retired_;
   for (const auto& s : slices_) total += s->swap_stall_seconds();
+  for (const auto& s : retiring_) total += s->swap_stall_seconds();
   return total;
 }
 
 MemGb Gpu::resident_gb() const noexcept {
   MemGb total = 0.0;
   for (const auto& s : slices_) total += s->memory_in_use();
+  for (const auto& s : retiring_) total += s->memory_in_use();
   return total;
 }
 
 double Gpu::max_pressure() const noexcept {
   double peak = 0.0;
   for (const auto& s : slices_) peak = std::max(peak, s->pressure());
+  for (const auto& s : retiring_) peak = std::max(peak, s->pressure());
   return peak;
 }
 
 double Gpu::max_slowdown() const noexcept {
   double peak = slices_.empty() ? 0.0 : 1.0;
   for (const auto& s : slices_) peak = std::max(peak, s->current_slowdown());
+  for (const auto& s : retiring_) {
+    peak = std::max(peak, s->current_slowdown());
+  }
   return peak;
 }
 

@@ -1,9 +1,18 @@
 // GPU execution engine.
 //
-// Simulates job execution on MIG slices under two sharing modes:
+// Simulates job execution on MIG slices under three sharing modes:
 //
 //  * kTimeShare — one job at a time per slice (Molecule-beta / MIG-only);
 //    a job runs for exactly its solo time.
+//  * kSoftSlice — software-defined slicing (src/softgpu): partitions are
+//    arbitrary memory/SM fractions enforced in software (HAMi-core-style
+//    caps and throttles), not hardware MIG instances. Admission may
+//    oversubscribe slice memory up to `SoftParams::mem_oversub` at an
+//    nvshare-style swap slowdown, isolation is statistical (sibling-slice
+//    pressure leaks in scaled by `SoftParams::cross_penalty`), and
+//    geometry changes are applied in place with zero downtime. An
+//    alternative time-slicing discipline (`SoftParams::time_slice`) hands
+//    the whole GPU around in exclusive windows instead.
 //  * kMps — concurrent jobs spatially share the slice. The slice-wide
 //    contention pressure is
 //        P = max( Σ resident FBRs, Σ resident SM shares )
@@ -47,7 +56,29 @@ class Tracer;
 
 namespace protean::gpu {
 
-enum class SharingMode { kTimeShare, kMps };
+enum class SharingMode { kTimeShare, kMps, kSoftSlice };
+
+/// Knobs of the software-slicing substrate (mode kSoftSlice). Defined here
+/// (not in src/softgpu) so the engine stays the bottom layer; src/softgpu
+/// owns the user-facing config and derives these parameters from it.
+struct SoftParams {
+  /// nvshare-style exclusive-window time slicing instead of fractional
+  /// (HAMi-core-style) spatial sharing.
+  bool time_slice = false;
+  /// Fraction of sibling-slice contention pressure that leaks into this
+  /// slice's slowdown (statistical isolation; 0 = MIG-hard).
+  double cross_penalty = 0.25;
+  /// Admission capacity multiplier over the slice's memory fraction
+  /// (oversubscription; the excess pays a swap slowdown).
+  double mem_oversub = 1.5;
+  /// Fractional throughput cost per extra co-runner in time-slice mode
+  /// (context save/restore between exclusive windows).
+  double switch_overhead = 0.02;
+  /// Swap slowdown per unit of memory oversubscription:
+  /// factor = 1 + swap_penalty × max(0, used/capacity − 1) — the same
+  /// shape as the model cache's oversubscription machinery.
+  double swap_penalty = 0.8;
+};
 
 /// Knobs of the MPS interference model (see file comment).
 struct InterferenceParams {
@@ -109,7 +140,7 @@ class Slice {
   Slice(sim::Simulator& simulator, Gpu* owner, SliceId id,
         SliceProfile profile, SharingMode mode,
         InterferenceParams interference = {}, MemGb gpu_memory_gb = 40.0,
-        bool shared_weights = false);
+        bool shared_weights = false, SoftParams soft = {});
   ~Slice();
   Slice(const Slice&) = delete;
   Slice& operator=(const Slice&) = delete;
@@ -135,11 +166,18 @@ class Slice {
   bool idle() const noexcept { return jobs_.empty(); }
 
   MemGb memory_capacity() const noexcept { return mem_capacity_; }
+  /// Capacity admission is checked against: the hard capacity, except under
+  /// software slicing where memory may oversubscribe up to
+  /// `SoftParams::mem_oversub` × capacity (the excess swaps).
+  MemGb admission_capacity() const noexcept {
+    return mode_ == SharingMode::kSoftSlice ? mem_capacity_ * soft_.mem_oversub
+                                            : mem_capacity_;
+  }
   MemGb memory_in_use() const noexcept {
     return mem_in_use_ + reserved_gb_ + weight_charged_gb_;
   }
   MemGb available_memory() const noexcept {
-    return memory_capacity() - memory_in_use();
+    return admission_capacity() - memory_in_use();
   }
   /// The free memory can_admit(spec) would require right now: the full
   /// footprint, minus the weight portion when this slice runs in
@@ -183,8 +221,18 @@ class Slice {
   /// Set by the model cache whenever the slice's residency changes.
   void set_swap_slowdown(double factor);
   double swap_slowdown() const noexcept { return swap_factor_; }
+  /// Engine-side swap factor from software-slice memory oversubscription
+  /// (1.0 outside kSoftSlice or while within the hard capacity). Multiplies
+  /// with the model cache's set_swap_slowdown factor.
+  double soft_swap_factor() const noexcept;
   /// Busy seconds lost to weight swapping: ∫ busy × (1 − 1/factor) dt.
   double swap_stall_seconds() const noexcept;
+
+  /// Software-slicing knobs (defaults outside kSoftSlice).
+  const SoftParams& soft_params() const noexcept { return soft_; }
+  /// Sibling-slice contention pressure leaking into this slice
+  /// (kSoftSlice only; maintained by the owning Gpu).
+  double external_pressure() const noexcept { return external_pressure_; }
 
   /// Time-integral of "slice has >=1 job running" (seconds), up to now.
   double busy_seconds() const noexcept;
@@ -202,6 +250,12 @@ class Slice {
 
   /// Progress rate of a resident job under the current pressure.
   double job_rate(const Running& job) const noexcept;
+
+  /// Combined slowdown from weight swapping: the model cache's factor times
+  /// the engine's own oversubscription factor (kSoftSlice).
+  double total_swap_factor() const noexcept {
+    return swap_factor_ * soft_swap_factor();
+  }
 
   /// Fault path (Gpu::fail_slice): drops in-flight boot reservations so a
   /// destroyed slice cannot leave the owning GPU's drain waiting on memory
@@ -226,9 +280,17 @@ class Slice {
   SliceProfile profile_;
   SharingMode mode_;
   InterferenceParams interference_;
+  SoftParams soft_;
   MemGb mem_capacity_ = 0.0;
   bool shared_weights_ = false;
   bool accepting_ = true;
+
+  // ---- software-slicing coordination state (kSoftSlice only) --------------
+  /// Sibling-slice pressure, scaled into current_slowdown by cross_penalty.
+  double external_pressure_ = 0.0;
+  /// GPU-wide resident job count (incl. this slice), the time-slicing
+  /// discipline's round-robin denominator.
+  std::size_t gpu_jobs_ = 0;
 
   std::vector<Running> jobs_;
   MemGb mem_in_use_ = 0.0;
@@ -277,10 +339,12 @@ class Gpu {
   /// `tracer`, when non-null, receives per-slice busy spans, settle-point
   /// counter timelines and reconfiguration spans (src/obs); the engine
   /// never reads from it, so a null tracer is behaviour-identical.
+  /// `soft` configures the software-slicing substrate; only read when
+  /// `mode` is kSoftSlice (defaults keep other modes byte-identical).
   Gpu(sim::Simulator& simulator, GpuId id, Geometry geometry, SharingMode mode,
       Duration reconfigure_time = 2.0, InterferenceParams interference = {},
       MemGb memory_gb = 40.0, bool shared_weights = false,
-      obs::Tracer* tracer = nullptr);
+      obs::Tracer* tracer = nullptr, SoftParams soft = {});
   ~Gpu();  // cancels the pending reconfiguration-downtime event, if any
   Gpu(const Gpu&) = delete;
   Gpu& operator=(const Gpu&) = delete;
@@ -302,10 +366,20 @@ class Gpu {
   /// Requests a geometry change. New submissions are refused immediately;
   /// once all slices drain, the GPU is down for `reconfigure_time`, after
   /// which the new geometry is live and `on_done` fires. Requesting the
-  /// current geometry is a no-op (on_done fires immediately).
+  /// current geometry is a no-op (on_done fires immediately) and never
+  /// disturbs an in-flight drain — a request during one returns false.
   /// Returns false (and does nothing) if a reconfiguration is in flight.
+  ///
+  /// Under kSoftSlice the change applies *in place* with zero downtime:
+  /// idle slices are replaced immediately, busy ones stop accepting and
+  /// retire once their jobs drain (still contending meanwhile), and
+  /// `on_done` fires before this returns. reconfiguring() never reads true.
   bool request_reconfigure(const Geometry& target,
                            std::function<void()> on_done = {});
+
+  /// Busy soft slices from superseded geometries still finishing their
+  /// resident jobs (kSoftSlice only; empty otherwise).
+  std::size_t retiring_slices() const noexcept { return retiring_.size(); }
 
   /// Invoked whenever capacity may have been freed: a job completed or a
   /// reconfiguration finished. The node runtime uses this to drain queues.
@@ -374,6 +448,14 @@ class Gpu {
   void on_slice_activity_change(bool became_busy);
   void on_job_complete();
   void maybe_finish_drain();
+  /// kSoftSlice: republishes the GPU-wide coordination state (total job
+  /// count, per-slice external pressure) to every live and retiring slice
+  /// after any arrival/departure, and reprices their completions.
+  void soft_resettle();
+  /// kSoftSlice: applies a geometry change in place (no drain/downtime).
+  bool soft_reconfigure(const Geometry& target, std::function<void()> on_done);
+  /// Destroys retiring soft slices whose jobs have drained.
+  void reap_retired();
 
   sim::Simulator& sim_;
   GpuId id_;
@@ -381,12 +463,19 @@ class Gpu {
   SharingMode mode_;
   Duration reconfigure_time_;
   InterferenceParams interference_;
+  SoftParams soft_;
   MemGb memory_gb_ = 40.0;
   bool shared_weights_ = false;
   // Declared before slices_ so ~Slice (busy-span flush) can still read it.
   obs::Tracer* tracer_ = nullptr;
 
   std::vector<std::unique_ptr<Slice>> slices_;
+  /// kSoftSlice: busy slices superseded by an in-place repartition; they
+  /// finish (and contend) in the background and are reaped when idle.
+  std::vector<std::unique_ptr<Slice>> retiring_;
+  sim::EventHandle reap_event_;  ///< pending deferred reap, if any
+  bool reap_scheduled_ = false;
+  bool soft_resettling_ = false;
   State state_ = State::kReady;
   Geometry target_geometry_;
   std::function<void()> reconfig_done_;

@@ -1,0 +1,36 @@
+#include "gpu/sharing.h"
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+
+namespace protean::gpu {
+
+const char* to_string(SharingMode mode) noexcept {
+  switch (mode) {
+    case SharingMode::kTimeShare: return "timeshare";
+    case SharingMode::kMps: return "mps";
+    case SharingMode::kSoftSlice: return "softslice";
+  }
+  return "?";
+}
+
+std::optional<SharingMode> parse_sharing_mode(std::string_view text) {
+  std::string needle(text);
+  std::transform(needle.begin(), needle.end(), needle.begin(),
+                 [](unsigned char c) {
+                   return static_cast<char>(std::tolower(c));
+                 });
+  for (SharingMode mode : all_sharing_modes()) {
+    if (needle == to_string(mode)) return mode;
+  }
+  return std::nullopt;
+}
+
+const std::vector<SharingMode>& all_sharing_modes() {
+  static const std::vector<SharingMode> modes = {
+      SharingMode::kTimeShare, SharingMode::kMps, SharingMode::kSoftSlice};
+  return modes;
+}
+
+}  // namespace protean::gpu

@@ -1,0 +1,24 @@
+// SharingMode registry: canonical names for the GPU sharing substrates,
+// mirroring the sched scheme and autoscale policy registries so the CLI
+// (`--substrate`) and the enum can never drift apart.
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "gpu/engine.h"
+
+namespace protean::gpu {
+
+/// Canonical CLI identifier: "timeshare" | "mps" | "softslice".
+const char* to_string(SharingMode mode) noexcept;
+
+/// Parses a canonical identifier (case-insensitively). Round-trips:
+/// parse_sharing_mode(to_string(m)) == m for every mode.
+std::optional<SharingMode> parse_sharing_mode(std::string_view text);
+
+/// Every sharing mode, in enum declaration order.
+const std::vector<SharingMode>& all_sharing_modes();
+
+}  // namespace protean::gpu

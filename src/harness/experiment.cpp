@@ -4,6 +4,8 @@
 #include <optional>
 
 #include "autoscale/controller.h"
+#include "gpu/sharing.h"
+#include "softgpu/substrate.h"
 #include "cluster/cluster.h"
 #include "common/check.h"
 #include "harness/sweep.h"
@@ -230,6 +232,24 @@ Report run_experiment(const ExperimentConfig& config) {
     report.telemetry.alerts_fired = burn.alerts_fired;
     report.telemetry.first_alert_at_s = burn.first_alert_at;
     report.telemetry.alert_active_seconds = burn.alert_active_seconds;
+  }
+
+  if (cluster_config.softgpu.enabled) {
+    const softgpu::SoftGpuConfig& sg = cluster_config.softgpu;
+    report.substrate.enabled = true;
+    report.substrate.mode = gpu::to_string(sg.mode);
+    if (sg.mode == gpu::SharingMode::kSoftSlice) {
+      report.substrate.discipline = softgpu::to_string(sg.discipline);
+      report.substrate.soft_nodes = static_cast<std::uint32_t>(
+          softgpu::soft_node_count(sg, cluster_config.node_count));
+    }
+    for (NodeId id = 0; id < deployment.node_count(); ++id) {
+      cluster::WorkerNode& node = deployment.node(id);
+      if (!node.up()) continue;
+      if (node.gpu().mode() == gpu::SharingMode::kSoftSlice) {
+        report.substrate.soft_reconfigurations += node.reconfigurations();
+      }
+    }
   }
 
   if (controller.has_value()) {

@@ -153,6 +153,10 @@ struct ExperimentConfig {
     cluster.autoscale = ac;
     return *this;
   }
+  ExperimentConfig& with_substrate(const softgpu::SoftGpuConfig& sg) {
+    cluster.softgpu = sg;
+    return *this;
+  }
   ExperimentConfig& with_seed(std::uint64_t s) {
     seed = s;
     return *this;
@@ -265,6 +269,18 @@ struct Report {
     double avg_nodes = 0.0;  ///< mean committed fleet over control ticks
   };
   AutoscaleStats autoscale;
+
+  /// Substrate results (zeroed unless cluster.softgpu.enabled).
+  struct SubstrateStats {
+    bool enabled = false;
+    std::string mode;        ///< forced sharing mode (canonical CLI name)
+    std::string discipline;  ///< fraction | timeslice (kSoftSlice only)
+    std::uint32_t soft_nodes = 0;  ///< base-fleet nodes on the soft substrate
+    /// Reconfigurations executed by soft-sliced GPUs (all in-place, zero
+    /// downtime); hardware reconfigurations stay in `reconfigurations`.
+    int soft_reconfigurations = 0;
+  };
+  SubstrateStats substrate;
 
   std::vector<float> strict_latencies;  ///< filled if keep_latency_samples
   /// Per-node (time, resident GB) timelines; filled if keep_mem_timeline.

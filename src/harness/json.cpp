@@ -187,6 +187,18 @@ Json report_to_json(const Report& report) {
     a.emplace_back("avg_nodes", report.autoscale.avg_nodes);
     o.emplace_back("autoscale", Json(std::move(a)));
   }
+  if (report.substrate.enabled) {
+    Json::Object sub;
+    sub.emplace_back("mode", report.substrate.mode);
+    if (!report.substrate.discipline.empty()) {
+      sub.emplace_back("discipline", report.substrate.discipline);
+    }
+    sub.emplace_back("soft_nodes",
+                     static_cast<std::uint64_t>(report.substrate.soft_nodes));
+    sub.emplace_back("soft_reconfigurations",
+                     report.substrate.soft_reconfigurations);
+    o.emplace_back("substrate", Json(std::move(sub)));
+  }
   if (!report.strict_latencies.empty()) {
     Json::Object percentiles;
     for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.9}) {

@@ -8,7 +8,9 @@
 #include "fault/config.h"
 #include "harness/flagspec.h"
 #include "memcache/config.h"
+#include "gpu/sharing.h"
 #include "obs/trace.h"
+#include "softgpu/substrate.h"
 #include "telemetry/pipeline.h"
 #include "trace/io.h"
 #include "workload/model.h"
@@ -188,6 +190,45 @@ std::optional<autoscale::AutoscaleConfig> parse_autoscale_spec(
   return base;
 }
 
+/// Parses a `--substrate` MODE[:KEY=V,...] spec (docs/softgpu.md).
+std::optional<softgpu::SoftGpuConfig> parse_substrate_spec(
+    const std::string& spec, softgpu::SoftGpuConfig base,
+    std::string* why = nullptr) {
+  FlagSpec fs(spec, FlagSpec::Head::kFirstColon);
+  if (fs.ok()) {
+    const auto mode = gpu::parse_sharing_mode(fs.head());
+    if (!mode) {
+      fs.fail("unknown substrate '" + fs.head() +
+              "' (want timeshare | mps | softslice)");
+    } else {
+      base.mode = *mode;
+    }
+  }
+  if (fs.ok() && base.mode == gpu::SharingMode::kSoftSlice) {
+    // The soft-model knobs only mean something on the soft substrate;
+    // finish() rejects them (unknown key) after a hardware-mode head.
+    if (const auto v = fs.str("discipline")) {
+      const auto discipline = softgpu::parse_discipline(*v);
+      if (!discipline) {
+        fs.fail("bad discipline '" + *v + "' (want fraction | timeslice)");
+      } else {
+        base.discipline = *discipline;
+      }
+    }
+    if (const auto v = fs.num("penalty", 0.0, 10.0)) base.cross_penalty = *v;
+    if (const auto v = fs.num("oversub", 1.0, 16.0)) base.mem_oversub = *v;
+    if (const auto v = fs.num("switch", 0.0, 1.0)) base.switch_overhead = *v;
+    if (const auto v = fs.num("swap", 0.0, 100.0)) base.swap_penalty = *v;
+    if (const auto v = fs.num("nodes", 0.0, 1.0)) base.node_fraction = *v;
+  }
+  if (!fs.finish()) {
+    if (why != nullptr) *why = fs.error();
+    return std::nullopt;
+  }
+  base.enabled = true;
+  return base;
+}
+
 }  // namespace
 
 std::optional<sched::Scheme> scheme_from_alias(const std::string& alias) {
@@ -223,7 +264,8 @@ Workload:
 Cluster:
   --scheme NAME         protean | oracle | infless | molecule | naive |
                         mig-only | mps-mig | smart | gpulet |
-                        protean-static | protean-no-reorder | protean-no-eta
+                        protean-static | protean-no-reorder |
+                        protean-no-eta | protean-soft
                         (repeatable; default protean)
   --all-schemes         run the paper's four primary schemes
   --nodes N             worker nodes (default 8)
@@ -261,6 +303,15 @@ Autoscaling (see docs/autoscale.md; off unless --autoscale is given):
                         warm=N, headroom=F) and bare switches no-vertical,
                         no-prefetch, on-demand;
                         e.g. --autoscale predictive:max=12,settle=2
+
+Substrate (see docs/softgpu.md; off unless --substrate is given):
+  --substrate MODE[:OPTS]
+                        override the per-node GPU sharing substrate. MODE:
+                        timeshare | mps | softslice. With softslice, OPTS
+                        is a comma list of KEY=VALUE knobs
+                        (discipline=fraction|timeslice, penalty=F,
+                        oversub=F, switch=F, swap=F, nodes=F);
+                        e.g. --substrate softslice:discipline=timeslice
 
 Sweep:
   --seeds N             replications per configuration with seeds
@@ -315,7 +366,7 @@ const std::vector<std::string>& cli_flags() {
       "--slo-mult",      "--spot",
       "--p-rev",         "--faults",
       "--fault-retries", "--hedge",
-      "--autoscale",
+      "--autoscale",     "--substrate",
       "--seed",          "--seeds",
       "--jobs",          "--gpu-mem",
       "--memcache",      "--memcache-oversubscribe",
@@ -553,6 +604,24 @@ CliParseResult parse_cli(const std::vector<std::string>& args) {
                     "predictive — see docs/autoscale.md)");
       }
       opts.config.cluster.autoscale = *ac;
+    } else if (arg == "--substrate" || arg.rfind("--substrate=", 0) == 0) {
+      std::string spec;
+      if (arg == "--substrate") {
+        const auto value = next("--substrate");
+        if (!value) return fail("--substrate needs MODE[:OPTS]");
+        spec = *value;
+      } else {
+        spec = arg.substr(std::string("--substrate=").size());
+      }
+      std::string why;
+      const auto sg =
+          parse_substrate_spec(spec, opts.config.cluster.softgpu, &why);
+      if (!sg) {
+        return fail("bad --substrate value: " + spec + " (" + why +
+                    "; want MODE[:KEY=V,...] with MODE timeshare | mps | "
+                    "softslice — see docs/softgpu.md)");
+      }
+      opts.config.cluster.softgpu = *sg;
     } else if (arg == "--sketch") {
       const auto value = next("--sketch");
       const auto alpha = value ? parse_double(*value) : std::nullopt;

@@ -22,6 +22,7 @@ const char* scheme_name(Scheme scheme) noexcept {
     case Scheme::kProteanStatic: return "PROTEAN (static)";
     case Scheme::kProteanNoEta: return "PROTEAN (no eta)";
     case Scheme::kOracle: return "Oracle";
+    case Scheme::kProteanSoft: return "PROTEAN (softmig)";
   }
   return "?";
 }
@@ -40,6 +41,7 @@ const char* scheme_cli_name(Scheme scheme) noexcept {
     case Scheme::kProteanStatic: return "protean-static";
     case Scheme::kProteanNoEta: return "protean-no-eta";
     case Scheme::kOracle: return "oracle";
+    case Scheme::kProteanSoft: return "protean-soft";
   }
   return "?";
 }
@@ -75,6 +77,7 @@ const std::vector<Scheme>& all_schemes() {
       Scheme::kGpulet,           Scheme::kProtean,
       Scheme::kProteanNoReorder, Scheme::kProteanStatic,
       Scheme::kProteanNoEta,     Scheme::kOracle,
+      Scheme::kProteanSoft,
   };
   return schemes;
 }
@@ -116,6 +119,14 @@ std::unique_ptr<cluster::Scheduler> make_scheduler(Scheme scheme) {
     case Scheme::kOracle: {
       core::ProteanOptions options;
       options.oracle = true;
+      return std::make_unique<core::ProteanScheduler>(options);
+    }
+    case Scheme::kProteanSoft: {
+      core::ProteanOptions options;
+      options.softmig = true;
+      // Repartitioning is free on the soft substrate: no downtime to
+      // hedge against, so Algorithm 2 acts on the first crossing tick.
+      options.reconfig.wait_limit = 1;
       return std::make_unique<core::ProteanScheduler>(options);
     }
   }

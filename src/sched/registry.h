@@ -26,6 +26,7 @@ enum class Scheme {
   kProteanStatic,     ///< ablation: dynamic reconfiguration disabled
   kProteanNoEta,      ///< ablation: Eq. 2 placement replaced by largest-first
   kOracle,
+  kProteanSoft,       ///< PROTEAN on the software slicing substrate
 };
 
 const char* scheme_name(Scheme scheme) noexcept;

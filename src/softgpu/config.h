@@ -1,0 +1,66 @@
+// Software-defined GPU slicing substrate (src/softgpu).
+//
+// Opens the ROADMAP's third sharing axis: instead of hardware MIG
+// geometries (~2 s reconfiguration downtime, hard isolation), a node's GPU
+// can expose *software-enforced* slices — HAMi-core-style per-job memory
+// caps and SM throttles (fractional quotas), or nvshare-style exclusive
+// time windows. Reconfiguration is near-free (applied in place, zero
+// downtime) but isolation is statistical: a configurable share of sibling
+// pressure leaks across slice boundaries, and memory may oversubscribe at
+// a swap slowdown.
+//
+// This header is the user-facing configuration; the engine-level knobs it
+// compiles down to live in gpu::SoftParams (src/gpu/engine.h) so the engine
+// stays the bottom layer.
+#pragma once
+
+#include "gpu/engine.h"
+
+namespace protean::softgpu {
+
+/// How co-resident jobs share a soft-sliced GPU.
+enum class Discipline {
+  kFraction,   ///< HAMi-core-style fractional quotas (spatial, statistical)
+  kTimeSlice,  ///< nvshare-style exclusive windows (temporal round-robin)
+};
+
+struct SoftGpuConfig {
+  /// Master switch. Off (the default) keeps every run byte-identical to a
+  /// build without the subsystem.
+  bool enabled = false;
+
+  /// Substrate forced onto the selected nodes. kSoftSlice engages the soft
+  /// model below; kTimeShare / kMps force a hardware-era mode cluster-wide
+  /// (the comparison arms of bench_substrate).
+  gpu::SharingMode mode = gpu::SharingMode::kSoftSlice;
+
+  /// Sharing discipline within a soft-sliced GPU (kSoftSlice only).
+  Discipline discipline = Discipline::kFraction;
+
+  /// Fraction of sibling-slice contention pressure leaking into each soft
+  /// slice (statistical isolation; 0 would be MIG-hard).
+  double cross_penalty = 0.25;
+  /// Admission capacity multiplier over a slice's memory fraction; the
+  /// excess pays the swap slowdown below.
+  double mem_oversub = 1.5;
+  /// Fractional throughput cost per extra co-runner under kTimeSlice
+  /// (context save/restore between exclusive windows).
+  double switch_overhead = 0.02;
+  /// Swap slowdown per unit of memory oversubscription:
+  /// factor = 1 + swap_penalty × max(0, used/capacity − 1).
+  double swap_penalty = 0.8;
+
+  /// Fraction of worker nodes (from node id 0 upward) carrying the soft
+  /// substrate when mode is kSoftSlice; the rest keep the scheduler's
+  /// native mode. 1.0 = the whole cluster.
+  double node_fraction = 1.0;
+
+  /// Enabled config with the defaults above (softslice on every node).
+  static SoftGpuConfig soft() {
+    SoftGpuConfig config;
+    config.enabled = true;
+    return config;
+  }
+};
+
+}  // namespace protean::softgpu

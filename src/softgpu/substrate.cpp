@@ -1,0 +1,69 @@
+#include "softgpu/substrate.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <string>
+
+namespace protean::softgpu {
+
+const char* to_string(Discipline discipline) noexcept {
+  switch (discipline) {
+    case Discipline::kFraction: return "fraction";
+    case Discipline::kTimeSlice: return "timeslice";
+  }
+  return "?";
+}
+
+std::optional<Discipline> parse_discipline(std::string_view text) {
+  std::string needle(text);
+  std::transform(needle.begin(), needle.end(), needle.begin(),
+                 [](unsigned char c) {
+                   return static_cast<char>(std::tolower(c));
+                 });
+  for (Discipline d : {Discipline::kFraction, Discipline::kTimeSlice}) {
+    if (needle == to_string(d)) return d;
+  }
+  return std::nullopt;
+}
+
+gpu::SoftParams engine_params(const SoftGpuConfig& config) noexcept {
+  gpu::SoftParams params;
+  params.time_slice = config.discipline == Discipline::kTimeSlice;
+  params.cross_penalty = config.cross_penalty;
+  params.mem_oversub = config.mem_oversub;
+  params.switch_overhead = config.switch_overhead;
+  params.swap_penalty = config.swap_penalty;
+  return params;
+}
+
+std::size_t soft_node_count(const SoftGpuConfig& config,
+                            std::size_t node_count) noexcept {
+  if (!config.enabled || config.mode != gpu::SharingMode::kSoftSlice) return 0;
+  const double want = std::ceil(config.node_fraction * node_count);
+  const auto count = static_cast<std::size_t>(std::max(0.0, want));
+  return std::min(count, node_count);
+}
+
+bool is_soft_node(const SoftGpuConfig& config, std::size_t node_id,
+                  std::size_t node_count) noexcept {
+  const std::size_t count = soft_node_count(config, node_count);
+  if (count == 0) return false;
+  // A full-cluster substrate also covers nodes beyond the base count
+  // (autoscaling overflow slots have ids >= node_count).
+  if (count >= node_count) return true;
+  return node_id < count;
+}
+
+gpu::SharingMode node_mode(const SoftGpuConfig& config,
+                           gpu::SharingMode scheduler_mode,
+                           std::size_t node_id,
+                           std::size_t node_count) noexcept {
+  if (!config.enabled) return scheduler_mode;
+  if (config.mode != gpu::SharingMode::kSoftSlice) return config.mode;
+  return is_soft_node(config, node_id, node_count)
+             ? gpu::SharingMode::kSoftSlice
+             : scheduler_mode;
+}
+
+}  // namespace protean::softgpu

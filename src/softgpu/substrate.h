@@ -1,0 +1,39 @@
+// Substrate selection helpers: which sharing mode each node builds its GPU
+// with, and the engine knobs a SoftGpuConfig compiles down to.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+#include "softgpu/config.h"
+
+namespace protean::softgpu {
+
+/// Canonical CLI identifier: "fraction" | "timeslice".
+const char* to_string(Discipline discipline) noexcept;
+
+/// Parses a canonical discipline identifier (case-insensitively).
+std::optional<Discipline> parse_discipline(std::string_view text);
+
+/// Engine-level knobs derived from the user-facing config.
+gpu::SoftParams engine_params(const SoftGpuConfig& config) noexcept;
+
+/// Number of nodes carrying the soft substrate: ceil(node_fraction × count),
+/// clamped to [0, count]. Zero unless enabled with mode kSoftSlice.
+std::size_t soft_node_count(const SoftGpuConfig& config,
+                            std::size_t node_count) noexcept;
+
+/// Whether node `node_id` runs the soft substrate (soft nodes occupy the
+/// low ids so the split is deterministic).
+bool is_soft_node(const SoftGpuConfig& config, std::size_t node_id,
+                  std::size_t node_count) noexcept;
+
+/// The sharing mode node `node_id` should build its GPU with, given the
+/// scheduler's native mode. Identity when the substrate is disabled.
+gpu::SharingMode node_mode(const SoftGpuConfig& config,
+                           gpu::SharingMode scheduler_mode,
+                           std::size_t node_id,
+                           std::size_t node_count) noexcept;
+
+}  // namespace protean::softgpu

@@ -298,5 +298,63 @@ TEST(WorkerNode, ReorderPutsStrictAheadOfBe) {
   EXPECT_EQ(q[3].id, 2u);
 }
 
+TEST(WorkerNode, NoOpReconfigureKeepsQueuedBatches) {
+  // Regression: a begin_reconfigure into the *current* geometry completes
+  // without downtime, so the queue must not be redistributed away.
+  Fixture f;
+  std::size_t redistributed = 0;
+  f.node->set_redistribute([&](workload::Batch&&) { ++redistributed; });
+  for (auto* slice : f.node->gpu().slices()) slice->set_accepting(false);
+  f.node->enqueue(make_batch(resnet(), true, 0.0, 1));
+  f.node->enqueue(make_batch(resnet(), true, 0.0, 2));
+  ASSERT_EQ(f.node->queued(), 2u);
+  EXPECT_TRUE(f.node->begin_reconfigure(f.node->gpu().geometry()));
+  EXPECT_FALSE(f.node->gpu().reconfiguring());
+  EXPECT_EQ(f.node->queued(), 2u);
+  EXPECT_EQ(redistributed, 0u);
+}
+
+TEST(WorkerNode, SoftReconfigureKeepsQueuedBatchesAndServing) {
+  // A soft-sliced node repartitions in place: no drain, so queued work
+  // stays put and is served by the new slices.
+  Fixture f;
+  f.config.softgpu = softgpu::SoftGpuConfig::soft();
+  f.node = std::make_unique<WorkerNode>(f.sim, 0, f.config, f.scheduler,
+                                        f.collector);
+  std::size_t redistributed = 0;
+  f.node->set_redistribute([&](workload::Batch&&) { ++redistributed; });
+  for (auto* slice : f.node->gpu().slices()) slice->set_accepting(false);
+  f.node->enqueue(make_batch(resnet(), true, 0.0, 1));
+  ASSERT_EQ(f.node->queued(), 1u);
+  const gpu::Geometry target = gpu::Geometry::g3_3();
+  ASSERT_NE(f.node->gpu().geometry(), target);
+  EXPECT_TRUE(f.node->begin_reconfigure(target));
+  EXPECT_FALSE(f.node->gpu().reconfiguring());
+  EXPECT_EQ(f.node->gpu().geometry(), target);
+  // The fresh slices accept immediately, so the batch dispatches on this
+  // node instead of being redistributed away.
+  EXPECT_EQ(redistributed, 0u);
+  EXPECT_EQ(f.node->queued() + f.node->running(), 1u);
+  f.sim.run_until(f.sim.now() + 30.0);
+  EXPECT_EQ(f.node->batches_served(), 1u);
+}
+
+TEST(WorkerNode, DrainingReconfigureStillRedistributesQueue) {
+  // The flip side: a real MIG drain takes the GPU down, so queued batches
+  // are handed back for redistribution exactly as before.
+  Fixture f;
+  std::size_t redistributed = 0;
+  f.node->set_redistribute([&](workload::Batch&&) { ++redistributed; });
+  for (auto* slice : f.node->gpu().slices()) slice->set_accepting(false);
+  f.node->enqueue(make_batch(resnet(), true, 0.0, 1));
+  ASSERT_EQ(f.node->queued(), 1u);
+  const gpu::Geometry target = gpu::Geometry::g3_3();
+  ASSERT_NE(f.node->gpu().geometry(), target);
+  EXPECT_TRUE(f.node->begin_reconfigure(target));
+  EXPECT_TRUE(f.node->gpu().reconfiguring());
+  EXPECT_EQ(f.node->queued(), 0u);
+  EXPECT_EQ(redistributed, 1u);
+}
+
 }  // namespace
 }  // namespace protean::cluster

@@ -32,7 +32,7 @@ TEST(Cli, DefaultsMatchPrimaryConfig) {
 TEST(Registry, ParseSchemeRoundTripsEveryScheme) {
   // Both the display name and the CLI name must parse back to the same
   // enumerator, for all 12 schemes, so tool listings can never drift.
-  EXPECT_EQ(sched::all_schemes().size(), 12u);
+  EXPECT_EQ(sched::all_schemes().size(), 13u);
   for (sched::Scheme scheme : sched::all_schemes()) {
     EXPECT_EQ(sched::parse_scheme(sched::scheme_name(scheme)), scheme)
         << sched::scheme_name(scheme);
@@ -371,6 +371,67 @@ TEST(Cli, AutoscaleErrorPathsAreClear) {
             std::string::npos);
   EXPECT_FALSE(parse_cli({"--autoscale"}).options);
   EXPECT_FALSE(parse_cli({"--autoscale", "predictive:"}).options);
+}
+
+TEST(Cli, SubstrateDisabledByDefault) {
+  const auto opts = must_parse({});
+  EXPECT_FALSE(opts.config.cluster.softgpu.enabled);
+}
+
+TEST(Cli, SubstrateFlagParses) {
+  const auto opts = must_parse(
+      {"--substrate",
+       "softslice:discipline=timeslice,penalty=0.4,oversub=2,switch=0.05,"
+       "swap=1.5,nodes=0.5"});
+  const auto& sg = opts.config.cluster.softgpu;
+  EXPECT_TRUE(sg.enabled);
+  EXPECT_EQ(sg.mode, gpu::SharingMode::kSoftSlice);
+  EXPECT_EQ(sg.discipline, softgpu::Discipline::kTimeSlice);
+  EXPECT_DOUBLE_EQ(sg.cross_penalty, 0.4);
+  EXPECT_DOUBLE_EQ(sg.mem_oversub, 2.0);
+  EXPECT_DOUBLE_EQ(sg.switch_overhead, 0.05);
+  EXPECT_DOUBLE_EQ(sg.swap_penalty, 1.5);
+  EXPECT_DOUBLE_EQ(sg.node_fraction, 0.5);
+
+  // Bare modes and the --flag=value spelling both parse.
+  const auto mps = must_parse({"--substrate=mps"});
+  EXPECT_TRUE(mps.config.cluster.softgpu.enabled);
+  EXPECT_EQ(mps.config.cluster.softgpu.mode, gpu::SharingMode::kMps);
+  const auto ts = must_parse({"--substrate", "timeshare"});
+  EXPECT_EQ(ts.config.cluster.softgpu.mode, gpu::SharingMode::kTimeShare);
+}
+
+TEST(Cli, SubstrateSurvivesModelDerivation) {
+  for (const auto& args :
+       {std::vector<std::string>{"--substrate", "softslice:penalty=0.4",
+                                 "--model", "ALBERT"},
+        std::vector<std::string>{"--model", "ALBERT", "--substrate",
+                                 "softslice:penalty=0.4"}}) {
+    const auto opts = must_parse(args);
+    EXPECT_TRUE(opts.config.cluster.softgpu.enabled);
+    EXPECT_DOUBLE_EQ(opts.config.cluster.softgpu.cross_penalty, 0.4);
+  }
+}
+
+TEST(Cli, SubstrateErrorPathsAreClear) {
+  EXPECT_NE(must_fail({"--substrate", "hami"}).find("unknown substrate"),
+            std::string::npos);
+  EXPECT_NE(must_fail({"--substrate", "softslice:discipline=rr"})
+                .find("bad discipline 'rr'"),
+            std::string::npos);
+  EXPECT_NE(must_fail({"--substrate", "softslice:frob=1"})
+                .find("unknown key 'frob'"),
+            std::string::npos);
+  EXPECT_NE(must_fail({"--substrate", "softslice:penalty=hot"})
+                .find("bad value for 'penalty'"),
+            std::string::npos);
+  // Soft-model knobs are meaningless on a hardware substrate.
+  EXPECT_NE(must_fail({"--substrate", "mps:penalty=0.4"})
+                .find("unknown key 'penalty'"),
+            std::string::npos);
+  EXPECT_FALSE(parse_cli({"--substrate"}).options);
+  EXPECT_FALSE(parse_cli({"--substrate", "softslice:oversub=32"}).options);
+  EXPECT_FALSE(parse_cli({"--substrate", "softslice:nodes=1.5"}).options);
 }
 
 TEST(Cli, SpecFlagsReportFlagSpecDetail) {

@@ -1,0 +1,428 @@
+// Tests for the software-defined slicing substrate (src/softgpu): the
+// sharing-mode registry, the soft contention model (fractional quotas with
+// cross-slice leakage, time slicing, memory oversubscription), zero-downtime
+// in-place reconfiguration, substrate node selection, and interaction with
+// memcache / fault injection through the experiment harness.
+#include "softgpu/substrate.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fault/config.h"
+#include "gpu/engine.h"
+#include "gpu/sharing.h"
+#include "harness/experiment.h"
+#include "sched/registry.h"
+#include "sim/simulator.h"
+
+namespace protean {
+namespace {
+
+// ---------------------------------------------------------------- registry --
+
+TEST(SharingModeRegistry, RoundTripsEveryMode) {
+  for (gpu::SharingMode mode : gpu::all_sharing_modes()) {
+    const char* name = gpu::to_string(mode);
+    const auto parsed = gpu::parse_sharing_mode(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, mode) << name;
+  }
+}
+
+TEST(SharingModeRegistry, ParsesCaseInsensitively) {
+  EXPECT_EQ(gpu::parse_sharing_mode("SoftSlice"),
+            gpu::SharingMode::kSoftSlice);
+  EXPECT_EQ(gpu::parse_sharing_mode("MPS"), gpu::SharingMode::kMps);
+  EXPECT_EQ(gpu::parse_sharing_mode("TIMESHARE"),
+            gpu::SharingMode::kTimeShare);
+}
+
+TEST(SharingModeRegistry, RejectsUnknownNames) {
+  EXPECT_FALSE(gpu::parse_sharing_mode("mig").has_value());
+  EXPECT_FALSE(gpu::parse_sharing_mode("").has_value());
+  EXPECT_FALSE(gpu::parse_sharing_mode("soft slice").has_value());
+}
+
+TEST(SharingModeRegistry, EnumeratesAllThreeModes) {
+  EXPECT_EQ(gpu::all_sharing_modes().size(), 3u);
+}
+
+TEST(DisciplineRegistry, RoundTrips) {
+  for (softgpu::Discipline d :
+       {softgpu::Discipline::kFraction, softgpu::Discipline::kTimeSlice}) {
+    const auto parsed = softgpu::parse_discipline(softgpu::to_string(d));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, d);
+  }
+  EXPECT_FALSE(softgpu::parse_discipline("round-robin").has_value());
+}
+
+// ------------------------------------------------------ substrate selection --
+
+TEST(Substrate, DisabledConfigIsIdentity) {
+  softgpu::SoftGpuConfig config;  // enabled = false
+  EXPECT_EQ(softgpu::soft_node_count(config, 8), 0u);
+  EXPECT_FALSE(softgpu::is_soft_node(config, 0, 8));
+  EXPECT_EQ(softgpu::node_mode(config, gpu::SharingMode::kMps, 0, 8),
+            gpu::SharingMode::kMps);
+  EXPECT_EQ(softgpu::node_mode(config, gpu::SharingMode::kTimeShare, 3, 8),
+            gpu::SharingMode::kTimeShare);
+}
+
+TEST(Substrate, FullFractionCoversEveryNodeIncludingOverflow) {
+  auto config = softgpu::SoftGpuConfig::soft();
+  EXPECT_EQ(softgpu::soft_node_count(config, 8), 8u);
+  // Autoscaling overflow slots (ids beyond the base fleet) are soft too.
+  EXPECT_TRUE(softgpu::is_soft_node(config, 11, 8));
+  EXPECT_EQ(softgpu::node_mode(config, gpu::SharingMode::kMps, 11, 8),
+            gpu::SharingMode::kSoftSlice);
+}
+
+TEST(Substrate, PartialFractionSplitsTheFleetDeterministically) {
+  auto config = softgpu::SoftGpuConfig::soft();
+  config.node_fraction = 0.5;
+  EXPECT_EQ(softgpu::soft_node_count(config, 8), 4u);
+  EXPECT_TRUE(softgpu::is_soft_node(config, 3, 8));
+  EXPECT_FALSE(softgpu::is_soft_node(config, 4, 8));
+  EXPECT_EQ(softgpu::node_mode(config, gpu::SharingMode::kMps, 4, 8),
+            gpu::SharingMode::kMps);
+}
+
+TEST(Substrate, ForcedHardwareModeAppliesClusterWide) {
+  auto config = softgpu::SoftGpuConfig::soft();
+  config.mode = gpu::SharingMode::kTimeShare;
+  EXPECT_EQ(softgpu::soft_node_count(config, 8), 0u);
+  EXPECT_EQ(softgpu::node_mode(config, gpu::SharingMode::kMps, 5, 8),
+            gpu::SharingMode::kTimeShare);
+}
+
+TEST(Substrate, EngineParamsFollowConfig) {
+  auto config = softgpu::SoftGpuConfig::soft();
+  config.discipline = softgpu::Discipline::kTimeSlice;
+  config.cross_penalty = 0.4;
+  config.mem_oversub = 2.0;
+  config.switch_overhead = 0.05;
+  config.swap_penalty = 1.5;
+  const gpu::SoftParams params = softgpu::engine_params(config);
+  EXPECT_TRUE(params.time_slice);
+  EXPECT_DOUBLE_EQ(params.cross_penalty, 0.4);
+  EXPECT_DOUBLE_EQ(params.mem_oversub, 2.0);
+  EXPECT_DOUBLE_EQ(params.switch_overhead, 0.05);
+  EXPECT_DOUBLE_EQ(params.swap_penalty, 1.5);
+}
+
+// ------------------------------------------------------------- soft engine --
+
+gpu::JobSpec job(JobId id, Duration solo, double fbr, double sm, MemGb mem) {
+  gpu::JobSpec spec;
+  spec.id = id;
+  spec.solo_time = solo;
+  spec.fbr = fbr;
+  spec.sm_share = sm;
+  spec.mem_gb = mem;
+  return spec;
+}
+
+struct Done {
+  std::vector<gpu::JobCompletion> completions;
+  gpu::CompletionCallback cb() {
+    return [this](const gpu::JobCompletion& c) { completions.push_back(c); };
+  }
+};
+
+gpu::Gpu make_soft_gpu(sim::Simulator& sim, gpu::Geometry geometry,
+                       gpu::SoftParams soft = {}) {
+  return gpu::Gpu(sim, 0, std::move(geometry), gpu::SharingMode::kSoftSlice,
+                  /*reconfigure_time=*/2.0, gpu::InterferenceParams{},
+                  /*memory_gb=*/40.0, /*shared_weights=*/false,
+                  /*tracer=*/nullptr, soft);
+}
+
+TEST(SoftSlice, CrossSlicePressureLeaksBetweenSiblings) {
+  // Two bandwidth-saturating jobs on *separate* soft slices: hard MIG would
+  // run each at its solo time, but software throttles are statistical, so
+  // each sees cross_penalty × the other's pressure on top of its own.
+  sim::Simulator sim;
+  auto g = make_soft_gpu(sim, gpu::Geometry::g3_3());
+  auto slices = g.slices();
+  ASSERT_EQ(slices.size(), 2u);
+  Done done;
+  slices[0]->submit(job(1, 0.2, 1.0, 0.2, 4.0), done.cb());
+  slices[1]->submit(job(2, 0.2, 1.0, 0.2, 4.0), done.cb());
+  sim.run_to_completion();
+  ASSERT_EQ(done.completions.size(), 2u);
+  // Leaked pressure 1.0 + 0.25 × 1.0 = 1.25 → rate 1/1.25 each.
+  EXPECT_NEAR(done.completions[0].exec_time, 0.2 * 1.25, 1e-9);
+  EXPECT_NEAR(done.completions[1].exec_time, 0.2 * 1.25, 1e-9);
+}
+
+TEST(SoftSlice, IsolatedJobRunsAtSoloTime) {
+  sim::Simulator sim;
+  auto g = make_soft_gpu(sim, gpu::Geometry::g3_3());
+  auto slices = g.slices();
+  Done done;
+  slices[0]->submit(job(1, 0.2, 1.0, 0.2, 4.0), done.cb());
+  sim.run_to_completion();
+  ASSERT_EQ(done.completions.size(), 1u);
+  EXPECT_NEAR(done.completions[0].exec_time, 0.2, 1e-9);
+}
+
+TEST(SoftSlice, TimeSliceDisciplineRoundRobinsWholeGpu) {
+  sim::Simulator sim;
+  gpu::SoftParams soft;
+  soft.time_slice = true;
+  soft.switch_overhead = 0.02;
+  auto g = make_soft_gpu(sim, gpu::Geometry::g3_3(), soft);
+  auto slices = g.slices();
+  Done done;
+  // Jobs on *different* slices still share the one GPU in exclusive
+  // windows: n = 2, each pays the round-robin factor plus one handoff.
+  slices[0]->submit(job(1, 0.2, 0.1, 0.1, 4.0), done.cb());
+  slices[1]->submit(job(2, 0.2, 0.1, 0.1, 4.0), done.cb());
+  sim.run_to_completion();
+  ASSERT_EQ(done.completions.size(), 2u);
+  const double expected = 0.2 * 2.0 * (1.0 + 0.02);
+  EXPECT_NEAR(done.completions[0].exec_time, expected, 1e-9);
+  EXPECT_NEAR(done.completions[1].exec_time, expected, 1e-9);
+}
+
+TEST(SoftSlice, MemoryOversubscriptionAdmitsAndSwaps) {
+  sim::Simulator sim;
+  auto g = make_soft_gpu(sim, gpu::Geometry::full());  // one 7g slice, 40 GB
+  auto slices = g.slices();
+  ASSERT_EQ(slices.size(), 1u);
+  gpu::Slice& slice = *slices[0];
+  EXPECT_DOUBLE_EQ(slice.memory_capacity(), 40.0);     // hard capacity
+  EXPECT_DOUBLE_EQ(slice.admission_capacity(), 60.0);  // 1.5× oversub
+  const auto big = job(1, 0.3, 0.5, 0.5, 50.0);
+  ASSERT_TRUE(slice.can_admit(big));
+  Done done;
+  slice.submit(big, done.cb());
+  // 50/40 = 1.25 → swap factor 1 + 0.8 × 0.25 = 1.2.
+  EXPECT_NEAR(slice.soft_swap_factor(), 1.2, 1e-12);
+  sim.run_to_completion();
+  ASSERT_EQ(done.completions.size(), 1u);
+  EXPECT_NEAR(done.completions[0].exec_time, 0.3 * 1.2, 1e-9);
+}
+
+TEST(SoftSlice, BeyondOversubCapIsRefused) {
+  sim::Simulator sim;
+  auto g = make_soft_gpu(sim, gpu::Geometry::full());
+  EXPECT_FALSE(g.slices()[0]->can_admit(job(1, 0.3, 0.5, 0.5, 61.0)));
+}
+
+TEST(SoftGpu, ReconfigureAppliesInPlaceWithZeroDowntime) {
+  sim::Simulator sim;
+  auto g = make_soft_gpu(sim, gpu::Geometry::full());
+  bool done_fired = false;
+  ASSERT_TRUE(g.request_reconfigure(gpu::Geometry::g3_3(),
+                                    [&] { done_fired = true; }));
+  // No drain, no downtime: the new geometry is live immediately.
+  EXPECT_TRUE(done_fired);
+  EXPECT_FALSE(g.reconfiguring());
+  EXPECT_EQ(g.geometry(), gpu::Geometry::g3_3());
+  EXPECT_EQ(g.reconfigurations(), 1);
+  EXPECT_EQ(g.slices().size(), 2u);
+  EXPECT_EQ(g.retiring_slices(), 0u);  // old slice was idle
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+}
+
+TEST(SoftGpu, BusySlicesRetireInBackgroundAndFinishTheirJobs) {
+  sim::Simulator sim;
+  auto g = make_soft_gpu(sim, gpu::Geometry::full());
+  Done done;
+  g.slices()[0]->submit(job(1, 1.0, 0.5, 0.5, 8.0), done.cb());
+  ASSERT_TRUE(g.request_reconfigure(gpu::Geometry::g3_3()));
+  // The busy 7g slice is superseded but keeps running; the new slices are
+  // live and accepting alongside it.
+  EXPECT_EQ(g.retiring_slices(), 1u);
+  EXPECT_EQ(g.slices().size(), 2u);
+  EXPECT_TRUE(g.slices()[0]->accepting());
+  sim.run_to_completion();
+  ASSERT_EQ(done.completions.size(), 1u);
+  EXPECT_FALSE(done.completions[0].failed);
+  EXPECT_NEAR(done.completions[0].exec_time, 1.0, 1e-9);
+  EXPECT_EQ(g.retiring_slices(), 0u);  // reaped after its job drained
+}
+
+TEST(SoftGpu, BackToBackReconfiguresAreFree) {
+  sim::Simulator sim;
+  auto g = make_soft_gpu(sim, gpu::Geometry::full());
+  ASSERT_TRUE(g.request_reconfigure(gpu::Geometry::g3_3()));
+  ASSERT_TRUE(g.request_reconfigure(gpu::Geometry::g4_3()));
+  ASSERT_TRUE(g.request_reconfigure(gpu::Geometry::g3_3()));
+  EXPECT_EQ(g.reconfigurations(), 3);
+  EXPECT_EQ(g.geometry(), gpu::Geometry::g3_3());
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+}
+
+TEST(SoftGpu, ReconfigureDropsBootReservationsOfSupersededSlices) {
+  sim::Simulator sim;
+  auto g = make_soft_gpu(sim, gpu::Geometry::full());
+  g.slices()[0]->reserve_memory(10.0);
+  ASSERT_TRUE(g.request_reconfigure(gpu::Geometry::g3_3()));
+  // The reservation died with the superseded slice; the new slices start
+  // clean (the node re-queues the booting batch when its slice id is gone).
+  for (const gpu::Slice* s : std::as_const(g).slices()) {
+    EXPECT_EQ(s->reservations(), 0);
+    EXPECT_DOUBLE_EQ(s->reserved_memory(), 0.0);
+  }
+  EXPECT_EQ(g.retiring_slices(), 0u);
+}
+
+TEST(SoftGpu, RetiringSlicePressureLeaksIntoNewSlices) {
+  sim::Simulator sim;
+  auto g = make_soft_gpu(sim, gpu::Geometry::full());
+  Done done;
+  g.slices()[0]->submit(job(1, 10.0, 1.0, 0.2, 8.0), done.cb());
+  ASSERT_TRUE(g.request_reconfigure(gpu::Geometry::g3_3()));
+  // The retiring job's pressure is still on the silicon: new slices see it
+  // as external pressure (0.25 × 1.0) even before admitting anything.
+  gpu::Slice* fresh = g.slices()[0];
+  EXPECT_NEAR(fresh->external_pressure(), 1.0, 1e-12);
+  Done d2;
+  fresh->submit(job(2, 0.2, 1.0, 0.2, 4.0), d2.cb());
+  sim.run_until(5.0);
+  ASSERT_EQ(d2.completions.size(), 1u);
+  EXPECT_NEAR(d2.completions[0].exec_time, 0.2 * 1.25, 1e-9);
+}
+
+TEST(SoftGpu, AbortAllJobsCoversRetiringSlices) {
+  sim::Simulator sim;
+  auto g = make_soft_gpu(sim, gpu::Geometry::full());
+  Done done;
+  g.slices()[0]->submit(job(1, 10.0, 0.5, 0.5, 8.0), done.cb());
+  ASSERT_TRUE(g.request_reconfigure(gpu::Geometry::g3_3()));
+  ASSERT_EQ(g.retiring_slices(), 1u);
+  EXPECT_EQ(g.abort_all_jobs(), 1u);
+  ASSERT_EQ(done.completions.size(), 1u);
+  EXPECT_TRUE(done.completions[0].failed);
+  EXPECT_EQ(g.retiring_slices(), 0u);
+}
+
+TEST(SoftGpu, EccFailSliceWorksOnSoftSlices) {
+  sim::Simulator sim;
+  auto g = make_soft_gpu(sim, gpu::Geometry::g3_3());
+  Done done;
+  g.slices()[0]->submit(job(1, 10.0, 0.5, 0.5, 4.0), done.cb());
+  const SliceId victim = g.slices()[0]->id();
+  ASSERT_TRUE(g.fail_slice(victim));
+  ASSERT_EQ(done.completions.size(), 1u);
+  EXPECT_TRUE(done.completions[0].failed);
+  EXPECT_EQ(g.slices().size(), 1u);
+}
+
+// -------------------------------------------- hard-mode no-op regression ----
+
+TEST(GpuReconfigure, RequestDuringDrainDoesNotResetDrainState) {
+  // Satellite regression: back-to-back identical requests. The second
+  // request lands mid-drain and must be refused without disturbing the
+  // in-flight drain (historically the no-op path could short-circuit it).
+  sim::Simulator sim;
+  gpu::Gpu g(sim, 0, gpu::Geometry::full(), gpu::SharingMode::kMps);
+  Done done;
+  g.slices()[0]->submit(job(1, 0.5, 0.5, 0.5, 8.0), done.cb());
+  ASSERT_TRUE(g.request_reconfigure(gpu::Geometry::g3_3()));
+  EXPECT_TRUE(g.reconfiguring());
+  // Identical repeat: refused, drain still in flight.
+  EXPECT_FALSE(g.request_reconfigure(gpu::Geometry::g3_3()));
+  EXPECT_TRUE(g.reconfiguring());
+  // Requesting the *current* geometry mid-drain must not cancel it either.
+  EXPECT_FALSE(g.request_reconfigure(gpu::Geometry::full()));
+  EXPECT_TRUE(g.reconfiguring());
+  sim.run_to_completion();
+  EXPECT_FALSE(g.reconfiguring());
+  EXPECT_EQ(g.geometry(), gpu::Geometry::g3_3());
+  EXPECT_EQ(g.reconfigurations(), 1);
+}
+
+TEST(GpuReconfigure, NoOpRequestCompletesWithoutDowntime) {
+  sim::Simulator sim;
+  gpu::Gpu g(sim, 0, gpu::Geometry::g3_3(), gpu::SharingMode::kMps);
+  bool fired = false;
+  ASSERT_TRUE(g.request_reconfigure(gpu::Geometry::g3_3(),
+                                    [&] { fired = true; }));
+  EXPECT_TRUE(fired);
+  EXPECT_FALSE(g.reconfiguring());
+  EXPECT_EQ(g.reconfigurations(), 0);
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+}
+
+// ------------------------------------------------------ harness integration --
+
+harness::ExperimentConfig small_config() {
+  harness::ExperimentConfig config =
+      harness::primary_config("ResNet 50", /*horizon=*/20.0);
+  config.warmup = 10.0;
+  return config;
+}
+
+TEST(SoftGpuIntegration, SubstrateRunServesAndReportsStats) {
+  auto config = small_config().with_substrate(softgpu::SoftGpuConfig::soft());
+  const harness::Report report = harness::run_experiment(config);
+  EXPECT_GT(report.strict_completed, 0u);
+  EXPECT_TRUE(report.substrate.enabled);
+  EXPECT_EQ(report.substrate.mode, "softslice");
+  EXPECT_EQ(report.substrate.discipline, "fraction");
+  EXPECT_EQ(report.substrate.soft_nodes, config.cluster.node_count);
+  // Every reconfiguration on the soft substrate is an in-place one.
+  EXPECT_EQ(report.substrate.soft_reconfigurations, report.reconfigurations);
+}
+
+TEST(SoftGpuIntegration, DisabledSubstrateReportIsAbsent) {
+  const harness::Report report = harness::run_experiment(small_config());
+  EXPECT_FALSE(report.substrate.enabled);
+}
+
+TEST(SoftGpuIntegration, ProteanSoftSchemeRunsWithoutSubstrateFlag) {
+  auto config = small_config().with_scheme(sched::Scheme::kProteanSoft);
+  const harness::Report report = harness::run_experiment(config);
+  EXPECT_GT(report.strict_completed, 0u);
+  EXPECT_EQ(report.scheme, "PROTEAN (softmig)");
+}
+
+TEST(SoftGpuIntegration, MemcacheResidencySurvivesSoftResizes) {
+  // Satellite coverage: model-cache residency across soft-slice resizes.
+  // Weight syncs key on topology_version, which in-place repartitions bump.
+  auto config = small_config()
+                    .with_scheme(sched::Scheme::kProteanSoft)
+                    .with_substrate(softgpu::SoftGpuConfig::soft());
+  config.cluster.memcache.enabled = true;
+  config.cluster.memcache.capacity_gb = 8.0;
+  const harness::Report report = harness::run_experiment(config);
+  EXPECT_GT(report.strict_completed, 0u);
+  EXPECT_TRUE(report.memcache.enabled);
+  EXPECT_GT(report.memcache.hits + report.memcache.misses, 0u);
+  EXPECT_GT(report.substrate.soft_reconfigurations, 0);
+}
+
+TEST(SoftGpuIntegration, FaultInjectionLandsOnSoftSlices) {
+  // Satellite coverage: ECC + crash faults while the substrate is active.
+  auto config = small_config()
+                    .with_scheme(sched::Scheme::kProteanSoft)
+                    .with_substrate(softgpu::SoftGpuConfig::soft());
+  config.cluster.fault.enabled = true;
+  config.cluster.fault.script = {
+      *fault::parse_scripted_fault("ecc@12:n0"),
+      *fault::parse_scripted_fault("crash@14:n1"),
+  };
+  const harness::Report report = harness::run_experiment(config);
+  EXPECT_GT(report.strict_completed, 0u);
+  EXPECT_TRUE(report.faults.enabled);
+  EXPECT_EQ(report.faults.injected_ecc, 1u);
+  EXPECT_EQ(report.faults.injected_crashes, 1u);
+}
+
+TEST(SoftGpuIntegration, RepeatRunsAreDeterministic) {
+  auto config = small_config().with_substrate(softgpu::SoftGpuConfig::soft());
+  const harness::Report a = harness::run_experiment(config);
+  const harness::Report b = harness::run_experiment(config);
+  EXPECT_EQ(a.strict_completed, b.strict_completed);
+  EXPECT_EQ(a.reconfigurations, b.reconfigurations);
+  EXPECT_DOUBLE_EQ(a.slo_compliance_pct, b.slo_compliance_pct);
+  EXPECT_DOUBLE_EQ(a.cost_usd, b.cost_usd);
+}
+
+}  // namespace
+}  // namespace protean
