@@ -49,6 +49,16 @@ Cluster::Cluster(sim::Simulator& simulator, const ClusterConfig& config,
     injector_ =
         std::make_unique<fault::FaultInjector>(sim_, config_.fault, *this);
   }
+  if (config_.workflow.enabled) {
+    pipeline_conscious_ = scheduler_.pipeline_conscious();
+    workflow_ = std::make_unique<workflow::WorkflowRuntime>(
+        sim_, config_.workflow, collector_, config_.tracer,
+        config_.slo_multiplier, pipeline_conscious_);
+    for (auto& node : nodes_) {
+      node->set_stage_complete_handler(
+          [this](workload::Batch&& b) { on_stage_complete(std::move(b)); });
+    }
+  }
   if (config_.telemetry != nullptr) register_telemetry(*config_.telemetry);
 }
 
@@ -83,6 +93,7 @@ void Cluster::register_telemetry(telemetry::MetricsRegistry& registry) {
   });
   gateway_->register_telemetry(registry);
   for (auto& node : nodes_) node->register_telemetry(registry);
+  if (workflow_) workflow_->register_telemetry(registry);
 }
 
 Cluster::~Cluster() { stop(); }
@@ -110,6 +121,28 @@ void Cluster::stop() {
 }
 
 WorkerNode* Cluster::pick_node(const workload::Batch& batch) {
+  WorkerNode* chosen = pick_node_base(batch);
+  // DAG-aware preference (pipeline-conscious schemes only): keep a stage on
+  // its predecessor's node — a zero-cost hop — unless the configured policy
+  // found a node that is ahead by more than one transfer hop. Per-stage
+  // greedy dispatch ignores the hop cost entirely; that gap is what the
+  // workflow bench measures. The base policy runs first either way, so the
+  // random-routing RNG stream is identical across schemes.
+  if (workflow_ && pipeline_conscious_ && batch.has_pred &&
+      chosen != nullptr) {
+    WorkerNode& pred = *nodes_.at(batch.pred_node);
+    if (&pred != chosen && pred.accepting() &&
+        !(pred.gpu().reconfiguring() && pred.queued() > 4)) {
+      const Duration hop = workflow_->hop_cost(batch);
+      if (pred.outstanding_work() <= chosen->outstanding_work() + hop) {
+        chosen = &pred;
+      }
+    }
+  }
+  return chosen;
+}
+
+WorkerNode* Cluster::pick_node_base(const workload::Batch& batch) {
   if (dispatch_policy_ == DispatchPolicy::kConsolidate) {
     // INFless/Llama-style packing: the busiest GPU that still has memory
     // for the batch and whose contention pressure stays under the limit.
@@ -173,6 +206,9 @@ WorkerNode* Cluster::pick_node(const workload::Batch& batch) {
 }
 
 void Cluster::dispatch(workload::Batch&& batch) {
+  // Sealed strict gateway batches of the entry model become stage 0 of a
+  // new flow; stage/retry re-dispatches pass through untouched.
+  if (workflow_) workflow_->admit(batch);
   maybe_arm_hedge(batch);
   WorkerNode* node = pick_node(batch);
   if (node == nullptr) {
@@ -184,12 +220,49 @@ void Cluster::dispatch(workload::Batch&& batch) {
     backlog_.push_back(std::move(batch));
     return;
   }
+  if (workflow_ && batch.has_pred) {
+    // Inter-stage transfer: free when co-located with the producing stage,
+    // a bandwidth + fixed-hop delay otherwise. Paid once — a later fault
+    // retry re-dispatches with the input already resident.
+    const Duration hop = workflow_->pay_hop(batch, node->id());
+    batch.has_pred = false;
+    if (hop > 0.0) {
+      batch.transfer += hop;
+      if (obs::Tracer* t = config_.tracer;
+          t != nullptr && t->wants(obs::kSpans)) {
+        t->instant(obs::kSpans, "transfer", static_cast<int>(node->id()) + 1,
+                   {{"batch", static_cast<double>(batch.id)},
+                    {"hop_ms", 1e3 * hop}});
+      }
+      const NodeId dest = node->id();
+      auto moved = std::make_shared<workload::Batch>(std::move(batch));
+      sim_.schedule_after(hop, [this, moved, dest] {
+        WorkerNode& n = *nodes_.at(dest);
+        if (n.accepting()) {
+          n.enqueue(std::move(*moved));
+        } else {
+          dispatch(std::move(*moved));  // destination died mid-transfer
+        }
+      });
+      return;
+    }
+  }
   node->enqueue(std::move(batch));
+}
+
+void Cluster::on_stage_complete(workload::Batch&& batch) {
+  for (workload::Batch& next : workflow_->on_stage_complete(batch)) {
+    dispatch(std::move(next));
+  }
 }
 
 void Cluster::maybe_arm_hedge(workload::Batch& batch) {
   const fault::FaultConfig& fc = config_.fault;
   if (!fc.enabled || !fc.hedge.enabled) return;
+  // Workflow stage batches are not hedged: a hedged twin finishing second
+  // would race the flow's join bookkeeping for no tail benefit (the runtime
+  // already dedups, but the duplicate stage work is pure waste).
+  if (batch.flow != 0) return;
   if (!batch.strict || batch.slo >= kNeverTime) return;
   if (batch.hedged || batch.hedge_armed || batch.attempts > 0) return;
   batch.hedge_armed = true;
@@ -220,6 +293,23 @@ void Cluster::on_lost_batch(workload::Batch&& batch) {
   collector_.record_lost_work(batch.strict, batch.count);
   if (collector_.seen(batch.id)) return;  // a twin already settled this id
   if (batch.attempts >= config_.fault.retry.max_retries) {
+    if (workflow_ && batch.flow != 0) {
+      // A terminally dropped stage kills its whole flow — once. Parallel
+      // DAG branches that die later find the flow already dead and count
+      // nothing, so diamond twins cannot inflate the drop statistics.
+      const int lost = workflow_->on_stage_dropped(batch);
+      if (lost > 0) {
+        collector_.record_dropped(batch.strict, lost);
+        if (obs::Tracer* t = config_.tracer;
+            t != nullptr && t->wants(obs::kSpans)) {
+          t->instant(obs::kSpans, "drop", 0,
+                     {{"batch", static_cast<double>(batch.id)},
+                      {"flow", static_cast<double>(batch.flow)},
+                      {"attempts", static_cast<double>(batch.attempts)}});
+        }
+      }
+      return;
+    }
     // Out of retries: terminal for this copy. The first terminal event for
     // an id — this drop or a twin's completion — wins in the collector.
     if (collector_.claim(batch.id)) {

@@ -15,6 +15,7 @@
 #include "metrics/collector.h"
 #include "sim/simulator.h"
 #include "spot/market.h"
+#include "workflow/runtime.h"
 
 namespace protean::cluster {
 
@@ -77,6 +78,11 @@ class Cluster : public spot::NodeLifecycleListener, public fault::FaultTarget {
     return injector_.get();
   }
 
+  /// The workflow runtime; nullptr unless config.workflow.enabled.
+  const workflow::WorkflowRuntime* workflow() const noexcept {
+    return workflow_.get();
+  }
+
   // ---- fleet-wide stats ----------------------------------------------------
   /// Percentage of wall time with >= 1 job running, averaged over GPUs.
   double gpu_utilization_pct() const;
@@ -97,10 +103,16 @@ class Cluster : public spot::NodeLifecycleListener, public fault::FaultTarget {
   /// Registers cluster/gateway/node instruments into config.telemetry.
   void register_telemetry(telemetry::MetricsRegistry& registry);
   WorkerNode* pick_node(const workload::Batch& batch);
+  /// The configured dispatch policy, before the workflow layer's DAG-aware
+  /// co-location preference is applied on top.
+  WorkerNode* pick_node_base(const workload::Batch& batch);
   /// Retry/drop decision for a batch aborted by a fault.
   void on_lost_batch(workload::Batch&& batch);
   /// Arms the hedge timer for a fresh strict batch when hedging is on.
   void maybe_arm_hedge(workload::Batch& batch);
+  /// Node completion hook for workflow stage batches: expands successor
+  /// stages through the runtime and dispatches them.
+  void on_stage_complete(workload::Batch&& batch);
 
   sim::Simulator& sim_;
   ClusterConfig config_;
@@ -110,6 +122,8 @@ class Cluster : public spot::NodeLifecycleListener, public fault::FaultTarget {
   std::unique_ptr<Gateway> gateway_;
   std::unique_ptr<spot::Market> market_;
   std::unique_ptr<fault::FaultInjector> injector_;
+  std::unique_ptr<workflow::WorkflowRuntime> workflow_;
+  bool pipeline_conscious_ = false;
   std::unique_ptr<sim::PeriodicTask> monitor_task_;
   std::unique_ptr<sim::PeriodicTask> backlog_task_;
   std::deque<workload::Batch> backlog_;

@@ -10,6 +10,7 @@
 #include "memcache/config.h"
 #include "softgpu/config.h"
 #include "spot/market.h"
+#include "workflow/config.h"
 
 namespace protean::obs {
 class Tracer;
@@ -100,6 +101,13 @@ struct ClusterConfig {
   /// sharing mode. With the substrate off every run is byte-identical to a
   /// build without this knob.
   softgpu::SoftGpuConfig softgpu;
+
+  /// Pipeline/DAG inference workflows (src/workflow). Disabled by default;
+  /// when enabled, strict requests expand into multi-stage DAG flows with
+  /// one end-to-end SLO, inter-stage transfer hops, and per-stage jobs
+  /// spawned as predecessors complete. With workflows off every run is
+  /// byte-identical to a build without this knob.
+  workflow::WorkflowConfig workflow;
 
   /// SLO-aware online autoscaling (src/autoscale). Disabled by default;
   /// when enabled the cluster builds resolve_max(node_count) node slots,

@@ -509,7 +509,6 @@ void WorkerNode::on_complete(workload::Batch batch,
   }
   batch.completed_at = done.finished_at;
   batch.exec_time = done.exec_time;
-  collector_.record(batch);
   PROTEAN_DCHECK(running_ > 0);
   --running_;
   ++batches_served_;
@@ -520,6 +519,14 @@ void WorkerNode::on_complete(workload::Batch batch,
   if (config_.keep_alive > 0.0) {
     ++pool.warm;
     pool.idle_since.push_back(sim_.now());
+  }
+  if (stage_complete_ && batch.flow != 0) {
+    // Workflow stage batches take the per-stage path: the runtime accounts
+    // components and expands successor stages; the flow's terminal record
+    // carries the request latencies.
+    stage_complete_(std::move(batch));
+  } else {
+    collector_.record(batch);
   }
   // try_dispatch fires via the GPU capacity callback right after this.
 }

@@ -91,6 +91,15 @@ class WorkerNode {
   bool inject_ecc(double selector);
   bool ecc_degraded() const noexcept { return ecc_degraded_; }
 
+  // ---- workflows (src/workflow) ------------------------------------------
+  /// Installed by the cluster when workflows are on. Stage-batch
+  /// completions route here (the runtime accounts components and expands
+  /// successors) instead of Collector::record(); node-side accounting
+  /// (running count, pools, outstanding work) is identical either way.
+  void set_stage_complete_handler(std::function<void(workload::Batch&&)> fn) {
+    stage_complete_ = std::move(fn);
+  }
+
   // ---- queue ---------------------------------------------------------------
   void enqueue(workload::Batch batch);
   std::size_t queued() const noexcept { return queue_.size(); }
@@ -257,6 +266,9 @@ class WorkerNode {
   // ---- telemetry (inert unless config.telemetry is set) ------------------
   telemetry::Counter* placements_placed_ = nullptr;
   telemetry::Counter* placements_deferred_ = nullptr;
+
+  // ---- workflow state (inert unless config.workflow.enabled) -------------
+  std::function<void(workload::Batch&&)> stage_complete_;
 
   // ---- fault-injection state (inert unless config.fault.enabled) ---------
   std::function<void(workload::Batch&&)> lost_handler_;

@@ -44,6 +44,13 @@ class Scheduler {
     return std::nullopt;
   }
 
+  /// Whether the dispatcher should be DAG-aware for workflow stage batches:
+  /// prefer the predecessor stage's node (zero transfer hop) whenever its
+  /// queue is within one hop cost of the least-loaded node, and split the
+  /// end-to-end SLO budget across stages ESG-style. Only consulted when
+  /// workflows are enabled; the default (false) is per-stage greedy.
+  virtual bool pipeline_conscious() const { return false; }
+
   /// Chooses the slice `batch` should execute on, or nullptr to leave it
   /// queued. The returned slice must currently admit the JobSpec produced
   /// by make_job (the node re-checks defensively).

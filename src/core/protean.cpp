@@ -14,6 +14,7 @@ ProteanScheduler::ProteanScheduler(ProteanOptions options)
 std::string ProteanScheduler::name() const {
   if (options_.oracle) return "Oracle";
   if (options_.softmig) return "PROTEAN (softmig)";
+  if (options_.pipeline) return "PROTEAN-Pipe";
   if (!options_.dynamic_reconfig) return "PROTEAN (static)";
   if (!options_.use_eta) return "PROTEAN (no eta)";
   if (!options_.reorder) return "PROTEAN (no reorder)";

@@ -38,6 +38,11 @@ struct ProteanOptions {
   /// downtime. Free reconfiguration removes the need for hysteresis, so
   /// the scheme variant also drops the wait counter to 1.
   bool softmig = false;
+  /// Pipeline-conscious variant (ESG-style, src/workflow): the dispatcher
+  /// prefers co-locating adjacent DAG stages and the harness splits the
+  /// end-to-end SLO budget across stages by profiled RDF weight. Identical
+  /// to plain PROTEAN when workflows are off.
+  bool pipeline = false;
 };
 
 class ProteanScheduler : public cluster::Scheduler {
@@ -58,6 +63,8 @@ class ProteanScheduler : public cluster::Scheduler {
     // least-loaded worker so per-node bursts don't force co-location.
     return cluster::DispatchPolicy::kLeastLoaded;
   }
+
+  bool pipeline_conscious() const override { return options_.pipeline; }
 
   gpu::Slice* place(const workload::Batch& batch,
                     cluster::WorkerNode& node) override;

@@ -11,6 +11,7 @@
 #include "harness/sweep.h"
 #include "sim/simulator.h"
 #include "trace/driver.h"
+#include "workflow/spec.h"
 #include "workload/model.h"
 
 namespace protean::harness {
@@ -80,6 +81,13 @@ Report run_experiment(const ExperimentConfig& config) {
   driver_config.trace = config.trace;
   driver_config.trace.seed = config.seed;
   driver_config.strict_model = &model_by_name(config.strict_model);
+  // With workflows on, the strict stream addresses the DAG's entry stage;
+  // the configured strict model only applies to single-model runs.
+  std::optional<workflow::WorkflowSpec> wf_spec;
+  if (cluster_config.workflow.enabled) {
+    wf_spec.emplace(workflow::WorkflowSpec::build(cluster_config.workflow));
+    driver_config.strict_model = wf_spec->entry_model();
+  }
   driver_config.strict_fraction = config.strict_fraction;
   driver_config.be_rotation_period = config.be_rotation_period;
   driver_config.seed = config.seed ^ 0xD417E5ULL;
@@ -105,6 +113,20 @@ Report run_experiment(const ExperimentConfig& config) {
   // already has warm containers for the active models on every node.
   for (NodeId id = 0; id < cluster_config.node_count; ++id) {
     deployment.node(id).prewarm(*driver_config.strict_model, 4);
+    if (wf_spec.has_value()) {
+      // Downstream stage models need warm containers too (each distinct
+      // model once; the entry stage already got its strict allotment).
+      std::vector<const workload::ModelProfile*> warmed = {
+          driver_config.strict_model};
+      for (int s = 1; s < wf_spec->stage_count(); ++s) {
+        const workload::ModelProfile* m = wf_spec->stage(s).model;
+        if (std::find(warmed.begin(), warmed.end(), m) != warmed.end()) {
+          continue;
+        }
+        warmed.push_back(m);
+        deployment.node(id).prewarm(*m, 2);
+      }
+    }
     for (const auto* be_model : driver.be_models()) {
       deployment.node(id).prewarm(*be_model, 2);
     }
@@ -127,10 +149,16 @@ Report run_experiment(const ExperimentConfig& config) {
   const auto& collector = deployment.collector();
 
   report.scheme = scheduler->name();
-  report.strict_model = config.strict_model;
+  report.strict_model = driver_config.strict_model->name;
   report.min_possible_ms = to_ms(driver_config.strict_model->solo_time_7g);
   report.slo_ms = to_ms(driver_config.strict_model->slo_deadline(
       cluster_config.slo_multiplier));
+  if (const workflow::WorkflowRuntime* wf = deployment.workflow()) {
+    // End-to-end flow numbers: the deadline and the floor span the whole
+    // DAG's critical path, not the entry stage alone.
+    report.slo_ms = to_ms(wf->flow_slo());
+    report.min_possible_ms = to_ms(wf->spec().critical_path_solo());
+  }
 
   report.strict_emitted = driver.strict_emitted();
   report.strict_completed = collector.strict_completed();
@@ -250,6 +278,24 @@ Report run_experiment(const ExperimentConfig& config) {
         report.substrate.soft_reconfigurations += node.reconfigurations();
       }
     }
+  }
+
+  if (const workflow::WorkflowRuntime* wf = deployment.workflow()) {
+    report.workflow.enabled = true;
+    report.workflow.shape = wf->spec().name();
+    report.workflow.stages = wf->spec().stage_count();
+    report.workflow.flows_admitted = wf->flows_admitted();
+    report.workflow.flows_completed = wf->flows_completed();
+    report.workflow.flows_dropped = wf->flows_dropped();
+    report.workflow.stage_batches = wf->stage_batches();
+    report.workflow.colocated_hops = wf->colocated_hops();
+    report.workflow.transfer_hops = wf->transfer_hops();
+    report.workflow.transfer_seconds = wf->transfer_seconds();
+    // Only terminal flow records enter the strict latency store when
+    // workflows are on, so the strict percentiles ARE the end-to-end flow
+    // percentiles.
+    report.workflow.e2e_p50_ms = report.strict_p50_ms;
+    report.workflow.e2e_p99_ms = report.strict_p99_ms;
   }
 
   if (controller.has_value()) {

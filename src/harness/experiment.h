@@ -157,6 +157,10 @@ struct ExperimentConfig {
     cluster.softgpu = sg;
     return *this;
   }
+  ExperimentConfig& with_workflow(const workflow::WorkflowConfig& wf) {
+    cluster.workflow = wf;
+    return *this;
+  }
   ExperimentConfig& with_seed(std::uint64_t s) {
     seed = s;
     return *this;
@@ -281,6 +285,26 @@ struct Report {
     int soft_reconfigurations = 0;
   };
   SubstrateStats substrate;
+
+  /// Workflow results (zeroed unless cluster.workflow.enabled). With
+  /// workflows on, the report's strict stats ARE end-to-end flow stats:
+  /// only terminal flow records enter the strict latency/compliance path,
+  /// so slo_compliance_pct measures whole-DAG deadlines, never per-stage.
+  struct WorkflowStats {
+    bool enabled = false;
+    std::string shape;     ///< chain | fanout | diamond | shared
+    int stages = 0;
+    std::uint64_t flows_admitted = 0;
+    std::uint64_t flows_completed = 0;
+    std::uint64_t flows_dropped = 0;
+    std::uint64_t stage_batches = 0;    ///< stage completions recorded
+    std::uint64_t colocated_hops = 0;   ///< zero-cost adjacent-stage hops
+    std::uint64_t transfer_hops = 0;    ///< cross-node hops that paid
+    double transfer_seconds = 0.0;      ///< total inter-stage transfer time
+    double e2e_p50_ms = 0.0;
+    double e2e_p99_ms = 0.0;
+  };
+  WorkflowStats workflow;
 
   std::vector<float> strict_latencies;  ///< filled if keep_latency_samples
   /// Per-node (time, resident GB) timelines; filled if keep_mem_timeline.

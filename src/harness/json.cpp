@@ -199,6 +199,23 @@ Json report_to_json(const Report& report) {
                      report.substrate.soft_reconfigurations);
     o.emplace_back("substrate", Json(std::move(sub)));
   }
+  if (report.workflow.enabled) {
+    // Appended only when workflows are on, so single-model runs serialize
+    // byte-identically to pre-workflow builds.
+    Json::Object wf;
+    wf.emplace_back("shape", report.workflow.shape);
+    wf.emplace_back("stages", report.workflow.stages);
+    wf.emplace_back("flows_admitted", report.workflow.flows_admitted);
+    wf.emplace_back("flows_completed", report.workflow.flows_completed);
+    wf.emplace_back("flows_dropped", report.workflow.flows_dropped);
+    wf.emplace_back("stage_batches", report.workflow.stage_batches);
+    wf.emplace_back("colocated_hops", report.workflow.colocated_hops);
+    wf.emplace_back("transfer_hops", report.workflow.transfer_hops);
+    wf.emplace_back("transfer_s", report.workflow.transfer_seconds);
+    wf.emplace_back("e2e_p50_ms", report.workflow.e2e_p50_ms);
+    wf.emplace_back("e2e_p99_ms", report.workflow.e2e_p99_ms);
+    o.emplace_back("workflow", Json(std::move(wf)));
+  }
   if (!report.strict_latencies.empty()) {
     Json::Object percentiles;
     for (double p : {10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.9}) {

@@ -11,6 +11,7 @@
 #include "gpu/sharing.h"
 #include "obs/trace.h"
 #include "softgpu/substrate.h"
+#include "workflow/config.h"
 #include "telemetry/pipeline.h"
 #include "trace/io.h"
 #include "workload/model.h"
@@ -229,6 +230,37 @@ std::optional<softgpu::SoftGpuConfig> parse_substrate_spec(
   return base;
 }
 
+/// Parses a `--workflow` SHAPE[:KEY=V,...] spec (docs/workflows.md).
+std::optional<workflow::WorkflowConfig> parse_workflow_spec(
+    const std::string& spec, workflow::WorkflowConfig base,
+    std::string* why = nullptr) {
+  FlagSpec fs(spec, FlagSpec::Head::kFirstColon);
+  if (fs.ok()) {
+    const auto shape = workflow::parse_shape(fs.head());
+    if (!shape) {
+      fs.fail("unknown workflow '" + fs.head() +
+              "' (want chain | fanout | diamond | shared)");
+    } else {
+      base.shape = *shape;
+    }
+  }
+  if (const auto v = fs.count("stages", 2, 8)) {
+    base.chain_stages = static_cast<int>(*v);
+  }
+  if (const auto v = fs.count("width", 2, 6)) {
+    base.fanout_width = static_cast<int>(*v);
+  }
+  if (const auto v = fs.num("transfer", 0.0, 65536.0)) base.transfer_mb = *v;
+  if (const auto v = fs.num("bw", 0.1, 1024.0)) base.bw_gbps = *v;
+  if (const auto v = fs.num("hop", 0.0, 1.0)) base.hop_latency = *v;
+  if (!fs.finish()) {
+    if (why != nullptr) *why = fs.error();
+    return std::nullopt;
+  }
+  base.enabled = true;
+  return base;
+}
+
 }  // namespace
 
 std::optional<sched::Scheme> scheme_from_alias(const std::string& alias) {
@@ -265,7 +297,7 @@ Cluster:
   --scheme NAME         protean | oracle | infless | molecule | naive |
                         mig-only | mps-mig | smart | gpulet |
                         protean-static | protean-no-reorder |
-                        protean-no-eta | protean-soft
+                        protean-no-eta | protean-soft | protean-pipe
                         (repeatable; default protean)
   --all-schemes         run the paper's four primary schemes
   --nodes N             worker nodes (default 8)
@@ -312,6 +344,16 @@ Substrate (see docs/softgpu.md; off unless --substrate is given):
                         (discipline=fraction|timeslice, penalty=F,
                         oversub=F, switch=F, swap=F, nodes=F);
                         e.g. --substrate softslice:discipline=timeslice
+
+Workflows (see docs/workflows.md; off unless --workflow is given):
+  --workflow SHAPE[:OPTS]
+                        expand each strict request into a DAG of model
+                        stages with one end-to-end SLO. SHAPE: chain |
+                        fanout | diamond | shared. OPTS is a comma list of
+                        KEY=VALUE knobs (stages=N for chain, width=N for
+                        fanout, transfer=MB, bw=GBPS, hop=S);
+                        e.g. --workflow diamond:transfer=256,bw=8.
+                        Pipeline-conscious placement: --scheme protean-pipe
 
 Sweep:
   --seeds N             replications per configuration with seeds
@@ -367,7 +409,8 @@ const std::vector<std::string>& cli_flags() {
       "--p-rev",         "--faults",
       "--fault-retries", "--hedge",
       "--autoscale",     "--substrate",
-      "--seed",          "--seeds",
+      "--workflow",      "--seed",
+      "--seeds",
       "--jobs",          "--gpu-mem",
       "--memcache",      "--memcache-oversubscribe",
       "--telemetry",     "--sketch",
@@ -622,6 +665,24 @@ CliParseResult parse_cli(const std::vector<std::string>& args) {
                     "softslice — see docs/softgpu.md)");
       }
       opts.config.cluster.softgpu = *sg;
+    } else if (arg == "--workflow" || arg.rfind("--workflow=", 0) == 0) {
+      std::string spec;
+      if (arg == "--workflow") {
+        const auto value = next("--workflow");
+        if (!value) return fail("--workflow needs SHAPE[:OPTS]");
+        spec = *value;
+      } else {
+        spec = arg.substr(std::string("--workflow=").size());
+      }
+      std::string why;
+      const auto wf =
+          parse_workflow_spec(spec, opts.config.cluster.workflow, &why);
+      if (!wf) {
+        return fail("bad --workflow value: " + spec + " (" + why +
+                    "; want SHAPE[:KEY=V,...] with SHAPE chain | fanout | "
+                    "diamond | shared — see docs/workflows.md)");
+      }
+      opts.config.cluster.workflow = *wf;
     } else if (arg == "--sketch") {
       const auto value = next("--sketch");
       const auto alpha = value ? parse_double(*value) : std::nullopt;

@@ -35,31 +35,7 @@ void Collector::record(const workload::Batch& batch) {
   const double lat_last = batch.completed_at - batch.last_arrival;
   PROTEAN_DCHECK(lat_first >= lat_last - 1e-9);
 
-  auto& sketch = batch.strict ? strict_sketch_ : be_sketch_;
-  auto& sink = batch.strict ? strict_lat_ : be_lat_;
-  if (!sketch) {
-    sink.reserve(sink.size() + static_cast<std::size_t>(batch.count));
-  }
-  for (int i = 0; i < batch.count; ++i) {
-    // Requests are spread uniformly over [first_arrival, last_arrival];
-    // request 0 is the earliest, i.e. the longest-waiting.
-    const double frac =
-        batch.count == 1
-            ? 0.0
-            : static_cast<double>(i) / static_cast<double>(batch.count - 1);
-    const double lat = lat_first + (lat_last - lat_first) * frac;
-    if (sketch) {
-      sketch->add(lat);
-    } else {
-      sink.push_back(static_cast<float>(lat));
-    }
-    if (batch.strict) {
-      ++strict_total_;
-      if (lat <= batch.slo + 1e-9) ++strict_compliant_;
-    } else {
-      ++be_total_;
-    }
-  }
+  record_requests(batch.strict, batch.count, lat_first, lat_last, batch.slo);
   if (observer_) {
     observer_(batch.completed_at, batch.strict, lat_first, lat_last,
               batch.count, batch.slo);
@@ -78,6 +54,77 @@ void Collector::record(const workload::Batch& batch) {
   bb.interference = batch.interference_delay();
   bb.count = batch.count;
   bb.strict = batch.strict;
+  batches_.push_back(bb);
+}
+
+void Collector::record_requests(bool strict, int count, double lat_first,
+                                double lat_last, double slo) {
+  auto& sketch = strict ? strict_sketch_ : be_sketch_;
+  auto& sink = strict ? strict_lat_ : be_lat_;
+  if (!sketch) {
+    sink.reserve(sink.size() + static_cast<std::size_t>(count));
+  }
+  for (int i = 0; i < count; ++i) {
+    // Requests are spread uniformly over [first_arrival, last_arrival];
+    // request 0 is the earliest, i.e. the longest-waiting.
+    const double frac =
+        count == 1 ? 0.0
+                   : static_cast<double>(i) / static_cast<double>(count - 1);
+    const double lat = lat_first + (lat_last - lat_first) * frac;
+    if (sketch) {
+      sketch->add(lat);
+    } else {
+      sink.push_back(static_cast<float>(lat));
+    }
+    if (strict) {
+      ++strict_total_;
+      if (lat <= slo + 1e-9) ++strict_compliant_;
+    } else {
+      ++be_total_;
+    }
+  }
+}
+
+void Collector::record_stage(const workload::Batch& batch) {
+  ++stages_recorded_;
+  stage_queue_seconds_ += batch.stage_queue_delay();
+  stage_cold_seconds_ += batch.cold_start;
+  stage_exec_seconds_ += batch.exec_time;
+}
+
+void Collector::record_flow(const FlowRecord& flow) {
+  PROTEAN_CHECK_MSG(flow.completed_at > 0.0, "flow not completed");
+  PROTEAN_CHECK_MSG(flow.count > 0, "empty flow");
+  if (!claim(flow.id)) return;  // raced a terminal drop under dedup
+  if (flow.first_arrival < measure_from_) return;
+  ++flows_recorded_;
+
+  const double lat_first = flow.completed_at - flow.first_arrival;
+  const double lat_last = flow.completed_at - flow.last_arrival;
+  PROTEAN_DCHECK(lat_first >= lat_last - 1e-9);
+
+  record_requests(flow.strict, flow.count, lat_first, lat_last, flow.slo);
+  if (observer_) {
+    observer_(flow.completed_at, flow.strict, lat_first, lat_last, flow.count,
+              flow.slo);
+  }
+
+  BatchBreakdown bb;
+  bb.completed_at = flow.completed_at;
+  bb.worst_latency = lat_first;
+  bb.best_latency = lat_last;
+  bb.slo = flow.slo;
+  bb.model = flow.model;
+  bb.cold = flow.cold;
+  // BatchBreakdown has no transfer lane; inter-stage hops are wait time
+  // from the request's perspective, so they fold into queueing here (the
+  // workflow report block carries the exact transfer split).
+  bb.queue = flow.queue + flow.transfer;
+  bb.min_time = flow.min_time;
+  bb.deficiency = flow.deficiency;
+  bb.interference = flow.interference;
+  bb.count = flow.count;
+  bb.strict = flow.strict;
   batches_.push_back(bb);
 }
 

@@ -50,6 +50,29 @@ struct Breakdown {
   }
 };
 
+/// Terminal record of one workflow flow (src/workflow): the per-request
+/// side of the split record() API. A flow's stage batches are recorded
+/// through record_stage() — components only, never request latencies — and
+/// exactly one FlowRecord carries the end-to-end latency, SLO verdict and
+/// summed per-stage components, so multi-stage requests are counted once.
+struct FlowRecord {
+  BatchId id = 0;  ///< flow id (the sealed entry batch's gateway id)
+  const workload::ModelProfile* model = nullptr;  ///< entry-stage model
+  bool strict = true;
+  int count = 0;  ///< end-user requests in the flow
+  SimTime first_arrival = 0.0;
+  SimTime last_arrival = 0.0;
+  SimTime completed_at = 0.0;  ///< last sink stage completion
+  double slo = kNeverTime;     ///< end-to-end deadline, relative seconds
+  // Per-stage latencies folded into end-to-end components:
+  Duration queue = 0.0;         ///< summed stage queueing delays
+  Duration cold = 0.0;          ///< summed stage cold starts
+  Duration min_time = 0.0;      ///< critical-path solo service time
+  Duration deficiency = 0.0;    ///< summed RDF-induced slowdowns
+  Duration interference = 0.0;  ///< summed co-location slowdowns
+  Duration transfer = 0.0;      ///< summed inter-stage transfer hops
+};
+
 class Collector {
  public:
   /// Batches whose earliest request arrived before this time are excluded
@@ -95,6 +118,34 @@ class Collector {
 
   /// Records a request that was dropped (e.g. VM evicted before service).
   void record_dropped(bool strict, int count);
+
+  // ---- workflow paths (src/workflow) -------------------------------------
+  //
+  // record() assumes one batch == one set of end-user requests. Workflow
+  // stage batches violate that (one request traverses several stages), so
+  // they split into a per-stage path and a per-request path: stages feed
+  // component aggregates only, and the flow's single terminal record owns
+  // the request latencies and the end-to-end SLO verdict.
+
+  /// Per-stage path: component bookkeeping for one completed stage batch.
+  /// Never touches the latency store, SLO counters, observer, or batch
+  /// records, so workflow statistics cannot double-count a request.
+  void record_stage(const workload::Batch& batch);
+
+  /// Per-request (terminal) path: one end-to-end flow. Claims the flow id
+  /// (a retried/raced duplicate is discarded under dedup), applies the
+  /// measure_from filter, expands the same per-request latency ramp as
+  /// record(), and counts SLO compliance against the flow's end-to-end
+  /// deadline. The batch-records entry folds transfer time into queueing.
+  void record_flow(const FlowRecord& flow);
+
+  std::uint64_t stages_recorded() const noexcept { return stages_recorded_; }
+  std::uint64_t flows_recorded() const noexcept { return flows_recorded_; }
+  /// Component sums over every recorded stage batch (diagnostics;
+  /// unfiltered by measure_from).
+  double stage_queue_seconds() const noexcept { return stage_queue_seconds_; }
+  double stage_cold_seconds() const noexcept { return stage_cold_seconds_; }
+  double stage_exec_seconds() const noexcept { return stage_exec_seconds_; }
 
   void record_cold_start() { ++cold_starts_; }
 
@@ -196,6 +247,12 @@ class Collector {
                                double p) const;
 
  private:
+  /// Shared per-request path of record()/record_flow(): expands the linear
+  /// latency ramp into the store and the SLO counters. Bit-identical to
+  /// the loop record() always ran, so single-model runs are unchanged.
+  void record_requests(bool strict, int count, double lat_first,
+                       double lat_last, double slo);
+
   std::vector<float> strict_lat_;
   std::vector<float> be_lat_;
   std::optional<QuantileSketch> strict_sketch_;
@@ -215,6 +272,11 @@ class Collector {
   std::uint64_t retries_ = 0;
   std::uint64_t hedges_ = 0;
   std::uint64_t duplicate_hedges_ = 0;
+  std::uint64_t stages_recorded_ = 0;
+  std::uint64_t flows_recorded_ = 0;
+  double stage_queue_seconds_ = 0.0;
+  double stage_cold_seconds_ = 0.0;
+  double stage_exec_seconds_ = 0.0;
   bool dedup_ = false;
   std::unordered_set<BatchId> seen_;
   SimTime measure_from_ = 0.0;

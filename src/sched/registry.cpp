@@ -23,6 +23,7 @@ const char* scheme_name(Scheme scheme) noexcept {
     case Scheme::kProteanNoEta: return "PROTEAN (no eta)";
     case Scheme::kOracle: return "Oracle";
     case Scheme::kProteanSoft: return "PROTEAN (softmig)";
+    case Scheme::kProteanPipe: return "PROTEAN-Pipe";
   }
   return "?";
 }
@@ -42,6 +43,7 @@ const char* scheme_cli_name(Scheme scheme) noexcept {
     case Scheme::kProteanNoEta: return "protean-no-eta";
     case Scheme::kOracle: return "oracle";
     case Scheme::kProteanSoft: return "protean-soft";
+    case Scheme::kProteanPipe: return "protean-pipe";
   }
   return "?";
 }
@@ -77,7 +79,7 @@ const std::vector<Scheme>& all_schemes() {
       Scheme::kGpulet,           Scheme::kProtean,
       Scheme::kProteanNoReorder, Scheme::kProteanStatic,
       Scheme::kProteanNoEta,     Scheme::kOracle,
-      Scheme::kProteanSoft,
+      Scheme::kProteanSoft,      Scheme::kProteanPipe,
   };
   return schemes;
 }
@@ -127,6 +129,11 @@ std::unique_ptr<cluster::Scheduler> make_scheduler(Scheme scheme) {
       // Repartitioning is free on the soft substrate: no downtime to
       // hedge against, so Algorithm 2 acts on the first crossing tick.
       options.reconfig.wait_limit = 1;
+      return std::make_unique<core::ProteanScheduler>(options);
+    }
+    case Scheme::kProteanPipe: {
+      core::ProteanOptions options;
+      options.pipeline = true;
       return std::make_unique<core::ProteanScheduler>(options);
     }
   }

@@ -27,6 +27,7 @@ enum class Scheme {
   kProteanNoEta,      ///< ablation: Eq. 2 placement replaced by largest-first
   kOracle,
   kProteanSoft,       ///< PROTEAN on the software slicing substrate
+  kProteanPipe,       ///< PROTEAN with pipeline-conscious DAG placement
 };
 
 const char* scheme_name(Scheme scheme) noexcept;

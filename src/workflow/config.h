@@ -1,0 +1,64 @@
+// Pipeline/DAG inference workflows (src/workflow).
+//
+// Opens the ROADMAP's workflow axis (after ESG, arXiv:2404.16812): instead
+// of single-model requests, an arriving strict request expands into a DAG
+// of per-stage model invocations (detect→crop→classify style) with
+// fan-out/fan-in edges, inter-stage data-transfer latency that is zero when
+// consecutive stages are co-located on the same node, and one *end-to-end*
+// SLO per request — per-stage latencies become components, not SLOs.
+//
+// This header is the user-facing configuration parsed from the CLI's
+// `--workflow SHAPE[:k=v,...]` spec; the DAG itself is built by
+// workflow::WorkflowSpec (spec.h) and driven by workflow::WorkflowRuntime
+// (runtime.h). Everything is default-off: with `enabled == false` no hook
+// fires and runs stay byte-identical to a build without the subsystem.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "common/types.h"
+
+namespace protean::workflow {
+
+/// Canonical DAG shapes (docs/workflows.md has the diagrams).
+enum class DagShape {
+  kChain,    ///< s0 → s1 → … → s{n-1}
+  kFanout,   ///< one source, `width` parallel sinks
+  kDiamond,  ///< s0 → {s1, s2} → s3 (fan-out then fan-in join)
+  kShared,   ///< shared upstream encoder feeding two tenant branches
+};
+
+/// Canonical CLI spelling ("chain", "fanout", "diamond", "shared").
+const char* to_string(DagShape shape) noexcept;
+
+/// Parses a CLI spelling; nullopt for unknown names.
+std::optional<DagShape> parse_shape(std::string_view name) noexcept;
+
+struct WorkflowConfig {
+  /// Master switch. Off (the default) keeps every run byte-identical to a
+  /// build without the subsystem.
+  bool enabled = false;
+
+  /// Which canonical DAG arriving strict requests expand into.
+  DagShape shape = DagShape::kChain;
+
+  /// Chain length (kChain only; clamped to [2, 8]).
+  int chain_stages = 3;
+
+  /// Parallel branch count (kFanout only; clamped to [2, 6]).
+  int fanout_width = 2;
+
+  /// Intermediate tensor size per DAG edge, in MB. Paid only when the
+  /// consuming stage lands on a different node than its producer.
+  double transfer_mb = 64.0;
+
+  /// Cross-node interconnect bandwidth in GB/s.
+  double bw_gbps = 16.0;
+
+  /// Fixed per-hop latency (seconds) on top of the bandwidth term —
+  /// serialization + RPC + NIC traversal.
+  Duration hop_latency = 0.005;
+};
+
+}  // namespace protean::workflow

@@ -1,0 +1,99 @@
+// WorkflowSpec: an immutable DAG of named model stages.
+//
+// Stages are stored in topological order (every edge points backward), so
+// the runtime can expand a flow with simple index scans and the critical
+// path falls out of one forward DP pass. Each edge carries its own
+// intermediate-tensor size; the library builders initialize every edge from
+// `WorkflowConfig::transfer_mb`, but the structure supports heterogeneous
+// edges for hand-built specs.
+//
+// The end-to-end SLO is `slo_multiplier × critical_path_solo()` — the same
+// convention as `ModelProfile::slo_deadline`, lifted from one model's solo
+// time to the heaviest source→sink path of the DAG.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "workflow/config.h"
+#include "workload/model.h"
+
+namespace protean::workflow {
+
+/// One input edge of a stage: the producing stage and the intermediate
+/// tensor size moved when producer and consumer are not co-located.
+struct Edge {
+  int pred = -1;
+  double transfer_mb = 0.0;
+};
+
+struct StageSpec {
+  std::string name;  ///< "s0", "s1", ... (stable; used in traces/tests)
+  const workload::ModelProfile* model = nullptr;
+  std::vector<Edge> inputs;  ///< empty → source stage
+};
+
+class WorkflowSpec {
+ public:
+  /// Builds the canonical DAG selected by `config` over the vision
+  /// latency-insensitive models of the catalog (stage i uses the i-th model
+  /// of a fixed rotation, so every shape is deterministic).
+  static WorkflowSpec build(const WorkflowConfig& config);
+
+  const WorkflowConfig& config() const noexcept { return config_; }
+  DagShape shape() const noexcept { return config_.shape; }
+  /// Canonical CLI spelling of the shape ("chain", "diamond", ...).
+  const char* name() const noexcept { return to_string(config_.shape); }
+
+  int stage_count() const noexcept { return static_cast<int>(stages_.size()); }
+  const StageSpec& stage(int i) const {
+    return stages_[static_cast<std::size_t>(i)];
+  }
+  const std::vector<int>& successors(int i) const {
+    return succs_[static_cast<std::size_t>(i)];
+  }
+  const std::vector<int>& sinks() const noexcept { return sinks_; }
+  bool is_sink(int i) const {
+    return succs_[static_cast<std::size_t>(i)].empty();
+  }
+
+  /// The model arriving requests are addressed to (stage 0's model); the
+  /// trace driver emits the strict stream against it when workflows are on.
+  const workload::ModelProfile* entry_model() const {
+    return stages_.front().model;
+  }
+
+  /// Solo 7g-slice service time summed along the heaviest source→sink
+  /// path: the fastest possible end-to-end service time and the base of
+  /// the end-to-end SLO.
+  Duration critical_path_solo() const noexcept { return critical_path_; }
+  Duration e2e_slo(double multiplier) const noexcept {
+    return multiplier * critical_path_;
+  }
+
+  /// ESG-style budget split: stage i's share of the end-to-end budget.
+  /// Weights are the profiled RDF curve evaluated at the reference 3g
+  /// slice (solo_7g × (7/3)^alpha), so stages that degrade more under
+  /// compute deficiency get proportionally more budget; shares sum to 1
+  /// along the RDF-weighted critical path and to less on lighter paths.
+  double budget_fraction(int stage) const {
+    return budget_fraction_[static_cast<std::size_t>(stage)];
+  }
+
+  /// Seconds to move `mb` across one node hop (bandwidth term plus the
+  /// fixed per-hop latency). Zero-size edges still pay the fixed hop.
+  Duration hop_seconds(double mb) const noexcept;
+
+ private:
+  WorkflowConfig config_;
+  std::vector<StageSpec> stages_;
+  std::vector<std::vector<int>> succs_;
+  std::vector<int> sinks_;
+  Duration critical_path_ = 0.0;
+  std::vector<double> budget_fraction_;
+
+  void finalize();  ///< derives succs_/sinks_/critical path/budget shares
+};
+
+}  // namespace protean::workflow

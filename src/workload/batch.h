@@ -59,10 +59,28 @@ struct Batch {
   bool hedged = false;           ///< this copy is the hedged duplicate
   bool hedge_armed = false;      ///< a hedge timer was armed for this batch
 
+  // --- workflow stage bookkeeping (src/workflow; inert when off) ---
+  std::uint64_t flow = 0;        ///< owning flow id (0 = not a stage batch)
+  int stage = -1;                ///< stage index within the workflow DAG
+  bool has_pred = false;         ///< carries an unpaid inter-stage input edge
+  NodeId pred_node = 0;          ///< node the critical predecessor ran on
+  double edge_mb = 0.0;          ///< intermediate tensor size on that edge
+  Duration transfer = 0.0;       ///< inter-stage transfer latency paid
+
   /// Queueing delay: formation wait plus time queued before execution,
   /// minus any cold start (accounted separately).
   Duration queue_delay() const noexcept {
     const Duration d = (exec_start - first_arrival) - cold_start;
+    return d > 0.0 ? d : 0.0;
+  }
+  /// Queueing delay attributable to this stage alone (workflow stage
+  /// batches): wait since the stage job was spawned, excluding cold start
+  /// and transfer time. Source stages also count gateway formation wait;
+  /// later stages start the clock at their own creation, because time
+  /// spent in predecessor stages is their predecessors' to account.
+  Duration stage_queue_delay() const noexcept {
+    const SimTime since = stage > 0 ? formed_at : first_arrival;
+    const Duration d = (exec_start - since) - cold_start - transfer;
     return d > 0.0 ? d : 0.0;
   }
   /// Extra latency from running on a smaller slice (Eq. 2's RDF effect).

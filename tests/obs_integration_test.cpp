@@ -42,7 +42,7 @@ std::string slurp(const std::string& path) {
 // instants count to the Collector totals.
 TEST(ObsIntegration, InvariantsHoldAcrossAllSchemes) {
   const auto schemes = sched::all_schemes();
-  ASSERT_EQ(schemes.size(), 13u);
+  ASSERT_EQ(schemes.size(), 14u);
   for (sched::Scheme scheme : schemes) {
     const std::string name = sched::scheme_cli_name(scheme);
     const std::string path = temp_path("obs-" + name + ".json");

@@ -31,8 +31,8 @@ TEST(Cli, DefaultsMatchPrimaryConfig) {
 
 TEST(Registry, ParseSchemeRoundTripsEveryScheme) {
   // Both the display name and the CLI name must parse back to the same
-  // enumerator, for all 12 schemes, so tool listings can never drift.
-  EXPECT_EQ(sched::all_schemes().size(), 13u);
+  // enumerator, for every scheme, so tool listings can never drift.
+  EXPECT_EQ(sched::all_schemes().size(), 14u);
   for (sched::Scheme scheme : sched::all_schemes()) {
     EXPECT_EQ(sched::parse_scheme(sched::scheme_name(scheme)), scheme)
         << sched::scheme_name(scheme);
@@ -432,6 +432,59 @@ TEST(Cli, SubstrateErrorPathsAreClear) {
   EXPECT_FALSE(parse_cli({"--substrate"}).options);
   EXPECT_FALSE(parse_cli({"--substrate", "softslice:oversub=32"}).options);
   EXPECT_FALSE(parse_cli({"--substrate", "softslice:nodes=1.5"}).options);
+}
+
+TEST(Cli, WorkflowDisabledByDefault) {
+  const auto opts = must_parse({});
+  EXPECT_FALSE(opts.config.cluster.workflow.enabled);
+}
+
+TEST(Cli, WorkflowFlagParses) {
+  const auto opts = must_parse(
+      {"--workflow", "diamond:transfer=256,bw=8,hop=0.01"});
+  const auto& wf = opts.config.cluster.workflow;
+  EXPECT_TRUE(wf.enabled);
+  EXPECT_EQ(wf.shape, workflow::DagShape::kDiamond);
+  EXPECT_DOUBLE_EQ(wf.transfer_mb, 256.0);
+  EXPECT_DOUBLE_EQ(wf.bw_gbps, 8.0);
+  EXPECT_DOUBLE_EQ(wf.hop_latency, 0.01);
+
+  // Bare shapes, shape-specific knobs and the --flag=value spelling.
+  const auto chain = must_parse({"--workflow=chain:stages=5"});
+  EXPECT_EQ(chain.config.cluster.workflow.shape, workflow::DagShape::kChain);
+  EXPECT_EQ(chain.config.cluster.workflow.chain_stages, 5);
+  const auto fanout = must_parse({"--workflow", "fanout:width=4"});
+  EXPECT_EQ(fanout.config.cluster.workflow.fanout_width, 4);
+  const auto shared = must_parse({"--workflow", "shared"});
+  EXPECT_EQ(shared.config.cluster.workflow.shape,
+            workflow::DagShape::kShared);
+}
+
+TEST(Cli, WorkflowSurvivesModelDerivation) {
+  for (const auto& args :
+       {std::vector<std::string>{"--workflow", "diamond:transfer=128",
+                                 "--model", "ALBERT"},
+        std::vector<std::string>{"--model", "ALBERT", "--workflow",
+                                 "diamond:transfer=128"}}) {
+    const auto opts = must_parse(args);
+    EXPECT_TRUE(opts.config.cluster.workflow.enabled);
+    EXPECT_DOUBLE_EQ(opts.config.cluster.workflow.transfer_mb, 128.0);
+  }
+}
+
+TEST(Cli, WorkflowErrorPathsAreClear) {
+  EXPECT_NE(must_fail({"--workflow", "tree"}).find("unknown workflow"),
+            std::string::npos);
+  EXPECT_NE(must_fail({"--workflow", "chain:frob=1"})
+                .find("unknown key 'frob'"),
+            std::string::npos);
+  EXPECT_NE(must_fail({"--workflow", "chain:stages=ten"})
+                .find("bad value for 'stages'"),
+            std::string::npos);
+  EXPECT_FALSE(parse_cli({"--workflow"}).options);
+  EXPECT_FALSE(parse_cli({"--workflow", "chain:"}).options);
+  EXPECT_FALSE(parse_cli({"--workflow", "chain:stages=100"}).options);
+  EXPECT_FALSE(parse_cli({"--workflow", "fanout:width=1"}).options);
 }
 
 TEST(Cli, SpecFlagsReportFlagSpecDetail) {

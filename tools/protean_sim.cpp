@@ -78,10 +78,15 @@ bool dump_mem_timelines(const std::string& path,
 
 void print_reports(const harness::CliOptions& opts,
                    const std::vector<harness::Report>& reports) {
+  // With workflows on, the driver serves the DAG's entry model, not the
+  // configured single model.
+  const std::string& strict_model =
+      !reports.empty() && reports.front().workflow.enabled
+          ? reports.front().strict_model
+          : opts.config.strict_model;
   std::printf("strict model: %s   trace: %s @ %.0f rps   nodes: %u   "
               "SLO: %.0fx\n\n",
-              opts.config.strict_model.c_str(),
-              trace::to_string(opts.config.trace.kind),
+              strict_model.c_str(), trace::to_string(opts.config.trace.kind),
               opts.config.trace.target_rps, opts.config.cluster.node_count,
               opts.config.cluster.slo_multiplier);
   harness::Table table({"Scheme", "SLO compliance", "P50 (ms)", "P99 (ms)",
@@ -142,6 +147,22 @@ void print_reports(const harness::CliOptions& opts,
                 static_cast<unsigned long long>(r.autoscale.warm_boosts),
                 static_cast<unsigned long long>(
                     r.autoscale.prefetched_slices));
+  }
+  for (const auto& r : reports) {
+    if (!r.workflow.enabled) continue;
+    std::printf("\n%s workflow (%s, %d stages): %llu flows admitted, "
+                "%llu completed, %llu dropped | e2e P50 %.0f ms, "
+                "P99 %.0f ms | hops: %llu co-located, %llu transfers "
+                "(%.1f s moving tensors)\n",
+                r.scheme.c_str(), r.workflow.shape.c_str(),
+                r.workflow.stages,
+                static_cast<unsigned long long>(r.workflow.flows_admitted),
+                static_cast<unsigned long long>(r.workflow.flows_completed),
+                static_cast<unsigned long long>(r.workflow.flows_dropped),
+                r.workflow.e2e_p50_ms, r.workflow.e2e_p99_ms,
+                static_cast<unsigned long long>(r.workflow.colocated_hops),
+                static_cast<unsigned long long>(r.workflow.transfer_hops),
+                r.workflow.transfer_seconds);
   }
 }
 
