@@ -1,0 +1,213 @@
+// Scale bench: wall-clock event throughput of the control-plane hot path
+// across fleet sizes and arrival rates (docs/scale.md).
+//
+// Grid: nodes ∈ {9, 64, 256, 1024} × rps ∈ {5k, 25k, 100k}, three
+// control-plane variants per cell:
+//
+//  * legacy   — the pre-index full-scan placement path (--scale-mode legacy)
+//  * indexed  — maintained load/accepting indexes (--scale-mode indexed,
+//               the default)
+//  * sharded  — indexed placement behind gateway shards (--shards 8)
+//
+// Metric: simulator events executed per wall-clock second. The headline
+// claim is that the indexed path sustains >= 10x the legacy events/sec at
+// the 1024-node cells, where the legacy O(fleet) scan per dispatch
+// dominates. The 9-node cell doubles as the determinism anchor: all three
+// variants must produce the exact same report there (sharded runs with
+// --shards 1 for that check), which is what tests/scale_test.cpp and the
+// CI byte-identity gate lean on.
+//
+// Writes the machine-readable results to BENCH_scale.json (path
+// overridable via argv; `--smoke` restricts the grid to the smallest cell
+// for CI).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "harness/json.h"
+
+using namespace protean;
+
+namespace {
+
+/// A deliberately short default horizon: the 1024-node legacy cells pay an
+/// O(fleet) scan per dispatch and dominate the grid's wall time. Override
+/// with PROTEAN_BENCH_HORIZON for longer runs.
+Duration scale_horizon() {
+  if (const char* env = std::getenv("PROTEAN_BENCH_HORIZON")) {
+    const double h = std::atof(env);
+    if (h > 0.0) return h;
+  }
+  return 10.0;
+}
+
+harness::ExperimentConfig cell_config(std::uint32_t nodes, double rps) {
+  auto config = harness::primary_config("ResNet 50", scale_horizon())
+                    .with_scheme(sched::Scheme::kProtean)
+                    .with_nodes(nodes)
+                    .with_rps(rps);
+  // primary_config's 20 s measurement warmup would swallow a short bench
+  // horizon; events/sec does not need one.
+  config.warmup = std::min(config.warmup, scale_horizon() / 5.0);
+  return config;
+}
+
+struct ModeResult {
+  harness::Report report;
+  double wall_s = 0.0;
+  double events_per_s = 0.0;
+};
+
+ModeResult run_mode(harness::ExperimentConfig config) {
+  ModeResult out;
+  const auto start = std::chrono::steady_clock::now();
+  out.report = harness::run_experiment(config);
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  out.wall_s = elapsed.count();
+  out.events_per_s =
+      static_cast<double>(out.report.events_executed) /
+      std::max(out.wall_s, 1e-9);
+  return out;
+}
+
+/// Exact-equality check on every scalar the report carries for a classic
+/// run; the committed golden files make the same comparison end to end.
+bool reports_identical(const harness::Report& a, const harness::Report& b) {
+  return a.slo_compliance_pct == b.slo_compliance_pct &&
+         a.strict_p50_ms == b.strict_p50_ms &&
+         a.strict_p99_ms == b.strict_p99_ms &&
+         a.strict_mean_ms == b.strict_mean_ms &&
+         a.be_p50_ms == b.be_p50_ms && a.be_p99_ms == b.be_p99_ms &&
+         a.strict_emitted == b.strict_emitted &&
+         a.strict_completed == b.strict_completed &&
+         a.be_completed == b.be_completed &&
+         a.cold_starts == b.cold_starts && a.dropped == b.dropped &&
+         a.reconfigurations == b.reconfigurations &&
+         a.events_executed == b.events_executed &&
+         a.gpu_util_pct == b.gpu_util_pct &&
+         a.mem_util_pct == b.mem_util_pct && a.cost_usd == b.cost_usd;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path = "BENCH_scale.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      path = argv[i];
+    }
+  }
+
+  const std::vector<std::uint32_t> node_grid =
+      smoke ? std::vector<std::uint32_t>{9}
+            : std::vector<std::uint32_t>{9, 64, 256, 1024};
+  const std::vector<double> rps_grid =
+      smoke ? std::vector<double>{5000.0}
+            : std::vector<double>{5000.0, 25000.0, 100000.0};
+
+  std::printf("Control-plane scale bench (ResNet 50, PROTEAN, %.0f s "
+              "horizon%s)\n\n",
+              static_cast<double>(scale_horizon()), smoke ? ", smoke" : "");
+
+  harness::Table table({"Nodes", "RPS", "Mode", "Shards", "Wall (s)",
+                        "Events", "Events/s", "vs legacy"});
+  harness::Json::Array cells;
+  bool nine_node_identical = true;
+  double speedup_1024_100k = 0.0;
+
+  for (const std::uint32_t nodes : node_grid) {
+    for (const double rps : rps_grid) {
+      const std::uint32_t shard_count = std::min<std::uint32_t>(8, nodes);
+      const ModeResult legacy =
+          run_mode(cell_config(nodes, rps).with_indexed_dispatch(false));
+      const ModeResult indexed =
+          run_mode(cell_config(nodes, rps).with_indexed_dispatch(true));
+      const ModeResult sharded =
+          run_mode(cell_config(nodes, rps).with_shards(shard_count));
+
+      struct View {
+        const char* mode;
+        std::uint32_t shards;
+        const ModeResult* r;
+      };
+      const View views[] = {{"legacy", 1, &legacy},
+                            {"indexed", 1, &indexed},
+                            {"sharded", shard_count, &sharded}};
+      harness::Json::Array modes;
+      for (const View& v : views) {
+        const double speedup = v.r->events_per_s / legacy.events_per_s;
+        table.add_row({strfmt("%u", nodes), strfmt("%.0f", rps), v.mode,
+                       strfmt("%u", v.shards), strfmt("%.3f", v.r->wall_s),
+                       strfmt("%llu", static_cast<unsigned long long>(
+                                          v.r->report.events_executed)),
+                       strfmt("%.0f", v.r->events_per_s),
+                       strfmt("%.2fx", speedup)});
+        modes.push_back(harness::Json(harness::Json::Object{
+            {"mode", v.mode},
+            {"shards", static_cast<double>(v.shards)},
+            {"wall_s", v.r->wall_s},
+            {"events_executed",
+             static_cast<double>(v.r->report.events_executed)},
+            {"events_per_s", v.r->events_per_s},
+            {"speedup_vs_legacy", speedup},
+            {"slo_compliance_pct", v.r->report.slo_compliance_pct},
+            {"strict_completed",
+             static_cast<double>(v.r->report.strict_completed)},
+        }));
+      }
+      cells.push_back(harness::Json(harness::Json::Object{
+          {"nodes", static_cast<double>(nodes)},
+          {"rps", rps},
+          {"modes", std::move(modes)},
+      }));
+
+      if (nodes == 9) {
+        // The determinism anchor: indexed placement must not change a
+        // single reported number vs the legacy scan at the seed scale.
+        nine_node_identical =
+            nine_node_identical &&
+            reports_identical(legacy.report, indexed.report);
+      }
+      if (nodes == 1024 && rps == 100000.0) {
+        speedup_1024_100k = indexed.events_per_s / legacy.events_per_s;
+      }
+    }
+  }
+
+  table.print();
+  std::printf("\n9-node reports identical across modes: %s\n",
+              nine_node_identical ? "yes" : "NO");
+  if (!smoke) {
+    std::printf("indexed >= 10x legacy events/sec at 1024 nodes, 100k rps: "
+                "%s (%.2fx)\n",
+                speedup_1024_100k >= 10.0 ? "yes" : "NO", speedup_1024_100k);
+  }
+
+  harness::Json::Object claims{
+      {"nine_node_reports_identical", nine_node_identical},
+  };
+  if (!smoke) {
+    claims.emplace_back("indexed_speedup_1024n_100krps", speedup_1024_100k);
+    claims.emplace_back("indexed_speedup_at_least_10x",
+                        speedup_1024_100k >= 10.0);
+  }
+  const harness::Json doc(harness::Json::Object{
+      {"bench", "bench_scale"},
+      {"horizon_s", static_cast<double>(scale_horizon())},
+      {"smoke", smoke},
+      {"cells", std::move(cells)},
+      {"claims", harness::Json(std::move(claims))},
+  });
+  std::ofstream out(path);
+  out << doc.dump(2) << "\n";
+  std::printf("\nwrote %s\n", path.c_str());
+  return nine_node_identical ? 0 : 1;
+}

@@ -76,7 +76,7 @@ Signals AutoscaleController::gather(SimTime now, double attainment_pct,
   s.alert_firing = monitor.firing();
 
   const Duration dt = now - last_tick_at_;
-  const std::uint64_t seen = cluster_.gateway().requests_seen();
+  const std::uint64_t seen = cluster_.gateway_requests_seen();
   double busy = 0.0;
   for (NodeId id = 0; id < cluster_.node_count(); ++id) {
     busy += cluster_.node(id).gpu_busy_seconds();
@@ -96,6 +96,8 @@ Signals AutoscaleController::gather(SimTime now, double attainment_pct,
   forecaster_.observe(now, s.arrival_rps);
   s.forecast_rps = forecaster_.forecast(now);
   s.backlog = cluster_.backlog();
+  s.shards = static_cast<std::uint32_t>(cluster_.shard_count());
+  s.hot_shard_skew = cluster_.shard_load_skew();
   s.min_nodes = min_nodes_;
   s.max_nodes = max_nodes_;
   return s;

@@ -34,9 +34,15 @@ class ReactivePolicy final : public Policy {
   Decision decide(const Signals& s, const AutoscaleConfig& c) override {
     Decision d;
     d.target_nodes = s.committed_nodes;
-    const bool hurting =
-        s.window_attainment_pct < c.up_attainment_pct || s.backlog > 0;
-    const bool healthy = s.window_attainment_pct >= c.down_attainment_pct;
+    // On a sharded control plane a heavily skewed shard saturates its node
+    // range while the fleet-average signals still look healthy; treat it as
+    // pressure and never shrink into it. Inert when shards == 1 (skew is
+    // pinned to 1.0), so unsharded decisions are unchanged.
+    const bool hot_shard = s.shards > 1 && s.hot_shard_skew > 1.5;
+    const bool hurting = s.window_attainment_pct < c.up_attainment_pct ||
+                         s.backlog > 0 || hot_shard;
+    const bool healthy =
+        s.window_attainment_pct >= c.down_attainment_pct && !hot_shard;
     if (hurting) {
       d.target_nodes = clamp_fleet(
           static_cast<double>(s.committed_nodes) + c.max_step_up, s);
@@ -79,6 +85,12 @@ class PredictivePolicy final : public Policy {
       ratio = std::clamp(s.forecast_rps / s.arrival_rps, 0.6, 1.8);
     }
     desired *= ratio > 1.0 ? ratio * c.headroom : ratio;
+    // Sharded control plane: the hottest shard saturates before the fleet
+    // average does, so size for it — capped so a transient imbalance cannot
+    // swing the fleet. Inert when shards == 1 (skew is pinned to 1.0).
+    if (s.shards > 1 && s.hot_shard_skew > 1.1) {
+      desired *= std::min(s.hot_shard_skew, 1.5);
+    }
     // 10% deadband around the current fleet: proportional control should
     // not chase rounding noise.
     if (std::fabs(desired - committed) <= 0.1 * committed) {

@@ -44,6 +44,13 @@ struct Signals {
   double window_util_pct = 0.0;
   /// Cluster dispatch backlog plus queued batches across active nodes.
   std::size_t backlog = 0;
+  /// Control-plane shards (1 on the unsharded plane) and the hottest
+  /// shard's load over the mean shard load (1.0 when balanced, idle, or
+  /// unsharded). A sustained skew means one shard's nodes saturate while
+  /// the fleet-average utilization still looks healthy, so policies scale
+  /// on the hot shard rather than the average (docs/scale.md).
+  std::uint32_t shards = 1;
+  double hot_shard_skew = 1.0;
   /// Nodes up or being acquired, minus nodes being decommissioned.
   std::uint32_t committed_nodes = 0;
   std::uint32_t min_nodes = 1;

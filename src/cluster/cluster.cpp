@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "common/check.h"
 #include "common/log.h"
@@ -10,10 +11,48 @@
 
 namespace protean::cluster {
 
+namespace {
+
+/// Splits each arrival burst across the shard gateways: count / K to every
+/// shard, with the remainder rotated round-robin so no shard systematically
+/// sees more traffic. Shards whose share is zero are skipped entirely (the
+/// gateway treats an empty burst as a caller bug).
+class ShardFanout final : public trace::RequestSink {
+ public:
+  explicit ShardFanout(std::vector<std::unique_ptr<Gateway>>& gateways)
+      : gateways_(gateways) {}
+
+  void on_arrivals(const workload::ModelProfile& model, bool strict, int count,
+                   SimTime window_start, SimTime window_end) override {
+    const int k = static_cast<int>(gateways_.size());
+    const int share = count / k;
+    const int extra = count % k;
+    for (int s = 0; s < k; ++s) {
+      const int rotated = (s - cursor_ + k) % k;
+      const int c = share + (rotated < extra ? 1 : 0);
+      if (c > 0) {
+        gateways_[static_cast<std::size_t>(s)]->on_arrivals(
+            model, strict, c, window_start, window_end);
+      }
+    }
+    cursor_ = (cursor_ + extra) % k;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Gateway>>& gateways_;
+  int cursor_ = 0;  ///< shard that takes the next remainder request
+};
+
+}  // namespace
+
 Cluster::Cluster(sim::Simulator& simulator, const ClusterConfig& config,
-                 Scheduler& scheduler)
-    : sim_(simulator), config_(config), scheduler_(scheduler) {
+                 Scheduler& scheduler, std::vector<Scheduler*> shard_schedulers)
+    : sim_(simulator),
+      config_(config),
+      scheduler_(scheduler),
+      shard_schedulers_(std::move(shard_schedulers)) {
   PROTEAN_CHECK_MSG(config_.node_count > 0, "cluster needs nodes");
+  PROTEAN_CHECK_MSG(config_.shards > 0, "cluster needs at least one shard");
   // With autoscaling on, extra node slots beyond the base fleet exist from
   // construction (node identities are stable) but start parked: the market
   // provisions only the base node_count, and the control loop acquires and
@@ -25,20 +64,58 @@ Cluster::Cluster(sim::Simulator& simulator, const ClusterConfig& config,
     config_.market.initial_nodes = config_.node_count;
     config_.market.reference_nodes = config_.node_count;
   }
+  const std::uint32_t shard_count = config_.shards;
+  PROTEAN_CHECK_MSG(shard_count <= slots, "more shards than node slots");
+  PROTEAN_CHECK_MSG(
+      shard_count == 1 ||
+          shard_schedulers_.size() == static_cast<std::size_t>(shard_count),
+      "sharded control plane needs one scheduler per shard");
+  // Contiguous partition: node id belongs to shard id*K/slots, so shard s
+  // owns slot range [ceil(s*slots/K), ceil((s+1)*slots/K)).
+  shards_.resize(shard_count);
+  for (std::uint32_t s = 0; s < shard_count; ++s) {
+    shards_[s].lo = (static_cast<std::uint64_t>(s) * slots + shard_count - 1) /
+                    shard_count;
+    shards_[s].hi =
+        (static_cast<std::uint64_t>(s + 1) * slots + shard_count - 1) /
+        shard_count;
+  }
+  index_.resize(slots);
   nodes_.reserve(slots);
   for (NodeId id = 0; id < slots; ++id) {
+    Scheduler& node_scheduler =
+        shard_count == 1
+            ? scheduler_
+            : *shard_schedulers_[static_cast<std::uint64_t>(id) * shard_count /
+                                 slots];
     nodes_.push_back(std::make_unique<WorkerNode>(sim_, id, config_,
-                                                  scheduler_, collector_));
+                                                  node_scheduler, collector_));
   }
   for (auto& node : nodes_) {
     node->set_redistribute(
         [this](workload::Batch&& b) { dispatch(std::move(b)); });
+    node->set_fleet_counters(&fleet_);
+    const NodeId id = node->id();
+    node->set_load_listener([this, id] { on_node_load_changed(id); });
   }
-  gateway_ = std::make_unique<Gateway>(
-      sim_, config_, [this](workload::Batch&& b) { dispatch(std::move(b)); });
+  // Seed the dispatch index with the constructed state (all slots up, idle).
+  for (NodeId id = 0; id < slots; ++id) on_node_load_changed(id);
+  // Shard s issues batch ids s+1, s+1+K, s+1+2K, ... — globally unique, and
+  // the single-shard sequence 1, 2, 3, ... when K == 1.
+  gateways_.reserve(shard_count);
+  for (std::uint32_t s = 0; s < shard_count; ++s) {
+    gateways_.push_back(std::make_unique<Gateway>(
+        sim_, config_, [this](workload::Batch&& b) { dispatch(std::move(b)); },
+        /*first_batch_id=*/s + 1, /*id_stride=*/shard_count));
+  }
+  if (shard_count > 1) fanout_ = std::make_unique<ShardFanout>(gateways_);
   market_ = std::make_unique<spot::Market>(sim_, config_.market, slots, *this);
+  // Legacy mode benchmarks the pre-refactor hot path end to end, which
+  // includes the collector's historical quadratic latency-store growth.
+  collector_.set_legacy_reserve(!config_.indexed_dispatch);
   dispatch_policy_ = scheduler_.dispatch_policy().value_or(config_.dispatch);
   dispatch_rng_ = Rng(config_.dispatch_seed).fork(0xd15);
+  shard_rng_ = Rng(config_.dispatch_seed).fork(0x51a2d);
   if (config_.fault.enabled) {
     for (auto& node : nodes_) {
       node->set_lost_batch_handler(
@@ -91,7 +168,18 @@ void Cluster::register_telemetry(telemetry::MetricsRegistry& registry) {
     if (accesses == 0.0) return 0.0;
     return static_cast<double>(collector_.cache_hits()) / accesses;
   });
-  gateway_->register_telemetry(registry);
+  if (gateways_.size() == 1) {
+    gateways_.front()->register_telemetry(registry);
+  } else {
+    registry.gauge("cluster_shards",
+                   [this] { return static_cast<double>(shard_count()); });
+    registry.gauge("cluster_shard_load_skew",
+                   [this] { return shard_load_skew(); });
+    for (std::size_t s = 0; s < gateways_.size(); ++s) {
+      gateways_[s]->register_telemetry(
+          registry, "{shard=\"" + std::to_string(s) + "\"}");
+    }
+  }
   for (auto& node : nodes_) node->register_telemetry(registry);
   if (workflow_) workflow_->register_telemetry(registry);
 }
@@ -120,6 +208,59 @@ void Cluster::stop() {
   if (market_) market_->stop();
 }
 
+trace::RequestSink& Cluster::sink() noexcept {
+  if (fanout_) return *fanout_;
+  return *gateways_.front();
+}
+
+std::uint64_t Cluster::gateway_requests_seen() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& gateway : gateways_) total += gateway->requests_seen();
+  return total;
+}
+
+void Cluster::flush_gateways() {
+  for (auto& gateway : gateways_) gateway->flush_all();
+}
+
+double Cluster::shard_load_skew() const {
+  if (shards_.size() <= 1) return 1.0;
+  double total = 0.0;
+  double peak = 0.0;
+  for (const ShardState& shard : shards_) {
+    total += shard.load_sum;
+    peak = std::max(peak, shard.load_sum);
+  }
+  if (total <= 0.0) return 1.0;
+  return peak * static_cast<double>(shards_.size()) / total;
+}
+
+std::uint32_t Cluster::shard_of(NodeId id) const noexcept {
+  return static_cast<std::uint32_t>(static_cast<std::uint64_t>(id) *
+                                    shards_.size() / nodes_.size());
+}
+
+void Cluster::on_node_load_changed(NodeId id) {
+  WorkerNode& node = *nodes_[id];
+  ShardState& shard = shards_[shard_of(id)];
+  IndexEntry& entry = index_[id];
+  const bool member = node.accepting();
+  const double load = node.outstanding_work();
+  if (entry.member == member && (!member || entry.load == load)) return;
+  if (entry.member) {
+    shard.by_load.erase({entry.load, id});
+    shard.load_sum -= entry.load;
+    if (!member) shard.accepting.erase(id);
+  }
+  if (member) {
+    shard.by_load.insert({load, id});
+    shard.load_sum += load;
+    if (!entry.member) shard.accepting.insert(id);
+  }
+  entry.member = member;
+  entry.load = load;
+}
+
 WorkerNode* Cluster::pick_node(const workload::Batch& batch) {
   WorkerNode* chosen = pick_node_base(batch);
   // DAG-aware preference (pipeline-conscious schemes only): keep a stage on
@@ -142,12 +283,54 @@ WorkerNode* Cluster::pick_node(const workload::Batch& batch) {
   return chosen;
 }
 
+std::size_t Cluster::pick_shard() {
+  if (shards_.size() == 1) return 0;
+  // Power of two choices over the incrementally-maintained shard load sums;
+  // the p2c stream draws from its own fork so enabling shards leaves the
+  // within-shard routing RNG untouched.
+  const std::size_t a = shard_rng_.index(shards_.size());
+  const std::size_t b = shard_rng_.index(shards_.size());
+  return shards_[b].load_sum < shards_[a].load_sum ? b : a;
+}
+
 WorkerNode* Cluster::pick_node_base(const workload::Batch& batch) {
+  const std::size_t home = pick_shard();
+  WorkerNode* chosen = pick_in_shard(batch, home);
+  // A shard with no serviceable node spills to its siblings in index order;
+  // at shards == 1 the home shard is the whole fleet and this loop is dead.
+  for (std::size_t s = 0; chosen == nullptr && s < shards_.size(); ++s) {
+    if (s == home) continue;
+    chosen = pick_in_shard(batch, s);
+  }
+  return chosen;
+}
+
+WorkerNode* Cluster::least_loaded_scan(NodeId lo, NodeId hi) {
+  WorkerNode* best = nullptr;
+  for (NodeId id = lo; id < hi; ++id) {
+    WorkerNode* node = nodes_[id].get();
+    if (!node->accepting()) continue;
+    if (node->gpu().reconfiguring() && node->queued() > 4) continue;
+    if (best == nullptr ||
+        node->outstanding_work() < best->outstanding_work()) {
+      best = node;
+    }
+  }
+  return best;
+}
+
+WorkerNode* Cluster::pick_in_shard(const workload::Batch& batch,
+                                   std::size_t s) {
+  const ShardState& shard = shards_[s];
   if (dispatch_policy_ == DispatchPolicy::kConsolidate) {
     // INFless/Llama-style packing: the busiest GPU that still has memory
     // for the batch and whose contention pressure stays under the limit.
+    // Pressure reads live GPU slice state that mutates outside the load
+    // hooks, so consolidation stays on the scan path (the policy is O(n)
+    // by definition — it compares a live estimate on every candidate).
     WorkerNode* best = nullptr;
-    for (auto& node : nodes_) {
+    for (NodeId id = shard.lo; id < shard.hi; ++id) {
+      WorkerNode* node = nodes_[id].get();
       if (!node->accepting() || node->gpu().reconfiguring()) continue;
       const double pressure = node->estimated_pressure();
       if (pressure + std::max(batch.model->fbr, batch.model->sm_req) >
@@ -157,50 +340,91 @@ WorkerNode* Cluster::pick_node_base(const workload::Batch& batch) {
       if (node->estimated_free_memory() < batch.model->mem_gb) continue;
       if (best == nullptr ||
           node->estimated_pressure() > best->estimated_pressure()) {
-        best = node.get();
+        best = node;
       }
     }
     if (best != nullptr) return best;
     // Everything is saturated: spill to the least-pressured node.
-    for (auto& node : nodes_) {
+    for (NodeId id = shard.lo; id < shard.hi; ++id) {
+      WorkerNode* node = nodes_[id].get();
       if (!node->accepting()) continue;
       if (best == nullptr ||
           node->estimated_pressure() < best->estimated_pressure()) {
-        best = node.get();
+        best = node;
       }
     }
     return best;
   }
   if (dispatch_policy_ == DispatchPolicy::kRandom) {
     // Uniform random routing over serviceable nodes; nodes mid-
-    // reconfiguration are only used when nothing else is up.
+    // reconfiguration are only used when nothing else is up. The indexed
+    // path walks only the shard's accepting set (id-ascending, exactly the
+    // order the legacy scan visited accepting nodes in) instead of every
+    // slot; the ready list — and therefore the RNG draw — is identical.
     WorkerNode* fallback = nullptr;
     std::vector<WorkerNode*> ready;
-    ready.reserve(nodes_.size());
-    for (auto& node : nodes_) {
-      if (!node->accepting()) continue;
-      if (node->gpu().reconfiguring()) {
-        if (fallback == nullptr) fallback = node.get();
-        continue;
+    if (config_.indexed_dispatch) {
+      ready.reserve(shard.accepting.size());
+      for (NodeId id : shard.accepting) {
+        WorkerNode* node = nodes_[id].get();
+        PROTEAN_DCHECK(node->accepting());
+        if (node->gpu().reconfiguring()) {
+          if (fallback == nullptr) fallback = node;
+          continue;
+        }
+        ready.push_back(node);
       }
-      ready.push_back(node.get());
+#ifndef NDEBUG
+      // The index must mirror live accepting() over the whole slot range —
+      // a missed load-listener notification shows up here, not as a silent
+      // routing divergence.
+      for (NodeId id = shard.lo; id < shard.hi; ++id) {
+        PROTEAN_CHECK(nodes_[id]->accepting() ==
+                      (shard.accepting.count(id) != 0));
+      }
+#endif
+    } else {
+      ready.reserve(shard.hi - shard.lo);
+      for (NodeId id = shard.lo; id < shard.hi; ++id) {
+        WorkerNode* node = nodes_[id].get();
+        if (!node->accepting()) continue;
+        if (node->gpu().reconfiguring()) {
+          if (fallback == nullptr) fallback = node;
+          continue;
+        }
+        ready.push_back(node);
+      }
     }
     if (ready.empty()) return fallback;
     return ready[dispatch_rng_.index(ready.size())];
   }
-  WorkerNode* best = nullptr;
-  for (auto& node : nodes_) {
-    if (!node->accepting()) continue;
-    if (node->gpu().reconfiguring() && node->queued() > 4) continue;
-    if (best == nullptr ||
-        node->outstanding_work() < best->outstanding_work()) {
-      best = node.get();
+  // Least-loaded. The indexed path takes the first entry of the (work, id)
+  // order that passes the reconfiguring filter: the same argmin — with the
+  // same lowest-id tie-break — the legacy strict-< scan computed, found in
+  // O(log n) maintenance + O(skips) instead of O(n) per choose.
+  if (config_.indexed_dispatch) {
+    WorkerNode* best = nullptr;
+    for (const auto& [load, id] : shard.by_load) {
+      WorkerNode* node = nodes_[id].get();
+      PROTEAN_DCHECK(node->accepting() && node->outstanding_work() == load);
+      if (node->gpu().reconfiguring() && node->queued() > 4) continue;
+      best = node;
+      break;
     }
+    PROTEAN_DCHECK(best == least_loaded_scan(shard.lo, shard.hi));
+    if (best != nullptr) return best;
+    // Fall back to any accepting node (all may be reconfiguring + loaded);
+    // the membership set is id-ordered, so begin() is the legacy scan's hit.
+    if (!shard.accepting.empty()) {
+      return nodes_[*shard.accepting.begin()].get();
+    }
+    return nullptr;
   }
+  WorkerNode* best = least_loaded_scan(shard.lo, shard.hi);
   if (best != nullptr) return best;
   // Fall back to any accepting node (all may be reconfiguring + loaded).
-  for (auto& node : nodes_) {
-    if (node->accepting()) return node.get();
+  for (NodeId id = shard.lo; id < shard.hi; ++id) {
+    if (nodes_[id]->accepting()) return nodes_[id].get();
   }
   return nullptr;
 }
@@ -235,7 +459,7 @@ void Cluster::dispatch(workload::Batch&& batch) {
                     {"hop_ms", 1e3 * hop}});
       }
       const NodeId dest = node->id();
-      auto moved = std::make_shared<workload::Batch>(std::move(batch));
+      auto moved = batch_pool_.make(std::move(batch));
       sim_.schedule_after(hop, [this, moved, dest] {
         WorkerNode& n = *nodes_.at(dest);
         if (n.accepting()) {
@@ -267,7 +491,7 @@ void Cluster::maybe_arm_hedge(workload::Batch& batch) {
   if (batch.hedged || batch.hedge_armed || batch.attempts > 0) return;
   batch.hedge_armed = true;
   ++hedge_candidates_;
-  auto twin = std::make_shared<workload::Batch>(batch);
+  auto twin = batch_pool_.make(batch);
   twin->hedged = true;
   const Duration delay =
       std::max(fc.hedge.floor, fc.hedge.slo_fraction * batch.slo);
@@ -333,7 +557,7 @@ void Cluster::on_lost_batch(workload::Batch&& batch) {
   }
   const Duration delay =
       fault::retry_backoff(batch.attempts, config_.fault.retry);
-  auto shared = std::make_shared<workload::Batch>(std::move(batch));
+  auto shared = batch_pool_.make(std::move(batch));
   sim_.schedule_after(delay, [this, shared] { dispatch(std::move(*shared)); });
 }
 
@@ -431,57 +655,93 @@ void Cluster::monitor_tick() {
   int budget = std::max(0, cap - reconfiguring);
   for (auto& node : nodes_) {
     if (!node->up()) continue;
-    scheduler_.on_monitor(*node, budget);
+    // Each node is monitored by its own shard's scheduler (== scheduler_ on
+    // the single-shard control plane); the budget stays fleet-global.
+    node->scheduler().on_monitor(*node, budget);
   }
+}
+
+void Cluster::refresh_util_cache() const {
+  const std::uint64_t event = sim_.executed();
+  if (util_cache_valid_ && util_cache_event_ == event) return;
+  // Both integrals are constant within one event (they advance with the
+  // clock; state changes at `now` do not move the area behind `now`), so
+  // one pass serves every utilization gauge a telemetry scrape reads.
+  double busy = 0.0;
+  double mem = 0.0;
+  for (const auto& node : nodes_) {
+    busy += node->gpu_busy_seconds();
+    mem += node->gpu_memory_gb_seconds();
+  }
+  busy_cache_ = busy;
+  mem_cache_ = mem;
+  util_cache_event_ = event;
+  util_cache_valid_ = true;
 }
 
 double Cluster::gpu_utilization_pct() const {
   const Duration elapsed = sim_.now() - started_at_;
   if (elapsed <= 0.0) return 0.0;
-  double busy = 0.0;
-  for (const auto& node : nodes_) busy += node->gpu_busy_seconds();
+  refresh_util_cache();
   // Normalized by the base fleet (== nodes_.size() unless autoscaling),
   // so elastic runs report utilization against the provisioned baseline.
-  return 100.0 * busy / (elapsed * static_cast<double>(config_.node_count));
+  return 100.0 * busy_cache_ /
+         (elapsed * static_cast<double>(config_.node_count));
 }
 
 double Cluster::memory_utilization_pct() const {
   const Duration elapsed = sim_.now() - started_at_;
   if (elapsed <= 0.0) return 0.0;
-  double gbs = 0.0;
-  for (const auto& node : nodes_) gbs += node->gpu_memory_gb_seconds();
-  return 100.0 * gbs / (elapsed * config_.gpu_memory_gb *
-                        static_cast<double>(config_.node_count));
+  refresh_util_cache();
+  return 100.0 * mem_cache_ / (elapsed * config_.gpu_memory_gb *
+                               static_cast<double>(config_.node_count));
 }
 
 std::uint64_t Cluster::total_cold_starts() const {
-  std::uint64_t total = 0;
-  for (const auto& node : nodes_) total += node->cold_starts();
-  return total;
+#ifndef NDEBUG
+  std::uint64_t rescan = 0;
+  for (const auto& node : nodes_) rescan += node->cold_starts();
+  PROTEAN_CHECK_MSG(rescan == fleet_.cold_starts, "fleet cold-start drift");
+#endif
+  return fleet_.cold_starts;
 }
 
 std::uint64_t Cluster::total_dropped_jobs() const {
-  std::uint64_t total = 0;
-  for (const auto& node : nodes_) total += node->dropped_jobs();
-  return total;
+#ifndef NDEBUG
+  std::uint64_t rescan = 0;
+  for (const auto& node : nodes_) rescan += node->dropped_jobs();
+  PROTEAN_CHECK_MSG(rescan == fleet_.dropped_jobs, "fleet drop drift");
+#endif
+  return fleet_.dropped_jobs;
 }
 
 int Cluster::total_reconfigurations() const {
-  int total = 0;
-  for (const auto& node : nodes_) total += node->reconfigurations();
-  return total;
+#ifndef NDEBUG
+  int rescan = 0;
+  for (const auto& node : nodes_) rescan += node->reconfigurations();
+  PROTEAN_CHECK_MSG(rescan == fleet_.reconfigurations,
+                    "fleet reconfiguration drift");
+#endif
+  return fleet_.reconfigurations;
 }
 
 std::uint64_t Cluster::total_lost_batches() const {
-  std::uint64_t total = 0;
-  for (const auto& node : nodes_) total += node->lost_batches();
-  return total;
+#ifndef NDEBUG
+  std::uint64_t rescan = 0;
+  for (const auto& node : nodes_) rescan += node->lost_batches();
+  PROTEAN_CHECK_MSG(rescan == fleet_.lost_batches, "fleet lost-batch drift");
+#endif
+  return fleet_.lost_batches;
 }
 
 int Cluster::total_failed_reconfigurations() const {
-  int total = 0;
-  for (const auto& node : nodes_) total += node->failed_reconfigurations();
-  return total;
+#ifndef NDEBUG
+  int rescan = 0;
+  for (const auto& node : nodes_) rescan += node->failed_reconfigurations();
+  PROTEAN_CHECK_MSG(rescan == fleet_.failed_reconfigurations,
+                    "fleet failed-reconfiguration drift");
+#endif
+  return fleet_.failed_reconfigurations;
 }
 
 }  // namespace protean::cluster

@@ -1,12 +1,25 @@
 // Cluster: wires gateway, dispatcher, worker nodes, scheduler, metrics and
 // the VM market into one serverless deployment (the whole of Fig. 4).
+//
+// Scale path (docs/scale.md): the control plane can run `config.shards`
+// gateways side by side, each batching its share of the arrival stream with
+// its own scheduler instance over a contiguous node range; a
+// power-of-two-choices layer balances dispatches across shards. Placement
+// consults incrementally-maintained per-shard load indexes instead of
+// scanning every node, and fleet-wide counters are pushed by the nodes so
+// aggregate getters are O(1). All of it is byte-identical at `shards == 1`
+// with the historical single-gateway, full-scan control plane.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <memory>
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "cluster/config.h"
+#include "common/pool.h"
 #include "common/rng.h"
 #include "cluster/gateway.h"
 #include "cluster/node.h"
@@ -21,8 +34,12 @@ namespace protean::cluster {
 
 class Cluster : public spot::NodeLifecycleListener, public fault::FaultTarget {
  public:
+  /// `shard_schedulers` must hold one scheduler per shard when
+  /// config.shards > 1 (node i is placed by its shard's scheduler); it is
+  /// ignored — and may be empty — on the single-shard control plane, where
+  /// `scheduler` drives everything exactly as before.
   Cluster(sim::Simulator& simulator, const ClusterConfig& config,
-          Scheduler& scheduler);
+          Scheduler& scheduler, std::vector<Scheduler*> shard_schedulers = {});
   ~Cluster() override;
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
@@ -34,8 +51,25 @@ class Cluster : public spot::NodeLifecycleListener, public fault::FaultTarget {
   void stop();
 
   // ---- plumbing ------------------------------------------------------------
-  trace::RequestSink& sink() noexcept { return *gateway_; }
-  Gateway& gateway() noexcept { return *gateway_; }
+  /// Where the trace driver feeds arrivals: the gateway itself on a
+  /// single-shard control plane, the round-robin fan-out across the shard
+  /// gateways otherwise.
+  trace::RequestSink& sink() noexcept;
+  /// The first (shard 0) gateway — the only one at `shards == 1`.
+  Gateway& gateway() noexcept { return *gateways_.front(); }
+  Gateway& gateway(std::size_t shard) { return *gateways_.at(shard); }
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+  /// Requests seen across all shard gateways.
+  std::uint64_t gateway_requests_seen() const noexcept;
+  /// Seals every partial batch on every gateway (end-of-experiment drain).
+  void flush_gateways();
+  /// Outstanding work summed over a shard's accepting nodes (the p2c key).
+  double shard_load(std::size_t shard) const {
+    return shards_.at(shard).load_sum;
+  }
+  /// Max shard load over mean shard load (1 when idle or single-shard) —
+  /// the autoscaler's per-shard imbalance signal.
+  double shard_load_skew() const;
   metrics::Collector& collector() noexcept { return collector_; }
   const metrics::Collector& collector() const noexcept { return collector_; }
   spot::Market& market() noexcept { return *market_; }
@@ -84,6 +118,8 @@ class Cluster : public spot::NodeLifecycleListener, public fault::FaultTarget {
   }
 
   // ---- fleet-wide stats ----------------------------------------------------
+  // Counter aggregates read the push-maintained FleetCounters block (O(1));
+  // a debug build cross-checks each value against a full node rescan.
   /// Percentage of wall time with >= 1 job running, averaged over GPUs.
   double gpu_utilization_pct() const;
   /// Average fraction of total GPU memory in use, in percent.
@@ -98,14 +134,45 @@ class Cluster : public spot::NodeLifecycleListener, public fault::FaultTarget {
   std::size_t backlog() const noexcept { return backlog_.size(); }
 
  private:
+  /// Incrementally-maintained dispatch index for one shard: accepting
+  /// nodes ordered by (outstanding work, id) — the least-loaded argmin with
+  /// its lowest-id tie-break — plus the same membership in id order for
+  /// random routing and fallbacks, and the running load sum the p2c layer
+  /// compares.
+  struct ShardState {
+    NodeId lo = 0;  // contiguous node-slot range [lo, hi)
+    NodeId hi = 0;
+    std::set<std::pair<double, NodeId>> by_load;
+    std::set<NodeId> accepting;
+    double load_sum = 0.0;
+  };
+  /// Per-node mirror of its index entry, so updates are erase/insert pairs.
+  struct IndexEntry {
+    double load = 0.0;
+    bool member = false;
+  };
+
   void monitor_tick();
   void drain_backlog();
   /// Registers cluster/gateway/node instruments into config.telemetry.
   void register_telemetry(telemetry::MetricsRegistry& registry);
   WorkerNode* pick_node(const workload::Batch& batch);
   /// The configured dispatch policy, before the workflow layer's DAG-aware
-  /// co-location preference is applied on top.
+  /// co-location preference is applied on top: p2c shard choice, then the
+  /// policy within the shard (spilling to sibling shards when it is empty).
   WorkerNode* pick_node_base(const workload::Batch& batch);
+  WorkerNode* pick_in_shard(const workload::Batch& batch, std::size_t shard);
+  std::size_t pick_shard();
+  std::uint32_t shard_of(NodeId id) const noexcept;
+  /// Load-listener target: refreshes node `id`'s index entry.
+  void on_node_load_changed(NodeId id);
+  /// Reference least-loaded scan over [lo, hi) (the pre-index dispatch
+  /// path); the indexed choose must agree with it exactly.
+  WorkerNode* least_loaded_scan(NodeId lo, NodeId hi);
+  /// One-pass-per-event cache for the fleet busy/memory integrals, so a
+  /// telemetry scrape reading several utilization gauges walks the nodes
+  /// once instead of once per gauge.
+  void refresh_util_cache() const;
   /// Retry/drop decision for a batch aborted by a fault.
   void on_lost_batch(workload::Batch&& batch);
   /// Arms the hedge timer for a fresh strict batch when hedging is on.
@@ -117,9 +184,14 @@ class Cluster : public spot::NodeLifecycleListener, public fault::FaultTarget {
   sim::Simulator& sim_;
   ClusterConfig config_;
   Scheduler& scheduler_;
+  std::vector<Scheduler*> shard_schedulers_;
   metrics::Collector collector_;
   std::vector<std::unique_ptr<WorkerNode>> nodes_;
-  std::unique_ptr<Gateway> gateway_;
+  std::vector<std::unique_ptr<Gateway>> gateways_;
+  std::unique_ptr<trace::RequestSink> fanout_;  // arrival splitter, shards > 1
+  std::vector<ShardState> shards_;
+  std::vector<IndexEntry> index_;
+  FleetCounters fleet_;
   std::unique_ptr<spot::Market> market_;
   std::unique_ptr<fault::FaultInjector> injector_;
   std::unique_ptr<workflow::WorkflowRuntime> workflow_;
@@ -127,12 +199,21 @@ class Cluster : public spot::NodeLifecycleListener, public fault::FaultTarget {
   std::unique_ptr<sim::PeriodicTask> monitor_task_;
   std::unique_ptr<sim::PeriodicTask> backlog_task_;
   std::deque<workload::Batch> backlog_;
+  /// Recycles the shared_ptr boxes the hedge/transfer/retry paths put
+  /// batches into for deferred events (common/pool.h).
+  common::ObjectPool<workload::Batch> batch_pool_;
   /// Strict batches that armed a hedge timer (the hedge budget's base).
   std::uint64_t hedge_candidates_ = 0;
   DispatchPolicy dispatch_policy_ = DispatchPolicy::kRandom;
   Rng dispatch_rng_{0x5eed};
+  Rng shard_rng_{0x5eed};  // p2c draws; untouched at shards == 1
   std::size_t rr_cursor_ = 0;
   SimTime started_at_ = 0.0;
+
+  mutable std::uint64_t util_cache_event_ = ~0ull;
+  mutable bool util_cache_valid_ = false;
+  mutable double busy_cache_ = 0.0;
+  mutable double mem_cache_ = 0.0;
 };
 
 }  // namespace protean::cluster

@@ -39,6 +39,19 @@ struct ClusterConfig {
   DispatchPolicy dispatch = DispatchPolicy::kRandom;
   /// Seed for the dispatcher's random routing.
   std::uint64_t dispatch_seed = 0x5eed;
+
+  /// Control-plane shards (docs/scale.md). With K > 1 the cluster runs K
+  /// gateways, each batching its share of the arrival stream with its own
+  /// scheduler instance over a contiguous node range, and a
+  /// power-of-two-choices layer balances dispatches across shards. K = 1
+  /// is byte-identical to the single-gateway control plane.
+  std::uint32_t shards = 1;
+
+  /// Route dispatches through the incrementally-maintained per-shard load
+  /// index (O(log n) per choose) instead of scanning every node. Decisions
+  /// are byte-identical; the legacy scan survives as the bench_scale
+  /// baseline and as the PROTEAN_DCHECK cross-check.
+  bool indexed_dispatch = true;
   /// kConsolidate packs a node while its estimated contention pressure
   /// stays below this bound. INFless's latency model is interference-naive
   /// (additive, no thrash), so it believes packing up to roughly the SLO

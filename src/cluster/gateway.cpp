@@ -15,9 +15,15 @@ constexpr int kGatewayPid = 0;
 }  // namespace
 
 Gateway::Gateway(sim::Simulator& simulator, const ClusterConfig& config,
-                 DispatchFn dispatch)
-    : sim_(simulator), config_(config), dispatch_(std::move(dispatch)) {
+                 DispatchFn dispatch, BatchId first_batch_id,
+                 std::uint64_t id_stride)
+    : sim_(simulator),
+      config_(config),
+      dispatch_(std::move(dispatch)),
+      next_batch_id_(first_batch_id),
+      id_stride_(id_stride) {
   PROTEAN_CHECK_MSG(static_cast<bool>(dispatch_), "null dispatch function");
+  PROTEAN_CHECK_MSG(id_stride_ > 0, "batch-id stride must be positive");
   if (obs::Tracer* t = config_.tracer; t != nullptr) {
     t->process_name(kGatewayPid, "gateway");
   }
@@ -45,7 +51,8 @@ void Gateway::seal(const Key& key, Accumulator& acc, int size) {
   if (size == 0) return;
 
   workload::Batch batch;
-  batch.id = next_batch_id_++;
+  batch.id = next_batch_id_;
+  next_batch_id_ += id_stride_;
   batch.model = key.first;
   batch.strict = key.second;
   batch.count = size;
@@ -134,19 +141,20 @@ Duration Gateway::oldest_pending_age() const noexcept {
   return oldest;
 }
 
-void Gateway::register_telemetry(telemetry::MetricsRegistry& registry) {
-  registry.gauge("gateway_pending_requests", [this] {
+void Gateway::register_telemetry(telemetry::MetricsRegistry& registry,
+                                 const std::string& label) {
+  registry.gauge("gateway_pending_requests" + label, [this] {
     return static_cast<double>(pending_requests());
   });
-  registry.gauge("gateway_oldest_pending_age_seconds",
+  registry.gauge("gateway_oldest_pending_age_seconds" + label,
                  [this] { return oldest_pending_age(); });
-  registry.gauge("gateway_requests_seen_total", [this] {
+  registry.gauge("gateway_requests_seen_total" + label, [this] {
     return static_cast<double>(requests_seen_);
   });
-  registry.gauge("gateway_batches_formed_total", [this] {
+  registry.gauge("gateway_batches_formed_total" + label, [this] {
     return static_cast<double>(batches_formed_);
   });
-  registry.gauge("gateway_partial_batches_total", [this] {
+  registry.gauge("gateway_partial_batches_total" + label, [this] {
     return static_cast<double>(partial_batches_);
   });
 }

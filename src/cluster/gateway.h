@@ -13,6 +13,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <string>
 #include <utility>
 
 #include "cluster/config.h"
@@ -26,8 +27,13 @@ class Gateway : public trace::RequestSink {
  public:
   using DispatchFn = std::function<void(workload::Batch&&)>;
 
+  /// `first_batch_id`/`id_stride` partition the batch-id space when several
+  /// gateways run side by side (sharded control plane, docs/scale.md):
+  /// shard s uses ids s+1, s+1+K, s+1+2K, ... so ids stay globally unique.
+  /// The defaults reproduce the single-gateway sequence 1, 2, 3, ...
   Gateway(sim::Simulator& simulator, const ClusterConfig& config,
-          DispatchFn dispatch);
+          DispatchFn dispatch, BatchId first_batch_id = 1,
+          std::uint64_t id_stride = 1);
   ~Gateway() override;
 
   void on_arrivals(const workload::ModelProfile& model, bool strict, int count,
@@ -51,8 +57,10 @@ class Gateway : public trace::RequestSink {
   Duration oldest_pending_age() const noexcept;
 
   /// Registers the gateway's instruments (src/telemetry): queue depth,
-  /// backlog age, and cumulative batch-formation counts.
-  void register_telemetry(telemetry::MetricsRegistry& registry);
+  /// backlog age, and cumulative batch-formation counts. `label` suffixes
+  /// every metric name (e.g. "{shard=\"1\"}" on a sharded control plane).
+  void register_telemetry(telemetry::MetricsRegistry& registry,
+                          const std::string& label = "");
 
  private:
   /// A burst of `count` arrivals spread uniformly over [t0, t1).
@@ -76,6 +84,7 @@ class Gateway : public trace::RequestSink {
   std::map<Key, Accumulator> acc_;
   std::unique_ptr<sim::PeriodicTask> flush_task_;
   BatchId next_batch_id_ = 1;
+  std::uint64_t id_stride_ = 1;
   std::uint64_t batches_formed_ = 0;
   std::uint64_t partial_batches_ = 0;
   std::uint64_t requests_seen_ = 0;

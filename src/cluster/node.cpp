@@ -49,7 +49,10 @@ WorkerNode::WorkerNode(sim::Simulator& simulator, NodeId id,
                     "node " + std::to_string(id_));
   }
   gpu_ = make_gpu();
-  gpu_->set_capacity_callback([this] { try_dispatch(); });
+  gpu_->set_capacity_callback([this] {
+    sync_fleet_gpu_counters();
+    try_dispatch();
+  });
   install_reconfig_fault_hook();
   if (config_.memcache.enabled) {
     cache_ = std::make_unique<memcache::ModelCache>(sim_, config_.memcache,
@@ -167,6 +170,7 @@ void WorkerNode::enqueue(workload::Batch batch) {
                              batch.model->solo_time_7g * fill;
   }
   outstanding_work_ += batch.model->solo_time_7g;
+  notify_load();
   if (obs::Tracer* t = config_.tracer;
       t != nullptr && t->wants(obs::kSpans)) {
     t->async_begin(obs::kSpans, "queue", batch.id,
@@ -277,6 +281,7 @@ void WorkerNode::maybe_boot_spare(const workload::ModelProfile& model) {
   if (pool.spare_booting) return;
   pool.spare_booting = true;
   ++cold_starts_;
+  if (fleet_ != nullptr) ++fleet_->cold_starts;
   collector_.record_cold_start();
   if (obs::Tracer* t = config_.tracer;
       t != nullptr && t->wants(obs::kSpans)) {
@@ -361,6 +366,7 @@ void WorkerNode::start_batch(workload::Batch batch, gpu::Slice* slice) {
     PROTEAN_DCHECK(pool.busy == 0 && !pool.spare_booting);
     container_cold = true;
     ++cold_starts_;
+    if (fleet_ != nullptr) ++fleet_->cold_starts;
     collector_.record_cold_start();
     if (tracer != nullptr && tracer->wants(obs::kSpans)) {
       tracer->instant(obs::kSpans, "cold_start", static_cast<int>(id_) + 1,
@@ -514,6 +520,7 @@ void WorkerNode::on_complete(workload::Batch batch,
   ++batches_served_;
   outstanding_work_ =
       std::max(0.0, outstanding_work_ - batch.model->solo_time_7g);
+  notify_load();
   auto& pool = containers_[batch.model];
   --pool.busy;
   if (config_.keep_alive > 0.0) {
@@ -536,6 +543,7 @@ void WorkerNode::handle_lost(workload::Batch batch) {
   if (running_ > 0) --running_;
   outstanding_work_ =
       std::max(0.0, outstanding_work_ - batch.model->solo_time_7g);
+  notify_load();
   auto& pool = containers_[batch.model];
   if (pool.busy > 0) --pool.busy;
   // On a surviving node (ECC slice loss) the container itself is fine and
@@ -545,6 +553,7 @@ void WorkerNode::handle_lost(workload::Batch batch) {
     pool.idle_since.push_back(sim_.now());
   }
   ++lost_batches_;
+  if (fleet_ != nullptr) ++fleet_->lost_batches;
   if (obs::Tracer* t = config_.tracer;
       t != nullptr && t->wants(obs::kSpans)) {
     t->instant(obs::kSpans, "lost", static_cast<int>(id_) + 1,
@@ -563,6 +572,7 @@ void WorkerNode::handle_lost(workload::Batch batch) {
   }
   // No resilience layer installed: legacy dropped-work accounting.
   ++dropped_jobs_;
+  if (fleet_ != nullptr) ++fleet_->dropped_jobs;
   collector_.record_dropped(batch.strict, batch.count);
 }
 
@@ -646,6 +656,7 @@ std::vector<workload::Batch> WorkerNode::take_queue() {
                         {{"flushed", 1.0}});
     }
   }
+  if (!flushed.empty()) notify_load();
   return flushed;
 }
 
@@ -688,6 +699,7 @@ std::vector<workload::Batch> WorkerNode::evict() {
   // (>=30 s notice vs <1 s jobs) makes this rare.
   if (running_ > 0) {
     dropped_jobs_ += running_;
+    if (fleet_ != nullptr) fleet_->dropped_jobs += running_;
     // Strictness composition of in-flight jobs is not tracked per job; the
     // conservative choice is to count them as strict misses.
     collector_.record_dropped(/*strict=*/true, static_cast<int>(running_));
@@ -703,11 +715,16 @@ std::vector<workload::Batch> WorkerNode::evict() {
     failed_reconfigs_retired_ += gpu_->failed_reconfigurations();
   }
   gpu_.reset();  // cancels all pending completions
+  // The cached slice pointers died with the GPU; a replacement GPU restarts
+  // topology numbering at 0, so an explicit reset is required for safety.
+  sorted_slices_.clear();
+  sorted_topology_ = -1;
   ecc_degraded_ = false;  // the bad HBM died with the VM
   if (cache_) {
     cache_->reset();  // device memory is gone with the VM
     synced_topology_ = -1;
   }
+  notify_load();
   return flushed;
 }
 
@@ -717,10 +734,40 @@ void WorkerNode::restore() {
   draining_ = false;
   ++epoch_;
   gpu_ = make_gpu();
-  gpu_->set_capacity_callback([this] { try_dispatch(); });
+  gpu_->set_capacity_callback([this] {
+    sync_fleet_gpu_counters();
+    try_dispatch();
+  });
   install_reconfig_fault_hook();
+  sorted_slices_.clear();
+  sorted_topology_ = -1;
   maybe_sync_cache();
+  notify_load();
   try_dispatch();
+}
+
+const std::vector<gpu::Slice*>& WorkerNode::sorted_slices() {
+  static const std::vector<gpu::Slice*> kNoSlices;
+  if (!gpu_ || gpu_->reconfiguring()) return kNoSlices;
+  if (gpu_->topology_version() != sorted_topology_) {
+    sorted_slices_ = gpu_->slices();
+    std::sort(sorted_slices_.begin(), sorted_slices_.end(),
+              gpu::slice_order_ascending);
+    sorted_topology_ = gpu_->topology_version();
+  }
+  return sorted_slices_;
+}
+
+void WorkerNode::sync_fleet_gpu_counters() {
+  if (fleet_ == nullptr) return;
+  // Node-level totals include GPUs retired by evictions, so the deltas
+  // survive evict/restore cycles without a separate re-baseline.
+  const int reconfigs = reconfigurations();
+  const int failed = failed_reconfigurations();
+  fleet_->reconfigurations += reconfigs - fleet_synced_reconfigs_;
+  fleet_->failed_reconfigurations += failed - fleet_synced_failed_;
+  fleet_synced_reconfigs_ = reconfigs;
+  fleet_synced_failed_ = failed;
 }
 
 }  // namespace protean::cluster

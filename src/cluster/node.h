@@ -30,6 +30,20 @@ class Counter;
 
 namespace protean::cluster {
 
+/// Fleet-wide counters maintained push-style by every node (docs/scale.md):
+/// the cluster's aggregate getters read this block instead of rescanning
+/// all nodes per call — the telemetry scrape tick calls several aggregates
+/// per tick, which made scrapes O(nodes × metrics). Values are exact
+/// mirrors of the per-node counters; Cluster asserts equality with a full
+/// rescan under PROTEAN_DCHECK.
+struct FleetCounters {
+  std::uint64_t cold_starts = 0;
+  std::uint64_t dropped_jobs = 0;
+  std::uint64_t lost_batches = 0;
+  int reconfigurations = 0;
+  int failed_reconfigurations = 0;
+};
+
 class WorkerNode {
  public:
   WorkerNode(sim::Simulator& simulator, NodeId id, const ClusterConfig& config,
@@ -42,6 +56,24 @@ class WorkerNode {
   gpu::Gpu& gpu() noexcept { return *gpu_; }
   const gpu::Gpu& gpu() const noexcept { return *gpu_; }
   const ClusterConfig& config() const noexcept { return config_; }
+  /// The scheduler placing work on this node (its shard's scheduler when
+  /// the control plane is sharded).
+  Scheduler& scheduler() noexcept { return scheduler_; }
+
+  /// Installs the cluster's push-based fleet counter block; per-node
+  /// counter bumps are mirrored into it from then on.
+  void set_fleet_counters(FleetCounters* fleet) noexcept { fleet_ = fleet; }
+
+  /// Invoked whenever outstanding_work() or accepting() may have changed,
+  /// so the dispatcher's load index can update incrementally.
+  void set_load_listener(std::function<void()> fn) {
+    load_listener_ = std::move(fn);
+  }
+
+  /// Live slices in canonical ascending order (gpu::slice_order_ascending),
+  /// cached per GPU topology version so hot placement paths skip the
+  /// per-call sort. Empty while the GPU reconfigures or the VM is down.
+  const std::vector<gpu::Slice*>& sorted_slices();
 
   /// The node's model-weight cache; nullptr unless config.memcache.enabled.
   const memcache::ModelCache* cache() const noexcept { return cache_.get(); }
@@ -65,7 +97,11 @@ class WorkerNode {
   bool up() const noexcept { return up_; }
   bool draining() const noexcept { return draining_; }
   bool accepting() const noexcept { return up_ && !draining_; }
-  void set_draining(bool draining) noexcept { draining_ = draining; }
+  void set_draining(bool draining) {
+    if (draining_ == draining) return;
+    draining_ = draining;
+    notify_load();
+  }
   /// Marks the node down; returns queued-but-unstarted batches for
   /// redistribution and counts still-running jobs as dropped.
   std::vector<workload::Batch> evict();
@@ -223,6 +259,13 @@ class WorkerNode {
   gpu::Slice* find_slice(SliceId slice_id);
   void reap_containers();
   void insert_by_policy(workload::Batch&& batch);
+  void notify_load() {
+    if (load_listener_) load_listener_();
+  }
+  /// Mirrors the GPU-internal reconfiguration counters into the fleet
+  /// block by delta (the engine has no push hook for them); invoked from
+  /// the capacity callback, which fires on every path that bumps them.
+  void sync_fleet_gpu_counters();
 
   sim::Simulator& sim_;
   NodeId id_;
@@ -232,6 +275,13 @@ class WorkerNode {
   std::unique_ptr<gpu::Gpu> gpu_;
   std::unique_ptr<memcache::ModelCache> cache_;
   int synced_topology_ = -1;  // forces an initial sync_slices
+  std::vector<gpu::Slice*> sorted_slices_;  // ascending; see sorted_slices()
+  int sorted_topology_ = -1;
+
+  FleetCounters* fleet_ = nullptr;
+  int fleet_synced_reconfigs_ = 0;
+  int fleet_synced_failed_ = 0;
+  std::function<void()> load_listener_;
 
   std::deque<workload::Batch> queue_;
   std::function<void(workload::Batch&&)> redistribute_;

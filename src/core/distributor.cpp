@@ -4,6 +4,7 @@
 #include <deque>
 #include <limits>
 
+#include "common/check.h"
 #include "core/slowdown.h"
 #include "gpu/mig.h"
 #include "memcache/model_cache.h"
@@ -11,13 +12,6 @@
 namespace protean::core {
 
 namespace {
-
-bool ascending_by_size(const gpu::Slice* a, const gpu::Slice* b) {
-  const int ua = gpu::traits(a->profile()).compute_units;
-  const int ub = gpu::traits(b->profile()).compute_units;
-  if (ua != ub) return ua < ub;
-  return a->id() < b->id();
-}
 
 gpu::JobSpec probe_spec(const workload::Batch& batch, const gpu::Slice& slice) {
   return workload::job_spec_for(batch, slice.profile());
@@ -27,7 +21,14 @@ gpu::JobSpec probe_spec(const workload::Batch& batch, const gpu::Slice& slice) {
 
 std::vector<TaggedSlice> JobDistributor::compute_tags(
     std::vector<gpu::Slice*> slices, MemGb be_mem) {
-  std::sort(slices.begin(), slices.end(), ascending_by_size);
+  std::sort(slices.begin(), slices.end(), gpu::slice_order_ascending);
+  return compute_tags_ordered(slices, be_mem);
+}
+
+std::vector<TaggedSlice> JobDistributor::compute_tags_ordered(
+    const std::vector<gpu::Slice*>& slices, MemGb be_mem) {
+  PROTEAN_DCHECK(std::is_sorted(slices.begin(), slices.end(),
+                                gpu::slice_order_ascending));
   std::vector<TaggedSlice> tagged;
   tagged.reserve(slices.size());
   for (gpu::Slice* s : slices) tagged.push_back(TaggedSlice{s, 0.0});

@@ -32,6 +32,12 @@ class JobDistributor {
   static std::vector<TaggedSlice> compute_tags(
       std::vector<gpu::Slice*> slices, MemGb be_mem);
 
+  /// Same tagging pass over slices *already* in canonical ascending order
+  /// (gpu::slice_order_ascending). Hot-path variant consumed with the
+  /// node-side sorted-slice cache so placement skips the per-call sort.
+  static std::vector<TaggedSlice> compute_tags_ordered(
+      const std::vector<gpu::Slice*>& ascending, MemGb be_mem);
+
   /// choose_strict_slice ⑦: among slices with tag_value < 1 that can admit
   /// the batch, pick the one with the least η. The tag contributes expected
   /// BE interference proportional to the tagged memory (`be_fbr_density` =

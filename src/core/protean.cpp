@@ -24,13 +24,15 @@ std::string ProteanScheduler::name() const {
 gpu::Slice* ProteanScheduler::place(const workload::Batch& batch,
                                     cluster::WorkerNode& node) {
   const char* scheme = options_.oracle ? "oracle" : "protean";
-  auto slices = node.gpu().slices();
+  // The node caches the canonical ascending slice order per GPU topology
+  // version, so the per-placement sort disappears from the hot path.
+  const auto& slices = node.sorted_slices();
   if (slices.empty()) {  // reconfiguring
     cluster::trace_placement(node, batch, scheme, 0, nullptr, 0.0);
     return nullptr;
   }
   const auto tagged =
-      JobDistributor::compute_tags(std::move(slices), node.be_mem_queued());
+      JobDistributor::compute_tags_ordered(slices, node.be_mem_queued());
   if (batch.strict) {
     if (!options_.use_eta) {
       // Ablation: always take the largest admitting slice, ignoring the

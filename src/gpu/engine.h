@@ -498,4 +498,14 @@ class Gpu {
   std::uint32_t next_slice_id_ = 0;
 };
 
+/// Canonical ascending slice order (compute units, then slice id) shared by
+/// the job distributor's Algorithm 1 tagging and the node-side sorted-slice
+/// cache, so a cached ordering is byte-identical to a fresh sort.
+inline bool slice_order_ascending(const Slice* a, const Slice* b) noexcept {
+  const int ua = traits(a->profile()).compute_units;
+  const int ub = traits(b->profile()).compute_units;
+  if (ua != ub) return ua < ub;
+  return a->id() < b->id();
+}
+
 }  // namespace protean::gpu

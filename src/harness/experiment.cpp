@@ -1,6 +1,7 @@
 #include "harness/experiment.h"
 
 #include <algorithm>
+#include <memory>
 #include <optional>
 
 #include "autoscale/controller.h"
@@ -52,6 +53,21 @@ Report run_experiment(const ExperimentConfig& config) {
 
   auto scheduler = sched::make_scheduler(config.scheme);
   cluster::ClusterConfig cluster_config = config.cluster;
+  // Sharded control plane (docs/scale.md): one scheduler instance per shard,
+  // so scheduler state (e.g. per-node reconfigurator history) never crosses
+  // a shard boundary. Clamped so tiny fleets can't out-shard their nodes;
+  // shards == 1 passes no extra schedulers and is byte-identical.
+  cluster_config.shards =
+      std::min(std::max(cluster_config.shards, 1u), cluster_config.node_count);
+  std::vector<std::unique_ptr<cluster::Scheduler>> shard_scheduler_store;
+  std::vector<cluster::Scheduler*> shard_schedulers;
+  if (cluster_config.shards > 1) {
+    shard_scheduler_store.reserve(cluster_config.shards);
+    for (std::uint32_t s = 0; s < cluster_config.shards; ++s) {
+      shard_scheduler_store.push_back(sched::make_scheduler(config.scheme));
+      shard_schedulers.push_back(shard_scheduler_store.back().get());
+    }
+  }
   if (config.scheme == sched::Scheme::kOracle) {
     // Oracle pays no reconfiguration downtime (Section 6.2).
     cluster_config.reconfigure_time = 0.0;
@@ -64,7 +80,8 @@ Report run_experiment(const ExperimentConfig& config) {
 
   Report report;
   {
-  cluster::Cluster deployment(sim, cluster_config, *scheduler);
+  cluster::Cluster deployment(sim, cluster_config, *scheduler,
+                              shard_schedulers);
   if (config.sketch_collector) {
     deployment.collector().use_sketch_store(config.sketch_alpha);
   }
@@ -140,7 +157,7 @@ Report run_experiment(const ExperimentConfig& config) {
   const double gpu_util = deployment.gpu_utilization_pct();
   const double mem_util = deployment.memory_utilization_pct();
 
-  deployment.gateway().flush_all();
+  deployment.flush_gateways();
   sim.run_until(config.trace.horizon + config.drain_grace);
   // Final scrape at the end of the drain window; gauges still read live
   // deployment state, so this must precede teardown.
@@ -199,6 +216,7 @@ Report run_experiment(const ExperimentConfig& config) {
   report.cold_starts = deployment.total_cold_starts();
   report.dropped = collector.dropped();
   report.reconfigurations = deployment.total_reconfigurations();
+  report.events_executed = sim.executed();
 
   report.cost_usd = deployment.market().total_cost();
   report.cost_on_demand_ref_usd =

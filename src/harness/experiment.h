@@ -111,6 +111,18 @@ struct ExperimentConfig {
     cluster.node_count = count;
     return *this;
   }
+  /// Control-plane shards (docs/scale.md). Clamped to the node count at
+  /// run time; 1 (the default) is byte-identical to the unsharded plane.
+  ExperimentConfig& with_shards(std::uint32_t count) {
+    cluster.shards = count;
+    return *this;
+  }
+  /// false routes dispatches through the legacy full-scan paths instead of
+  /// the maintained load index (the bench_scale baseline).
+  ExperimentConfig& with_indexed_dispatch(bool indexed) {
+    cluster.indexed_dispatch = indexed;
+    return *this;
+  }
   ExperimentConfig& with_slo_multiplier(double multiplier) {
     cluster.slo_multiplier = multiplier;
     return *this;
@@ -214,6 +226,9 @@ struct Report {
   std::uint64_t cold_starts = 0;
   std::uint64_t dropped = 0;
   int reconfigurations = 0;
+  /// Discrete events the simulator executed over the whole run (including
+  /// the drain window) — the numerator of bench_scale's events/sec.
+  std::uint64_t events_executed = 0;
 
   double cost_usd = 0.0;
   double cost_on_demand_ref_usd = 0.0;

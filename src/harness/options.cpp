@@ -301,6 +301,16 @@ Cluster:
                         (repeatable; default protean)
   --all-schemes         run the paper's four primary schemes
   --nodes N             worker nodes (default 8)
+  --shards K            split the control plane into K gateway shards, each
+                        with its own scheduler over a contiguous node range;
+                        power-of-two-choices balances arrivals across shards
+                        (default 1 = the classic single gateway, which stays
+                        byte-identical; clamped to --nodes; see docs/scale.md)
+  --scale-mode MODE     placement data structures: indexed (maintained
+                        load/accepting indexes, O(log n) dispatch; default)
+                        or legacy (full scans). Both modes produce identical
+                        reports; legacy exists for A/B benchmarking
+                        (see docs/scale.md)
   --gpu-mem GB          per-GPU memory: 40 (A100-40GB, default) or 80;
                         MIG slice capacities scale proportionally
   --memcache POLICY:GB  enable the per-node model-weight cache with the
@@ -405,6 +415,7 @@ const std::vector<std::string>& cli_flags() {
       "--trace-file",    "--rps",
       "--horizon",       "--warmup",
       "--strict-frac",   "--nodes",
+      "--shards",        "--scale-mode",
       "--slo-mult",      "--spot",
       "--p-rev",         "--faults",
       "--fault-retries", "--hedge",
@@ -526,6 +537,23 @@ CliParseResult parse_cli(const std::vector<std::string>& args) {
       const auto n = value ? parse_u64(*value) : std::nullopt;
       if (!n || *n == 0 || *n > 1024) return fail("--nodes needs 1..1024");
       opts.config.cluster.node_count = static_cast<std::uint32_t>(*n);
+    } else if (arg == "--shards") {
+      const auto value = next("--shards");
+      const auto n = value ? parse_u64(*value) : std::nullopt;
+      if (!n || *n == 0 || *n > 1024) return fail("--shards needs 1..1024");
+      opts.config.cluster.shards = static_cast<std::uint32_t>(*n);
+    } else if (arg == "--scale-mode") {
+      const auto value = next("--scale-mode");
+      if (!value) return fail("--scale-mode needs indexed | legacy");
+      const std::string mode = lower(*value);
+      if (mode == "indexed") {
+        opts.config.cluster.indexed_dispatch = true;
+      } else if (mode == "legacy") {
+        opts.config.cluster.indexed_dispatch = false;
+      } else {
+        return fail("unknown scale mode: " + *value +
+                    " (want indexed | legacy)");
+      }
     } else if (arg == "--slo-mult") {
       const auto value = next("--slo-mult");
       const auto m = value ? parse_double(*value) : std::nullopt;

@@ -1,15 +1,22 @@
 // Discrete-event simulation core.
 //
-// The simulator owns a virtual clock and a priority queue of events. All
+// The simulator owns a virtual clock and a binary min-heap of events. All
 // substrates (GPU engine, cluster, spot market, trace generator) schedule
 // callbacks on it. Events scheduled at the same timestamp fire in FIFO order
 // of scheduling, which makes runs deterministic.
+//
+// Scale hygiene (docs/scale.md): cancelled events leave tombstones in the
+// heap; a lazy compaction pass rebuilds the heap whenever tombstones
+// outnumber live entries, so heavy cancel churn (hedging, autoscale drain,
+// PeriodicTask stops) keeps memory bounded by the live event count. The run
+// loops extract all events sharing the earliest timestamp in one batch,
+// touching the heap once per pop instead of re-checking the top between
+// callbacks.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <set>
+#include <unordered_set>
 #include <vector>
 
 #include "common/check.h"
@@ -67,6 +74,10 @@ class Simulator {
   /// Number of events currently pending (cancelled tombstones excluded).
   std::size_t pending() const noexcept { return live_seqs_.size(); }
 
+  /// Heap entries including tombstones awaiting compaction (test/debug
+  /// observability for the bounded-memory guarantee).
+  std::size_t heap_size() const noexcept { return queue_.size(); }
+
   /// Total events executed since construction.
   std::uint64_t executed() const noexcept { return executed_; }
 
@@ -75,23 +86,32 @@ class Simulator {
     SimTime when;
     std::uint64_t seq;  // FIFO tiebreak + cancellation key.
     Callback cb;
+  };
 
-    // Min-heap: earlier time first, then earlier sequence number.
-    bool operator>(const Event& other) const noexcept {
-      if (when != other.when) return when > other.when;
-      return seq > other.seq;
+  // Min-heap order for std::push_heap/pop_heap (which build max-heaps):
+  // "after" = later time, then later sequence number.
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
     }
   };
 
   void pop_cancelled();
+  void maybe_compact();
+  Event pop_top();
+  /// Moves every event sharing the earliest timestamp into `batch_`
+  /// (ascending seq — heap pops at equal `when` preserve FIFO order).
+  void extract_batch();
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<Event> queue_;  // binary heap under EventAfter
   // Sequence numbers of live (scheduled, not cancelled, not yet executed)
   // events. A queue entry whose seq is absent is a cancellation tombstone;
-  // tombstones are pruned as they reach the top of the queue, so memory stays
-  // bounded by the number of scheduled events. Ordered lookup keeps cancel /
-  // pop O(log n) even in sweeps that stop thousands of PeriodicTasks.
-  std::set<std::uint64_t> live_seqs_;
+  // tombstones are pruned when they reach the top of the heap and compacted
+  // wholesale once they outnumber live entries, so memory stays bounded by
+  // the number of live events even under sustained cancel churn.
+  std::unordered_set<std::uint64_t> live_seqs_;
+  std::vector<Event> batch_;  // scratch for same-timestamp coalescing
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
@@ -99,7 +119,11 @@ class Simulator {
 
 /// Repeatedly invokes a callback every `period` seconds until stopped.
 /// The callback observes the simulator clock; the first tick fires at
-/// `start + period` unless `fire_immediately` is set.
+/// `start + period` unless `fire_immediately` is set. Firing is pinned to
+/// an absolute phase (start + k·period accumulated): the next tick is
+/// scheduled relative to the previous *fire time*, never to whatever the
+/// clock reads after the callback returns, so slow callbacks cannot drift
+/// the schedule.
 class PeriodicTask {
  public:
   PeriodicTask(Simulator& simulator, Duration period,
@@ -114,11 +138,13 @@ class PeriodicTask {
 
  private:
   void arm();
+  void fire();
 
   Simulator& sim_;
   Duration period_;
   std::function<void()> callback_;
   EventHandle pending_;
+  SimTime next_ = 0.0;  // absolute phase of the next (or current) fire
   bool running_ = true;
 };
 

@@ -3,6 +3,8 @@
 // caps), policy decision rules, and the end-to-end contracts — disabled
 // runs stay byte-identical across every scheme, enabled runs are
 // deterministic, and the fleet respects its bounds.
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -161,6 +163,54 @@ TEST(ReactivePolicy, ScalesDownOnlyWhenHealthyAndIdle) {
   s.window_attainment_pct = 99.0;  // below down_attainment_pct: hold
   d = policy->decide(s, c);
   EXPECT_GE(d.target_nodes, s.committed_nodes);
+}
+
+TEST(ReactivePolicy, HotShardSkewIsPressureOnlyWhenSharded) {
+  auto policy = make_policy(PolicyKind::kReactive);
+  AutoscaleConfig c;
+  // Unsharded: a (nonsensical) skew value must be ignored entirely.
+  Signals s = healthy_signals();
+  s.window_util_pct = 20.0;  // idle enough to scale down when healthy
+  s.shards = 1;
+  s.hot_shard_skew = 3.0;
+  Decision d = policy->decide(s, c);
+  EXPECT_EQ(d.target_nodes, s.committed_nodes - 1);
+
+  // Sharded with a hot shard: pressure — scale up, never shrink into it.
+  s.shards = 4;
+  d = policy->decide(s, c);
+  EXPECT_GT(d.target_nodes, s.committed_nodes);
+  EXPECT_EQ(d.vertical, VerticalStance::kPromote);
+
+  // Sharded but balanced: behaves exactly like the unsharded plane.
+  s.hot_shard_skew = 1.0;
+  d = policy->decide(s, c);
+  EXPECT_EQ(d.target_nodes, s.committed_nodes - 1);
+}
+
+TEST(PredictivePolicy, SizesForTheHotShard) {
+  auto policy = make_policy(PolicyKind::kPredictive);
+  AutoscaleConfig c;
+  Signals s = healthy_signals();
+  s.window_util_pct = c.target_util_pct;  // proportional term holds flat
+  const std::uint32_t flat = policy->decide(s, c).target_nodes;
+
+  s.shards = 4;
+  s.hot_shard_skew = 1.4;
+  EXPECT_GT(policy->decide(s, c).target_nodes, flat);
+
+  // The multiplier is capped at 1.5x so a transient imbalance cannot
+  // swing the fleet.
+  s.hot_shard_skew = 10.0;
+  EXPECT_LE(policy->decide(s, c).target_nodes,
+            std::min<std::uint32_t>(
+                s.max_nodes,
+                static_cast<std::uint32_t>(
+                    std::ceil(1.5 * static_cast<double>(flat)))));
+
+  // Unsharded: skew is inert.
+  s.shards = 1;
+  EXPECT_EQ(policy->decide(s, c).target_nodes, flat);
 }
 
 TEST(PredictivePolicy, BurnAlertForcesScaleUpAndFastBurnBlocksScaleDown) {

@@ -176,6 +176,26 @@ TEST(Cli, ClusterKnobsApply) {
   EXPECT_EQ(opts.config.seed, 7u);
 }
 
+TEST(Cli, ScaleFlagsApply) {
+  // Defaults: one shard, indexed placement (docs/scale.md).
+  const auto defaults = must_parse({});
+  EXPECT_EQ(defaults.config.cluster.shards, 1u);
+  EXPECT_TRUE(defaults.config.cluster.indexed_dispatch);
+
+  const auto opts = must_parse({"--nodes", "16", "--shards", "4",
+                                "--scale-mode", "legacy"});
+  EXPECT_EQ(opts.config.cluster.shards, 4u);
+  EXPECT_FALSE(opts.config.cluster.indexed_dispatch);
+  EXPECT_TRUE(
+      must_parse({"--scale-mode", "indexed"}).config.cluster.indexed_dispatch);
+
+  EXPECT_FALSE(parse_cli({"--shards", "0"}).options);
+  EXPECT_FALSE(parse_cli({"--shards", "2000"}).options);
+  EXPECT_FALSE(parse_cli({"--shards"}).options);
+  EXPECT_FALSE(parse_cli({"--scale-mode", "turbo"}).options);
+  EXPECT_FALSE(parse_cli({"--scale-mode"}).options);
+}
+
 TEST(Cli, HelpAndListFlags) {
   EXPECT_TRUE(must_parse({"--help"}).help);
   EXPECT_TRUE(must_parse({"--list-models"}).list_models);

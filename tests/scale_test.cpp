@@ -1,0 +1,266 @@
+// Tests for the control-plane scale refactor (docs/scale.md): indexed
+// placement byte-identity, sharded gateways, incrementally-maintained
+// fleet counters, and the batch object pool.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/gateway.h"
+#include "common/pool.h"
+#include "harness/experiment.h"
+#include "harness/json.h"
+#include "sched/registry.h"
+#include "trace/driver.h"
+
+namespace protean {
+namespace {
+
+using workload::ModelCatalog;
+
+/// bench_scale's smallest grid cell, shrunk to test scale.
+harness::ExperimentConfig nine_node_config(sched::Scheme scheme) {
+  auto config = harness::primary_config("ResNet 50", 10.0)
+                    .with_scheme(scheme)
+                    .with_nodes(9);
+  config.warmup = 2.0;
+  return config;
+}
+
+/// Full scalar fingerprint of a report; equality means byte-identity of
+/// everything the CLI would print.
+std::string fingerprint(const harness::Report& report) {
+  return harness::report_to_json(report).dump(2);
+}
+
+class SchemeIdentity : public ::testing::TestWithParam<sched::Scheme> {};
+
+TEST_P(SchemeIdentity, IndexedPlacementMatchesLegacyScan) {
+  const sched::Scheme scheme = GetParam();
+  const harness::Report indexed = harness::run_experiment(
+      nine_node_config(scheme).with_indexed_dispatch(true));
+  const harness::Report legacy = harness::run_experiment(
+      nine_node_config(scheme).with_indexed_dispatch(false));
+  EXPECT_EQ(fingerprint(indexed), fingerprint(legacy))
+      << sched::scheme_name(scheme);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, SchemeIdentity, ::testing::ValuesIn(sched::all_schemes()),
+    [](const ::testing::TestParamInfo<sched::Scheme>& info) {
+      std::string name = sched::scheme_cli_name(info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(ScaleIdentity, SingleShardMatchesUnshardedBaseline) {
+  const harness::Report base =
+      harness::run_experiment(nine_node_config(sched::Scheme::kProtean));
+  const harness::Report sharded = harness::run_experiment(
+      nine_node_config(sched::Scheme::kProtean).with_shards(1));
+  EXPECT_EQ(fingerprint(base), fingerprint(sharded));
+}
+
+TEST(ScaleIdentity, NineNodeCellIsDeterministic) {
+  const auto config = nine_node_config(sched::Scheme::kProtean);
+  EXPECT_EQ(fingerprint(harness::run_experiment(config)),
+            fingerprint(harness::run_experiment(config)));
+}
+
+// ---- sharded control plane ------------------------------------------------
+
+struct ShardedDeployment {
+  sim::Simulator sim;
+  std::unique_ptr<cluster::Scheduler> scheduler;
+  std::vector<std::unique_ptr<cluster::Scheduler>> shard_store;
+  std::unique_ptr<cluster::Cluster> cluster;
+  std::unique_ptr<trace::WorkloadDriver> driver;
+
+  ShardedDeployment(std::uint32_t nodes, std::uint32_t shards,
+                    double rps = 1200.0, Duration horizon = 20.0) {
+    scheduler = sched::make_scheduler(sched::Scheme::kProtean);
+    cluster::ClusterConfig config;
+    config.node_count = nodes;
+    config.shards = shards;
+    std::vector<cluster::Scheduler*> shard_ptrs;
+    if (shards > 1) {
+      for (std::uint32_t s = 0; s < shards; ++s) {
+        shard_store.push_back(sched::make_scheduler(sched::Scheme::kProtean));
+        shard_ptrs.push_back(shard_store.back().get());
+      }
+    }
+    cluster = std::make_unique<cluster::Cluster>(sim, config, *scheduler,
+                                                 shard_ptrs);
+    trace::DriverConfig dc;
+    dc.trace.kind = trace::TraceKind::kConstant;
+    dc.trace.target_rps = rps;
+    dc.trace.horizon = horizon;
+    dc.strict_model = &ModelCatalog::instance().by_name("ResNet 50");
+    dc.seed = 21;
+    driver = std::make_unique<trace::WorkloadDriver>(sim, dc,
+                                                     cluster->sink());
+    for (NodeId id = 0; id < config.node_count; ++id) {
+      cluster->node(id).prewarm(*dc.strict_model, 4);
+      for (const auto* be : driver->be_models()) {
+        cluster->node(id).prewarm(*be, 2);
+      }
+    }
+  }
+
+  void run(Duration horizon, Duration drain = 15.0) {
+    cluster->start();
+    driver->start();
+    sim.run_until(horizon);
+    cluster->flush_gateways();
+    sim.run_until(horizon + drain);
+  }
+};
+
+TEST(ShardedCluster, ServesAndConservesRequests) {
+  ShardedDeployment d(6, 3);
+  d.run(20.0);
+  EXPECT_EQ(d.cluster->shard_count(), 3u);
+  // Every emitted request hits exactly one gateway shard.
+  EXPECT_EQ(d.cluster->gateway_requests_seen(), d.driver->requests_emitted());
+  const auto& collector = d.cluster->collector();
+  const std::uint64_t served =
+      collector.strict_completed() + collector.be_completed();
+  EXPECT_GT(collector.strict_completed(), 0u);
+  EXPECT_NEAR(static_cast<double>(served),
+              static_cast<double>(d.driver->requests_emitted()),
+              0.03 * static_cast<double>(d.driver->requests_emitted()));
+  // Every shard took a share of the traffic.
+  for (std::size_t s = 0; s < d.cluster->shard_count(); ++s) {
+    EXPECT_GT(d.cluster->gateway(s).requests_seen(), 0u) << "shard " << s;
+  }
+}
+
+TEST(ShardedCluster, FanoutRotatesTheRemainderAcrossShards) {
+  ShardedDeployment d(3, 3, /*rps=*/100.0, /*horizon=*/1.0);
+  d.cluster->start();
+  const auto& resnet = ModelCatalog::instance().by_name("ResNet 50");
+  // count=4 over K=3 leaves one remainder grain per call; the rotating
+  // cursor must hand it to a different shard each time.
+  for (int call = 0; call < 3; ++call) {
+    d.cluster->sink().on_arrivals(resnet, true, 4, 0.0, 0.01);
+  }
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(d.cluster->gateway(s).requests_seen(), 4u) << "shard " << s;
+  }
+}
+
+TEST(ShardedCluster, ShardLoadSkewIsOneWhenIdleOrUnsharded) {
+  ShardedDeployment sharded(4, 2, /*rps=*/100.0, /*horizon=*/1.0);
+  EXPECT_DOUBLE_EQ(sharded.cluster->shard_load_skew(), 1.0);  // idle
+  ShardedDeployment single(4, 1, /*rps=*/100.0, /*horizon=*/1.0);
+  single.run(5.0, 5.0);
+  EXPECT_DOUBLE_EQ(single.cluster->shard_load_skew(), 1.0);  // unsharded
+}
+
+TEST(ShardedCluster, BatchIdsAreGloballyUniqueAcrossShards) {
+  sim::Simulator sim;
+  cluster::ClusterConfig config;
+  const auto& resnet = ModelCatalog::instance().by_name("ResNet 50");
+  std::vector<BatchId> ids;
+  std::vector<std::unique_ptr<cluster::Gateway>> gateways;
+  const std::uint64_t stride = 3;
+  for (std::uint64_t s = 0; s < stride; ++s) {
+    gateways.push_back(std::make_unique<cluster::Gateway>(
+        sim, config,
+        [&ids, s, stride](workload::Batch&& batch) {
+          ids.push_back(batch.id);
+          // Shard s owns the congruence class s+1 (mod stride).
+          EXPECT_EQ((batch.id - 1) % stride, s);
+        },
+        /*first_batch_id=*/s + 1, /*id_stride=*/stride));
+  }
+  for (int round = 0; round < 4; ++round) {
+    for (auto& gateway : gateways) {
+      gateway->on_arrivals(resnet, true, 128, 0.0, 0.01);  // full batch
+    }
+  }
+  const std::set<BatchId> unique(ids.begin(), ids.end());
+  EXPECT_EQ(unique.size(), ids.size());
+  EXPECT_EQ(ids.size(), 12u);
+}
+
+// ---- incrementally-maintained fleet counters ------------------------------
+
+TEST(FleetCounters, AggregatesMatchPerNodeRescan) {
+  // No prewarm: the run must pay cold starts, so the counters move.
+  sim::Simulator sim;
+  auto scheduler = sched::make_scheduler(sched::Scheme::kProtean);
+  cluster::ClusterConfig config;
+  config.node_count = 3;
+  cluster::Cluster deployment(sim, config, *scheduler);
+  trace::DriverConfig dc;
+  dc.trace.kind = trace::TraceKind::kConstant;
+  dc.trace.target_rps = 900.0;
+  dc.trace.horizon = 15.0;
+  dc.strict_model = &ModelCatalog::instance().by_name("ResNet 50");
+  dc.seed = 7;
+  trace::WorkloadDriver driver(sim, dc, deployment.sink());
+  deployment.start();
+  driver.start();
+  sim.run_until(15.0);
+  deployment.flush_gateways();
+  sim.run_until(30.0);
+
+  std::uint64_t cold = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t lost = 0;
+  int reconfigs = 0;
+  int failed = 0;
+  for (NodeId id = 0; id < config.node_count; ++id) {
+    const cluster::WorkerNode& node = deployment.node(id);
+    cold += node.cold_starts();
+    dropped += node.dropped_jobs();
+    lost += node.lost_batches();
+    reconfigs += node.reconfigurations();
+    failed += node.failed_reconfigurations();
+  }
+  EXPECT_GT(cold, 0u);
+  EXPECT_EQ(deployment.total_cold_starts(), cold);
+  EXPECT_EQ(deployment.total_dropped_jobs(), dropped);
+  EXPECT_EQ(deployment.total_lost_batches(), lost);
+  EXPECT_EQ(deployment.total_reconfigurations(), reconfigs);
+  EXPECT_EQ(deployment.total_failed_reconfigurations(), failed);
+}
+
+// ---- batch object pool ----------------------------------------------------
+
+TEST(ObjectPool, RecyclesReleasedStorage) {
+  common::ObjectPool<int> pool;
+  auto a = pool.make(7);
+  EXPECT_EQ(*a, 7);
+  EXPECT_EQ(pool.free_count(), 0u);
+  int* block = a.get();
+  a.reset();
+  EXPECT_EQ(pool.free_count(), 1u);
+  auto b = pool.make(9);
+  EXPECT_EQ(*b, 9);
+  EXPECT_EQ(b.get(), block);  // same block, recycled
+  EXPECT_EQ(pool.free_count(), 0u);
+}
+
+TEST(ObjectPool, BoxOutlivingPoolFallsBackToGlobalDelete) {
+  std::shared_ptr<workload::Batch> box;
+  {
+    common::ObjectPool<workload::Batch> pool;
+    box = pool.make();
+    box->id = 42;
+  }
+  // The pool (and its free list) are gone; releasing the box must route
+  // to the global allocator, not a dangling free list.
+  EXPECT_EQ(box->id, 42u);
+  box.reset();
+}
+
+}  // namespace
+}  // namespace protean

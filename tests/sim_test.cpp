@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstddef>
 #include <vector>
 
 namespace protean::sim {
@@ -141,6 +143,63 @@ TEST(Simulator, ExecutedCounterIncrements) {
   EXPECT_EQ(sim.executed(), 7u);
 }
 
+TEST(Simulator, TombstonesStayBoundedUnderCancelChurn) {
+  Simulator sim;
+  // One live far-future anchor so the heap is never empty.
+  sim.schedule_at(1e9, [] {});
+  for (int i = 0; i < 100000; ++i) {
+    auto handle = sim.schedule_at(1000.0, [] {});
+    EXPECT_TRUE(sim.cancel(handle));
+  }
+  // Lazy compaction rebuilds the heap whenever tombstones outnumber live
+  // entries, so sustained cancel churn cannot grow it past ~2x live (plus
+  // the small fixed floor below which compaction is not worth running).
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_LE(sim.heap_size(), std::max<std::size_t>(64, 2 * sim.pending() + 1));
+}
+
+TEST(Simulator, CompactionPreservesOrderAndLiveness) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  auto doomed = sim.schedule_at(2.0, [&] { order.push_back(2); });
+  // Force several compaction passes with churn around the live events.
+  for (int i = 0; i < 10000; ++i) {
+    sim.cancel(sim.schedule_at(5.0, [] {}));
+  }
+  sim.cancel(doomed);
+  sim.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(Simulator, SameTimestampEventMayCancelLaterSibling) {
+  // The run loop extracts every event sharing the earliest timestamp in
+  // one batch; liveness must still be rechecked per event so an earlier
+  // sibling can cancel a later one.
+  Simulator sim;
+  bool fired = false;
+  EventHandle doomed;
+  sim.schedule_at(1.0, [&] { EXPECT_TRUE(sim.cancel(doomed)); });
+  doomed = sim.schedule_at(1.0, [&] { fired = true; });
+  sim.run_to_completion();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.executed(), 1u);
+}
+
+TEST(Simulator, EventScheduledAtNowDuringBatchStillFiresInSeqOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(1.0, [&] {
+    order.push_back(0);
+    sim.schedule_at(1.0, [&] { order.push_back(2); });
+  });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(sim.now(), 1.0);
+}
+
 TEST(PeriodicTask, FiresAtFixedPeriod) {
   Simulator sim;
   std::vector<SimTime> fires;
@@ -183,6 +242,35 @@ TEST(PeriodicTask, DestructorStopsTask) {
   }
   sim.run_until(10.0);
   EXPECT_EQ(count, 2);
+}
+
+TEST(PeriodicTask, StopDuringImmediateFireCancelsRearm) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTask task(sim, 1.0, [&] {
+    ++count;
+    task.stop();
+  }, /*fire_immediately=*/true);
+  sim.run_until(10.0);
+  EXPECT_EQ(count, 1);
+  EXPECT_FALSE(task.running());
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(PeriodicTask, PhaseStaysPinnedAcrossInterleavedWork) {
+  // Re-arming is pinned to the absolute phase (start + k * period), never
+  // to whatever other events do to the queue between fires.
+  Simulator sim;
+  std::vector<SimTime> fires;
+  PeriodicTask task(sim, 2.0, [&] {
+    fires.push_back(sim.now());
+    sim.schedule_after(1.5, [] {});  // interleaved work between fires
+  });
+  sim.run_until(9.0);
+  ASSERT_EQ(fires.size(), 4u);
+  for (std::size_t k = 0; k < fires.size(); ++k) {
+    EXPECT_DOUBLE_EQ(fires[k], 2.0 * static_cast<double>(k + 1));
+  }
 }
 
 TEST(PeriodicTask, InvalidPeriodThrows) {
