@@ -1,0 +1,202 @@
+#include "attr/attribution.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "obs/trace.h"
+#include "workload/model.h"
+
+namespace protean::attr {
+
+namespace {
+/// Identity tolerance, seconds. Residuals below -kEps are accounting bugs.
+constexpr double kEps = 1e-9;
+
+constexpr const char* kCauseNames[kCauseCount] = {
+    "formation",  "queue",        "cold_boot", "weight_load",
+    "swap_stall", "deficiency",   "interference", "transfer",
+    "retry",      "blackout",     "service",   "dropped",
+};
+}  // namespace
+
+const char* cause_name(Cause cause) noexcept {
+  const auto i = static_cast<std::size_t>(cause);
+  return i < static_cast<std::size_t>(kCauseCount) ? kCauseNames[i] : "unknown";
+}
+
+AttributionEngine::AttributionEngine(const AttrConfig& config,
+                                     obs::Tracer* tracer)
+    : config_(config), tracer_(tracer) {
+  sketches_.reserve(kComponentCount);
+  for (int i = 0; i < kComponentCount; ++i) {
+    sketches_.emplace_back(config_.sketch_alpha);
+  }
+}
+
+Decomposition AttributionEngine::decompose(
+    const workload::Batch& batch) noexcept {
+  Decomposition d;
+  // Later workflow stages start their accounting clock at their own
+  // creation; time before that belongs to predecessor stages.
+  const SimTime start =
+      batch.stage > 0 ? batch.formed_at : batch.first_arrival;
+  const double span = batch.completed_at - start;
+  d[Cause::kFormation] =
+      batch.stage > 0 ? 0.0 : batch.formed_at - batch.first_arrival;
+  d[Cause::kWeightLoad] = batch.weight_load;
+  d[Cause::kColdBoot] = batch.cold_start - batch.weight_load;
+  d[Cause::kSwapStall] = batch.swap_stall;
+  // Deliberately unclamped (unlike the legacy *_delay() accessors): a
+  // negative raw component here surfaces as a negative queue residual and
+  // trips the identity check instead of hiding inside a clamp.
+  d[Cause::kDeficiency] = batch.solo_on_slice - batch.solo_min;
+  d[Cause::kInterference] =
+      batch.exec_time - batch.solo_on_slice - batch.swap_stall;
+  d[Cause::kTransfer] = batch.transfer;
+  d[Cause::kRetry] = batch.retry_overhead;
+  d[Cause::kBlackout] = batch.reconfig_blackout;
+  d[Cause::kService] = batch.solo_min;
+  double known = 0.0;
+  for (double p : d.parts) known += p;
+  // Queue wait is the residual: the identity Σ parts == span then holds by
+  // construction, and a negative residual is the detectable failure mode.
+  d[Cause::kQueue] = span - known;
+  return d;
+}
+
+Decomposition AttributionEngine::decompose_checked(
+    const workload::Batch& batch) {
+  Decomposition d = decompose(batch);
+  if (d[Cause::kQueue] < -kEps) {
+    ++identity_violations_;
+    PROTEAN_DCHECK(d[Cause::kQueue] >= -kEps);
+  }
+  return d;
+}
+
+void AttributionEngine::observe_batch(const workload::Batch& batch,
+                                      double lat_first, double lat_last) {
+  const Decomposition d = decompose_checked(batch);
+  aggregate(d, batch.model, batch.node, batch.strict, batch.count, lat_first,
+            lat_last, batch.slo, batch.id);
+}
+
+void AttributionEngine::observe_flow(const metrics::FlowRecord& flow,
+                                     const Decomposition& chain,
+                                     NodeId sink_node) {
+  const double lat_first = flow.completed_at - flow.first_arrival;
+  const double lat_last = flow.completed_at - flow.last_arrival;
+  // Stage spans along the critical chain telescope: every stage's span
+  // starts exactly at its critical predecessor's completion, so the summed
+  // decomposition must equal the end-to-end latency from both sides.
+  const double residual = lat_first - chain.total();
+  if (residual < -kEps || residual > kEps) {
+    ++identity_violations_;
+    PROTEAN_DCHECK(residual >= -kEps && residual <= kEps);
+  }
+  aggregate(chain, flow.model, sink_node, flow.strict, flow.count, lat_first,
+            lat_last, flow.slo, flow.id);
+}
+
+void AttributionEngine::observe_dropped(bool strict, int count) {
+  if (!strict || count <= 0) return;
+  const auto n = static_cast<std::uint64_t>(count);
+  violations_ += n;
+  cause_violations_[static_cast<std::size_t>(Cause::kDropped)] += n;
+}
+
+void AttributionEngine::aggregate(const Decomposition& d,
+                                  const workload::ModelProfile* model,
+                                  NodeId node, bool strict, int count,
+                                  double lat_first, double lat_last,
+                                  double slo, BatchId id) {
+  ++batches_;
+  requests_ += static_cast<std::uint64_t>(count);
+  for (std::size_t i = 0; i < static_cast<std::size_t>(kComponentCount); ++i) {
+    sketches_[i].add(d.parts[i]);
+    cause_seconds_[i] += d.parts[i];
+  }
+  const int shard = shard_of_ ? shard_of_(node) : 0;
+  GroupStats& group = groups_[{model, shard, strict}];
+  group.requests += static_cast<std::uint64_t>(count);
+  if (!strict) return;
+
+  // Mirror of Collector::record_requests(): the same arrival ramp and the
+  // same compliance comparison, so violation totals match exactly. Request
+  // i arrived later than request 0 by (lat_first - lat_i); only its
+  // formation wait shrinks by that much — every other component is shared
+  // batch state.
+  std::uint64_t violating = 0;
+  Cause worst_cause = Cause::kQueue;
+  for (int i = 0; i < count; ++i) {
+    const double frac =
+        count == 1 ? 0.0
+                   : static_cast<double>(i) / static_cast<double>(count - 1);
+    const double lat = lat_first + (lat_last - lat_first) * frac;
+    if (lat <= slo + 1e-9) continue;
+    const double formation_i =
+        d[Cause::kFormation] - (lat_first - lat);
+    double best = formation_i;
+    auto cause = Cause::kFormation;
+    for (int c = 1; c < kOverheadCount; ++c) {
+      const double v = d.parts[static_cast<std::size_t>(c)];
+      if (v > best) {
+        best = v;
+        cause = static_cast<Cause>(c);
+      }
+    }
+    if (violating == 0) worst_cause = cause;
+    ++violating;
+    ++violations_;
+    ++cause_violations_[static_cast<std::size_t>(cause)];
+    ++group.violations;
+    ++group.causes[static_cast<std::size_t>(cause)];
+  }
+  if (violating > 0 && tracer_ != nullptr && tracer_->wants(obs::kSpans)) {
+    tracer_->instant(obs::kSpans, "attr", 0,
+                     {{"batch", static_cast<double>(id)},
+                      {"cause", cause_name(worst_cause)},
+                      {"overage_ms", (lat_first - slo) * 1000.0},
+                      {"requests", static_cast<double>(violating)}});
+  }
+}
+
+std::string AttributionEngine::dominant_cause() const {
+  if (violations_ == 0) return "none";
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < static_cast<std::size_t>(kCauseCount); ++c) {
+    if (cause_violations_[c] > cause_violations_[best]) best = c;
+  }
+  return kCauseNames[best];
+}
+
+std::vector<AttributionEngine::GroupRow> AttributionEngine::group_rows()
+    const {
+  std::vector<GroupRow> rows;
+  rows.reserve(groups_.size());
+  for (const auto& [key, stats] : groups_) {
+    GroupRow row;
+    const auto* model = std::get<0>(key);
+    row.model = model != nullptr ? model->name : "?";
+    row.shard = std::get<1>(key);
+    row.strict = std::get<2>(key);
+    row.requests = stats.requests;
+    row.violations = stats.violations;
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < stats.causes.size(); ++c) {
+      if (stats.causes[c] > stats.causes[best]) best = c;
+    }
+    row.dominant = static_cast<Cause>(best);
+    rows.push_back(std::move(row));
+  }
+  // The map iterates in pointer order (nondeterministic across runs);
+  // reports must not.
+  std::sort(rows.begin(), rows.end(), [](const GroupRow& a, const GroupRow& b) {
+    if (a.model != b.model) return a.model < b.model;
+    if (a.shard != b.shard) return a.shard < b.shard;
+    return a.strict > b.strict;
+  });
+  return rows;
+}
+
+}  // namespace protean::attr

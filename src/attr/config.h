@@ -1,0 +1,22 @@
+// Configuration for the SLO-violation attribution engine (src/attr).
+//
+// Kept in its own header so cluster/config.h can embed an AttrConfig
+// without pulling in the engine (and its metrics/workload dependencies).
+#pragma once
+
+namespace protean::attr {
+
+/// Knobs of the attribution engine. Default-off: with `enabled == false`
+/// no engine is constructed, no collector hooks are installed, and runs
+/// are byte-identical to builds without the subsystem (the Batch timing
+/// fields it reads are pure bookkeeping that never feeds back into
+/// scheduling).
+struct AttrConfig {
+  bool enabled = false;
+  /// Relative-error bound of the per-cause DDSketch histograms
+  /// (metrics/sketch.h); component percentiles in the report carry this
+  /// accuracy.
+  double sketch_alpha = 0.01;
+};
+
+}  // namespace protean::attr

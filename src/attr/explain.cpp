@@ -1,0 +1,499 @@
+#include "attr/explain.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "attr/attribution.h"
+
+namespace protean::attr {
+namespace {
+
+// --- minimal recursive-descent JSON reader --------------------------------
+// Enough for the harness run JSON and the tracer file; the JSONL timeline
+// is parsed line-by-line through the same reader.
+
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* find(const char* key) const {
+    if (kind != kObject) return nullptr;
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  double num_or(double fallback) const {
+    return kind == kNumber ? number : fallback;
+  }
+};
+
+struct Parser {
+  const std::string& text;
+  std::size_t i = 0;
+
+  void skip_ws() {
+    while (i < text.size() &&
+           (text[i] == ' ' || text[i] == '\t' || text[i] == '\n' ||
+            text[i] == '\r')) {
+      ++i;
+    }
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (i >= text.size() || text[i] != c) return false;
+    ++i;
+    return true;
+  }
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (i < text.size()) {
+      const char c = text[i++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (i >= text.size()) return false;
+        const char e = text[i++];
+        switch (e) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'u':
+            // Attribution artifacts never emit non-ASCII; skip the 4 hex
+            // digits and keep a placeholder so offsets stay consistent.
+            if (i + 4 > text.size()) return false;
+            i += 4;
+            out += '?';
+            break;
+          default: out += e; break;
+        }
+      } else {
+        out += c;
+      }
+    }
+    return false;
+  }
+  bool parse_value(JsonValue& out) {
+    skip_ws();
+    if (i >= text.size()) return false;
+    const char c = text[i];
+    if (c == '{') {
+      ++i;
+      out.kind = JsonValue::kObject;
+      skip_ws();
+      if (consume('}')) return true;
+      for (;;) {
+        std::string key;
+        JsonValue value;
+        if (!parse_string(key) || !consume(':') || !parse_value(value)) {
+          return false;
+        }
+        out.object.emplace_back(std::move(key), std::move(value));
+        if (consume(',')) continue;
+        return consume('}');
+      }
+    }
+    if (c == '[') {
+      ++i;
+      out.kind = JsonValue::kArray;
+      skip_ws();
+      if (consume(']')) return true;
+      for (;;) {
+        JsonValue value;
+        if (!parse_value(value)) return false;
+        out.array.push_back(std::move(value));
+        if (consume(',')) continue;
+        return consume(']');
+      }
+    }
+    if (c == '"') {
+      out.kind = JsonValue::kString;
+      return parse_string(out.str);
+    }
+    if (text.compare(i, 4, "true") == 0) {
+      out.kind = JsonValue::kBool;
+      out.boolean = true;
+      i += 4;
+      return true;
+    }
+    if (text.compare(i, 5, "false") == 0) {
+      out.kind = JsonValue::kBool;
+      i += 5;
+      return true;
+    }
+    if (text.compare(i, 4, "null") == 0) {
+      out.kind = JsonValue::kNull;
+      i += 4;
+      return true;
+    }
+    char* end = nullptr;
+    const double value = std::strtod(text.c_str() + i, &end);
+    if (end == text.c_str() + i) return false;
+    i = static_cast<std::size_t>(end - text.c_str());
+    out.kind = JsonValue::kNumber;
+    out.number = value;
+    return true;
+  }
+};
+
+bool parse_json(const std::string& text, JsonValue& out) {
+  Parser p{text};
+  if (!p.parse_value(out)) return false;
+  p.skip_ws();
+  return p.i == text.size();
+}
+
+std::uint64_t as_count(const JsonValue* v) {
+  if (v == nullptr || v->kind != JsonValue::kNumber || v->number < 0.0) {
+    return 0;
+  }
+  return static_cast<std::uint64_t>(v->number + 0.5);
+}
+
+// --- reductions per artifact kind -----------------------------------------
+
+void finalize(RunExplanation& run) {
+  std::stable_sort(run.causes.begin(), run.causes.end(),
+                   [](const CauseRow& a, const CauseRow& b) {
+                     return a.violations > b.violations;
+                   });
+  for (CauseRow& row : run.causes) {
+    row.share_pct = run.violations > 0
+                        ? 100.0 * static_cast<double>(row.violations) /
+                              static_cast<double>(run.violations)
+                        : 0.0;
+  }
+  if (run.dominant.empty() || run.dominant == "none") {
+    run.dominant = !run.causes.empty() && run.causes.front().violations > 0
+                       ? run.causes.front().cause
+                       : "none";
+  }
+}
+
+bool reduce_attribution_block(const JsonValue& block, const char* label,
+                              RunExplanation& run) {
+  run.label = label;
+  run.requests = as_count(block.find("requests"));
+  run.violations = as_count(block.find("violations"));
+  run.identity_violations = as_count(block.find("identity_violations"));
+  run.negative_clamps = as_count(block.find("negative_component_clamps"));
+  if (const JsonValue* d = block.find("dominant_cause");
+      d != nullptr && d->kind == JsonValue::kString) {
+    run.dominant = d->str;
+  }
+  if (const JsonValue* causes = block.find("causes");
+      causes != nullptr && causes->kind == JsonValue::kArray) {
+    for (const JsonValue& c : causes->array) {
+      CauseRow row;
+      if (const JsonValue* name = c.find("cause");
+          name != nullptr && name->kind == JsonValue::kString) {
+        row.cause = name->str;
+      }
+      row.violations = as_count(c.find("violations"));
+      if (const JsonValue* s = c.find("seconds")) {
+        row.seconds = s->num_or(-1.0);
+      }
+      run.causes.push_back(std::move(row));
+    }
+  }
+  if (const JsonValue* groups = block.find("groups");
+      groups != nullptr && groups->kind == JsonValue::kArray) {
+    for (const JsonValue& g : groups->array) {
+      ExplainGroup group;
+      if (const JsonValue* m = g.find("model");
+          m != nullptr && m->kind == JsonValue::kString) {
+        group.model = m->str;
+      }
+      group.shard = static_cast<int>(as_count(g.find("shard")));
+      if (const JsonValue* s = g.find("strict")) {
+        group.strict = s->kind == JsonValue::kBool && s->boolean;
+      }
+      group.requests = as_count(g.find("requests"));
+      group.violations = as_count(g.find("violations"));
+      if (const JsonValue* d = g.find("dominant");
+          d != nullptr && d->kind == JsonValue::kString) {
+        group.dominant = d->str;
+      }
+      run.groups.push_back(std::move(group));
+    }
+  }
+  finalize(run);
+  return true;
+}
+
+/// Walks the run/sweep JSON tree collecting every report object that
+/// carries an `attribution` block, labelling it with the nearest sibling
+/// `scheme` string.
+void collect_run_json(const JsonValue& node, const std::string& scheme,
+                      std::vector<RunExplanation>& out) {
+  if (node.kind == JsonValue::kArray) {
+    for (const JsonValue& child : node.array) {
+      collect_run_json(child, scheme, out);
+    }
+    return;
+  }
+  if (node.kind != JsonValue::kObject) return;
+  std::string label = scheme;
+  if (const JsonValue* s = node.find("scheme");
+      s != nullptr && s->kind == JsonValue::kString) {
+    label = s->str;
+  }
+  if (const JsonValue* block = node.find("attribution");
+      block != nullptr && block->kind == JsonValue::kObject) {
+    RunExplanation run;
+    reduce_attribution_block(*block, label.empty() ? "run" : label.c_str(),
+                             run);
+    out.push_back(std::move(run));
+  }
+  for (const auto& [key, child] : node.object) {
+    if (key == "attribution") continue;
+    collect_run_json(child, label, out);
+  }
+}
+
+bool explain_run_json(const std::string& text,
+                      std::vector<RunExplanation>& out, std::string& error) {
+  JsonValue root;
+  if (!parse_json(text, root)) {
+    error = "malformed run JSON";
+    return false;
+  }
+  collect_run_json(root, "", out);
+  if (out.empty()) {
+    error = "run JSON has no attribution blocks (was the run --attr on?)";
+    return false;
+  }
+  return true;
+}
+
+bool explain_trace_json(const std::string& text,
+                        std::vector<RunExplanation>& out,
+                        std::string& error) {
+  JsonValue root;
+  if (!parse_json(text, root)) {
+    error = "malformed trace JSON";
+    return false;
+  }
+  const JsonValue* summary = root.find("collector");
+  if (summary == nullptr || summary->kind != JsonValue::kObject) {
+    error = "trace file has no collector summary";
+    return false;
+  }
+  RunExplanation run;
+  run.label = "trace";
+  bool any = false;
+  for (const auto& [key, value] : summary->object) {
+    if (key == "attr_requests") {
+      run.requests = as_count(&value);
+      any = true;
+    } else if (key == "attr_violations") {
+      run.violations = as_count(&value);
+      any = true;
+    } else if (key == "attr_identity_violations") {
+      run.identity_violations = as_count(&value);
+      any = true;
+    } else if (key == "negative_component_clamps") {
+      run.negative_clamps = as_count(&value);
+    } else if (key.rfind("attr_cause_", 0) == 0) {
+      CauseRow row;
+      row.cause = key.substr(std::strlen("attr_cause_"));
+      row.violations = as_count(&value);
+      run.causes.push_back(std::move(row));
+      any = true;
+    }
+  }
+  if (!any) {
+    error = "trace summary has no attr_* keys (was the run --attr on?)";
+    return false;
+  }
+  finalize(run);
+  out.push_back(std::move(run));
+  return true;
+}
+
+bool explain_telemetry_jsonl(const std::string& text,
+                             std::vector<RunExplanation>& out,
+                             std::string& error) {
+  // The counters are monotone, so the *last* sample of each attr series is
+  // the finished-run value; the final scrape snapshots them all.
+  RunExplanation run;
+  run.label = "telemetry";
+  std::vector<std::pair<std::string, double>> last;  // cause -> last value
+  bool any = false;
+  std::size_t begin = 0;
+  while (begin < text.size()) {
+    std::size_t end = text.find('\n', begin);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(begin, end - begin);
+    begin = end + 1;
+    if (line.empty()) continue;
+    JsonValue obj;
+    if (!parse_json(line, obj)) {
+      error = "malformed JSONL line";
+      return false;
+    }
+    const JsonValue* metrics = obj.find("metrics");
+    if (metrics == nullptr || metrics->kind != JsonValue::kObject) continue;
+    for (const auto& [name, value] : metrics->object) {
+      if (name == "attr_requests_total") {
+        run.requests = as_count(&value);
+        any = true;
+      } else if (name == "attr_identity_violations_total") {
+        run.identity_violations = as_count(&value);
+        any = true;
+      } else if (name == "attr_negative_clamps_total") {
+        run.negative_clamps = as_count(&value);
+      } else if (name.rfind("attr_violations_total{cause=\"", 0) == 0) {
+        const std::size_t open = name.find('"') + 1;
+        const std::size_t close = name.find('"', open);
+        if (close == std::string::npos) continue;
+        const std::string cause = name.substr(open, close - open);
+        bool found = false;
+        for (auto& [k, v] : last) {
+          if (k == cause) {
+            v = value.num_or(0.0);
+            found = true;
+            break;
+          }
+        }
+        if (!found) last.emplace_back(cause, value.num_or(0.0));
+        any = true;
+      }
+    }
+  }
+  if (!any) {
+    error = "JSONL has no attr_* series (was the run --attr on?)";
+    return false;
+  }
+  // The per-cause lanes partition the violations exactly, so the total is
+  // their sum — this is the count slo_explain cross-checks against the
+  // report.
+  run.violations = 0;
+  for (const auto& [cause, value] : last) {
+    CauseRow row;
+    row.cause = cause;
+    row.violations =
+        value < 0.0 ? 0 : static_cast<std::uint64_t>(value + 0.5);
+    run.violations += row.violations;
+    run.causes.push_back(std::move(row));
+  }
+  finalize(run);
+  out.push_back(std::move(run));
+  return true;
+}
+
+}  // namespace
+
+SourceKind sniff_source(const std::string& text) {
+  std::size_t i = 0;
+  while (i < text.size() &&
+         (text[i] == ' ' || text[i] == '\t' || text[i] == '\n' ||
+          text[i] == '\r')) {
+    ++i;
+  }
+  if (i >= text.size() || text[i] != '{') return SourceKind::kUnknown;
+  // The JSONL timeline's every line starts {"t": — cheap and unambiguous.
+  if (text.compare(i, 5, "{\"t\":") == 0) return SourceKind::kTelemetryJsonl;
+  if (text.find("\"traceEvents\"") != std::string::npos) {
+    return SourceKind::kTraceJson;
+  }
+  return SourceKind::kRunJson;
+}
+
+bool explain_text(const std::string& text, std::vector<RunExplanation>& out,
+                  std::string& error) {
+  switch (sniff_source(text)) {
+    case SourceKind::kTelemetryJsonl:
+      return explain_telemetry_jsonl(text, out, error);
+    case SourceKind::kTraceJson:
+      return explain_trace_json(text, out, error);
+    case SourceKind::kRunJson:
+      return explain_run_json(text, out, error);
+    case SourceKind::kUnknown:
+      break;
+  }
+  error = "unrecognized artifact (expected run JSON, telemetry JSONL, or "
+          "a trace file)";
+  return false;
+}
+
+std::string render_explanations(const std::vector<RunExplanation>& runs,
+                                const ExplainFilter& filter) {
+  std::string out;
+  char buf[256];
+  for (const RunExplanation& run : runs) {
+    std::snprintf(buf, sizeof(buf), "run: %s\n", run.label.c_str());
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "  requests %llu  strict violations %llu  dominant %s\n",
+                  static_cast<unsigned long long>(run.requests),
+                  static_cast<unsigned long long>(run.violations),
+                  run.dominant.c_str());
+    out += buf;
+    std::snprintf(
+        buf, sizeof(buf),
+        "  identity violations %llu  negative component clamps %llu\n",
+        static_cast<unsigned long long>(run.identity_violations),
+        static_cast<unsigned long long>(run.negative_clamps));
+    out += buf;
+    if (run.violations == 0) {
+      out += "  no SLO violations — nothing to attribute\n";
+    } else {
+      out += "  ranked root causes:\n";
+      std::size_t shown = 0;
+      for (const CauseRow& row : run.causes) {
+        if (row.violations == 0) continue;
+        if (filter.top > 0 && shown >= filter.top) {
+          out += "    ...\n";
+          break;
+        }
+        ++shown;
+        std::snprintf(buf, sizeof(buf), "    %2zu. %-13s %10llu  %5.1f%%",
+                      shown, row.cause.c_str(),
+                      static_cast<unsigned long long>(row.violations),
+                      row.share_pct);
+        out += buf;
+        if (row.seconds >= 0.0) {
+          std::snprintf(buf, sizeof(buf), "  (%.3f s total)", row.seconds);
+          out += buf;
+        }
+        out += '\n';
+      }
+    }
+    bool header = false;
+    for (const ExplainGroup& group : run.groups) {
+      if (!filter.model.empty() && group.model != filter.model) continue;
+      if (filter.shard >= 0 && group.shard != filter.shard) continue;
+      if (filter.strict >= 0 && group.strict != (filter.strict != 0)) {
+        continue;
+      }
+      if (!header) {
+        out += "  groups (model x shard x class):\n";
+        header = true;
+      }
+      std::snprintf(buf, sizeof(buf),
+                    "    %-16s shard %-3d %-6s req %-10llu viol %-8llu",
+                    group.model.c_str(), group.shard,
+                    group.strict ? "strict" : "be",
+                    static_cast<unsigned long long>(group.requests),
+                    static_cast<unsigned long long>(group.violations));
+      out += buf;
+      if (group.violations > 0 && !group.dominant.empty()) {
+        out += " dominant ";
+        out += group.dominant;
+      }
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace protean::attr

@@ -136,6 +136,19 @@ Cluster::Cluster(sim::Simulator& simulator, const ClusterConfig& config,
           [this](workload::Batch&& b) { on_stage_complete(std::move(b)); });
     }
   }
+  if (config_.attr.enabled) {
+    attr_ = std::make_unique<attr::AttributionEngine>(config_.attr,
+                                                      config_.tracer);
+    attr_->set_shard_of(
+        [this](NodeId id) { return static_cast<int>(shard_of(id)); });
+    collector_.set_attr_batch_hook(
+        [this](const workload::Batch& b, double lat_first, double lat_last) {
+          attr_->observe_batch(b, lat_first, lat_last);
+        });
+    collector_.set_attr_drop_hook(
+        [this](bool strict, int count) { attr_->observe_dropped(strict, count); });
+    if (workflow_) workflow_->set_attribution(attr_.get());
+  }
   if (config_.telemetry != nullptr) register_telemetry(*config_.telemetry);
 }
 
@@ -182,6 +195,29 @@ void Cluster::register_telemetry(telemetry::MetricsRegistry& registry) {
   }
   for (auto& node : nodes_) node->register_telemetry(registry);
   if (workflow_) workflow_->register_telemetry(registry);
+  if (attr_) {
+    registry.gauge("attr_requests_total", [this] {
+      return static_cast<double>(attr_->requests());
+    });
+    registry.gauge("attr_identity_violations_total", [this] {
+      return static_cast<double>(attr_->identity_violations());
+    });
+    registry.gauge("attr_negative_clamps_total", [this] {
+      return static_cast<double>(collector_.negative_component_clamps());
+    });
+    // One labelled series per cause; the final scrape's sum across causes
+    // reproduces the report's violation count (tools/slo_explain relies on
+    // this). kService can never classify a violation but is emitted anyway
+    // so the series set is closed under the Cause enum.
+    for (int c = 0; c < attr::kCauseCount; ++c) {
+      const auto cause = static_cast<attr::Cause>(c);
+      registry.gauge(std::string("attr_violations_total{cause=\"") +
+                         attr::cause_name(cause) + "\"}",
+                     [this, cause] {
+                       return static_cast<double>(attr_->violations_for(cause));
+                     });
+    }
+  }
 }
 
 Cluster::~Cluster() { stop(); }
@@ -558,7 +594,18 @@ void Cluster::on_lost_batch(workload::Batch&& batch) {
   const Duration delay =
       fault::retry_backoff(batch.attempts, config_.fault.retry);
   auto shared = batch_pool_.make(std::move(batch));
-  sim_.schedule_after(delay, [this, shared] { dispatch(std::move(*shared)); });
+  sim_.schedule_after(delay, [this, shared] {
+    // Attribution: everything since the failed attempt entered its node
+    // queue — queue wait, the partial execution, the backoff delay — is
+    // wasted wall time, except the slice already charged to the blackout
+    // lane during that window (blackout_mark brackets the overlap).
+    workload::Batch& b = *shared;
+    const Duration attempt_blackout = b.reconfig_blackout - b.blackout_mark;
+    b.retry_overhead +=
+        std::max(0.0, (sim_.now() - b.enqueued_at) - attempt_blackout);
+    b.blackout_mark = b.reconfig_blackout;
+    dispatch(std::move(*shared));
+  });
 }
 
 void Cluster::drain_backlog() {

@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "attr/attribution.h"
 #include "cluster/config.h"
 #include "common/pool.h"
 #include "common/rng.h"
@@ -117,6 +118,11 @@ class Cluster : public spot::NodeLifecycleListener, public fault::FaultTarget {
     return workflow_.get();
   }
 
+  /// The attribution engine; nullptr unless config.attr.enabled.
+  const attr::AttributionEngine* attribution() const noexcept {
+    return attr_.get();
+  }
+
   // ---- fleet-wide stats ----------------------------------------------------
   // Counter aggregates read the push-maintained FleetCounters block (O(1));
   // a debug build cross-checks each value against a full node rescan.
@@ -195,6 +201,7 @@ class Cluster : public spot::NodeLifecycleListener, public fault::FaultTarget {
   std::unique_ptr<spot::Market> market_;
   std::unique_ptr<fault::FaultInjector> injector_;
   std::unique_ptr<workflow::WorkflowRuntime> workflow_;
+  std::unique_ptr<attr::AttributionEngine> attr_;
   bool pipeline_conscious_ = false;
   std::unique_ptr<sim::PeriodicTask> monitor_task_;
   std::unique_ptr<sim::PeriodicTask> backlog_task_;

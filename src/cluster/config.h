@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "attr/config.h"
 #include "autoscale/config.h"
 #include "common/types.h"
 #include "fault/config.h"
@@ -121,6 +122,14 @@ struct ClusterConfig {
   /// spawned as predecessors complete. With workflows off every run is
   /// byte-identical to a build without this knob.
   workflow::WorkflowConfig workflow;
+
+  /// SLO-violation attribution (src/attr). Disabled by default; when
+  /// enabled the cluster owns an AttributionEngine fed from the collector's
+  /// attribution hooks, the report/JSON gain an `attribution` block, and
+  /// telemetry (when also on) exports per-cause violation series. Purely
+  /// observational: with attribution off every run is byte-identical to a
+  /// build without this knob.
+  attr::AttrConfig attr;
 
   /// SLO-aware online autoscaling (src/autoscale). Disabled by default;
   /// when enabled the cluster builds resolve_max(node_count) node slots,

@@ -145,6 +145,7 @@ void WorkerNode::register_telemetry(telemetry::MetricsRegistry& registry) {
 }
 
 void WorkerNode::insert_by_policy(workload::Batch&& batch) {
+  open_blackout_sample(batch);
   if (scheduler_.reorder_strict_first() && batch.strict) {
     // Strict batches jump ahead of all queued BE batches but stay FIFO
     // among themselves (Section 4.1).
@@ -345,6 +346,7 @@ void WorkerNode::try_dispatch() {
 }
 
 void WorkerNode::start_batch(workload::Batch batch, gpu::Slice* slice) {
+  close_blackout_sample(batch);
   const gpu::JobSpec spec = scheduler_.make_job(batch, *slice, next_job_id_++);
   if (!slice->can_admit(spec)) {
     // Defensive: the policy returned a slice that cannot take the job.
@@ -383,7 +385,10 @@ void WorkerNode::start_batch(workload::Batch batch, gpu::Slice* slice) {
     const double load_frac = config_.memcache.weight_load_fraction;
     const bool weights_hit = cache_->acquire(*slice, batch.model);
     if (container_cold) cold += config_.cold_start * (1.0 - load_frac);
-    if (!weights_hit) cold += config_.cold_start * load_frac;
+    if (!weights_hit) {
+      cold += config_.cold_start * load_frac;
+      batch.weight_load = config_.cold_start * load_frac;
+    }
   } else if (container_cold) {
     cold = config_.cold_start;
   }
@@ -473,6 +478,7 @@ void WorkerNode::begin_exec(workload::Batch batch, SliceId slice_id,
     --pool.busy;
     --running_;
     batch.cold_start = 0.0;  // already paid; don't double-charge on retry
+    batch.weight_load = 0.0;
     if (tracer != nullptr && tracer->wants(obs::kSpans)) {
       tracer->async_begin(obs::kSpans, "queue", batch.id,
                           static_cast<int>(id_) + 1, sim_.now(),
@@ -515,6 +521,7 @@ void WorkerNode::on_complete(workload::Batch batch,
   }
   batch.completed_at = done.finished_at;
   batch.exec_time = done.exec_time;
+  batch.swap_stall = done.swap_stall;
   PROTEAN_DCHECK(running_ > 0);
   --running_;
   ++batches_served_;
@@ -560,8 +567,12 @@ void WorkerNode::handle_lost(workload::Batch batch) {
                {{"batch", static_cast<double>(batch.id)},
                 {"strict", batch.strict ? 1.0 : 0.0}});
   }
-  // Reset service-side fields so a retry accounts from scratch.
+  // Reset service-side fields so a retry accounts from scratch. (The
+  // cumulative attribution lanes — retry_overhead, reconfig_blackout —
+  // survive on purpose: the retry accrual charges the lost wall time.)
   batch.cold_start = 0.0;
+  batch.weight_load = 0.0;
+  batch.swap_stall = 0.0;
   batch.reserved_gb = 0.0;
   batch.exec_start = 0.0;
   batch.completed_at = 0.0;
@@ -645,7 +656,8 @@ std::vector<workload::Batch> WorkerNode::take_queue() {
       std::make_move_iterator(queue_.end()));
   queue_.clear();
   obs::Tracer* tracer = config_.tracer;
-  for (const workload::Batch& b : flushed) {
+  for (workload::Batch& b : flushed) {
+    close_blackout_sample(b);
     outstanding_work_ =
         std::max(0.0, outstanding_work_ - b.model->solo_time_7g);
     if (tracer != nullptr && tracer->wants(obs::kSpans)) {
@@ -669,6 +681,7 @@ std::vector<workload::Batch> WorkerNode::evict() {
       std::make_move_iterator(queue_.end()));
   queue_.clear();
   obs::Tracer* tracer = config_.tracer;
+  for (workload::Batch& b : flushed) close_blackout_sample(b);
   if (tracer != nullptr && tracer->wants(obs::kSpans)) {
     for (const workload::Batch& b : flushed) {
       tracer->async_end(obs::kSpans, "queue", b.id,
@@ -680,6 +693,7 @@ std::vector<workload::Batch> WorkerNode::evict() {
   // they move to another node (their cold-start charge resets).
   for (auto& [token, batch] : booting_) {
     batch.cold_start = 0.0;
+    batch.weight_load = 0.0;
     batch.reserved_gb = 0.0;  // the reservation dies with the GPU below
     PROTEAN_DCHECK(running_ > 0);
     --running_;

@@ -259,6 +259,17 @@ class WorkerNode {
   gpu::Slice* find_slice(SliceId slice_id);
   void reap_containers();
   void insert_by_policy(workload::Batch&& batch);
+  /// Reconfiguration-blackout bracketing (src/attr): a queued batch's
+  /// reconfig_blackout accrues exactly the GPU downtime it overlapped, as
+  /// the difference of the monotone downtime counter at dequeue vs enqueue.
+  /// Every insert_by_policy() opens a sample; start_batch/take_queue/evict
+  /// close it. Pure bookkeeping — never read by any scheduling decision.
+  void open_blackout_sample(workload::Batch& batch) {
+    if (gpu_) batch.reconfig_blackout -= gpu_->downtime_seconds();
+  }
+  void close_blackout_sample(workload::Batch& batch) {
+    if (gpu_) batch.reconfig_blackout += gpu_->downtime_seconds();
+  }
   void notify_load() {
     if (load_listener_) load_listener_();
   }

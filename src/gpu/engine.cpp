@@ -143,6 +143,19 @@ double Slice::job_rate(const Running& job) const noexcept {
   return std::min(1.0, job.solo_slowdown / current_slowdown());
 }
 
+double Slice::job_rate_noswap(const Running& job) const noexcept {
+  const double swap = total_swap_factor();
+  if (swap <= 1.0) return job_rate(job);
+  if (mode_ == SharingMode::kTimeShare) return 1.0;
+  if (mode_ == SharingMode::kSoftSlice && soft_.time_slice) {
+    return swap / current_slowdown();
+  }
+  // Removing the swap factor can lift the job back to its solo ceiling but
+  // never beyond rate 1 — mirrors job_rate()'s min(1, ·) clamp, so the
+  // no-swap rate is always >= the actual rate and the stall accrual is >= 0.
+  return std::min(1.0, job.solo_slowdown * swap / current_slowdown());
+}
+
 void Slice::submit(const JobSpec& spec, CompletionCallback on_done) {
   PROTEAN_CHECK_MSG(can_admit(spec), "submit() without can_admit()");
   PROTEAN_CHECK_MSG(spec.solo_time > 0.0, "job with non-positive solo time");
@@ -157,7 +170,7 @@ void Slice::submit(const JobSpec& spec, CompletionCallback on_done) {
   }
   if (mode_ == SharingMode::kTimeShare) last_model_tag_ = spec.model_tag;
   jobs_.push_back(
-      Running{spec, work, solo_slowdown, sim_.now(), std::move(on_done)});
+      Running{spec, work, solo_slowdown, sim_.now(), 0.0, std::move(on_done)});
   MemGb charge = spec.mem_gb;
   if (shared_weights_ && spec.weight_gb > 0.0) {
     const MemGb weight = std::min(spec.weight_gb, spec.mem_gb);
@@ -188,9 +201,19 @@ void Slice::settle() {
   const SimTime now = sim_.now();
   const Duration elapsed = now - last_update_;
   if (elapsed > 0.0 && !jobs_.empty()) {
+    const double swap = total_swap_factor();
     for (Running& job : jobs_) {
-      job.remaining_work =
-          std::max(0.0, job.remaining_work - elapsed * job_rate(job));
+      const double rate = job_rate(job);
+      job.remaining_work = std::max(0.0, job.remaining_work - elapsed * rate);
+      if (swap > 1.0) {
+        // Per-job share of the swap stall: the fraction of this interval
+        // the job lost versus running at its swap-free rate. Sums across
+        // settles to the job's exec-time inflation from oversubscription.
+        const double rate_ns = job_rate_noswap(job);
+        if (rate_ns > rate) {
+          job.swap_stall += elapsed * (1.0 - rate / rate_ns);
+        }
+      }
     }
   }
   // Utilization integrals.
@@ -288,6 +311,7 @@ void Slice::complete_front_runner() {
     completion.finished_at = sim_.now();
     completion.exec_time = sim_.now() - job.started_at;
     completion.solo_time = job.spec.solo_time;
+    completion.swap_stall = job.swap_stall;
     if (job.on_done) job.on_done(completion);
   }
   if (owner_ != nullptr) owner_->on_job_complete();
@@ -322,6 +346,7 @@ std::size_t Slice::abort_jobs() {
     completion.finished_at = sim_.now();
     completion.exec_time = sim_.now() - job.started_at;
     completion.solo_time = job.spec.solo_time;
+    completion.swap_stall = job.swap_stall;
     completion.failed = true;
     if (job.on_done) job.on_done(completion);
   }
@@ -500,11 +525,13 @@ void Gpu::maybe_finish_drain() {
   // attempt (injected fault) pays a longer downtime and comes back with the
   // old layout; the caller's reconfigurator retries on a later tick.
   state_ = State::kDown;
+  down_since_ = sim_.now();
   const bool fault = reconfig_should_fail_ && reconfig_should_fail_();
   const Duration downtime =
       fault ? reconfigure_time_ * reconfig_fail_multiplier_ : reconfigure_time_;
   reconfig_event_ = sim_.schedule_after(downtime, [this, fault, downtime] {
     reconfig_event_ = sim::EventHandle();
+    completed_downtime_ += downtime;
     if (tracer_ != nullptr && tracer_->wants(obs::kSpans)) {
       // Emitted at completion so the span carries its real extent; tid 999
       // keeps the downtime lane clear of the per-slice busy lanes.
@@ -703,6 +730,12 @@ double Gpu::swap_stall_seconds() const noexcept {
   double total = swap_stall_retired_;
   for (const auto& s : slices_) total += s->swap_stall_seconds();
   for (const auto& s : retiring_) total += s->swap_stall_seconds();
+  return total;
+}
+
+double Gpu::downtime_seconds() const noexcept {
+  double total = completed_downtime_;
+  if (state_ == State::kDown) total += sim_.now() - down_since_;
   return total;
 }
 

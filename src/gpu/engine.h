@@ -121,6 +121,10 @@ struct JobCompletion {
   Duration exec_time = 0.0;
   /// The job's solo time on the slice it ran on (for breakdown accounting).
   Duration solo_time = 0.0;
+  /// Portion of exec_time this job spent stalled on weight swapping
+  /// (memory oversubscription); 0 when the slice never swapped. Subset of
+  /// exec_time, disjoint from contention slowdown.
+  Duration swap_stall = 0.0;
   /// True when the job was aborted by a fault (node crash, slice ECC
   /// degradation); the work was lost, not served.
   bool failed = false;
@@ -245,11 +249,15 @@ class Slice {
     Duration remaining_work;  // seconds of solo-time-equivalent work left
     double solo_slowdown;     // S(p_j): the job's own solo pressure factor
     SimTime started_at;
+    Duration swap_stall = 0.0;  // seconds lost to weight swapping so far
     CompletionCallback on_done;
   };
 
   /// Progress rate of a resident job under the current pressure.
   double job_rate(const Running& job) const noexcept;
+  /// The rate the same job would progress at were the swap factor 1.0;
+  /// the gap between the two is the job's swap-stall accrual in settle().
+  double job_rate_noswap(const Running& job) const noexcept;
 
   /// Combined slowdown from weight swapping: the model cache's factor times
   /// the engine's own oversubscription factor (kSoftSlice).
@@ -427,6 +435,10 @@ class Gpu {
   double memory_gb_seconds() const noexcept;
   /// Swap-stall seconds across slices (incl. reconfiguration-retired ones).
   double swap_stall_seconds() const noexcept;
+  /// Monotone total of reconfiguration downtime (state kDown), seconds up
+  /// to now — includes the live in-progress blackout, so two reads bracket
+  /// a batch's exposure to this GPU's blackouts exactly (src/attr).
+  double downtime_seconds() const noexcept;
   /// Total GPU memory (for normalizing memory utilization).
   MemGb memory_capacity() const noexcept { return memory_gb_; }
   /// Number of completed reconfigurations.
@@ -494,6 +506,9 @@ class Gpu {
   // Integrals carried over from slices destroyed by reconfiguration.
   double mem_integral_retired_ = 0.0;
   double swap_stall_retired_ = 0.0;
+  // Reconfiguration-blackout accounting (downtime_seconds()).
+  double completed_downtime_ = 0.0;
+  SimTime down_since_ = 0.0;
 
   std::uint32_t next_slice_id_ = 0;
 };

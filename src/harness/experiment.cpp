@@ -92,6 +92,13 @@ Report run_experiment(const ExperimentConfig& config) {
           pipeline->observe_batch(when, strict, lat_first, lat_last, count,
                                   slo);
         });
+    if (const attr::AttributionEngine* ae = deployment.attribution()) {
+      // Burn-rate alerts carry the cause currently dominating the
+      // violation tally (docs/attribution.md). Only invoked during
+      // scrapes, while the deployment is alive.
+      pipeline->set_dominant_cause_provider(
+          [ae] { return ae->dominant_cause(); });
+    }
   }
 
   trace::DriverConfig driver_config;
@@ -316,6 +323,44 @@ Report run_experiment(const ExperimentConfig& config) {
     report.workflow.e2e_p99_ms = report.strict_p99_ms;
   }
 
+  if (const attr::AttributionEngine* ae = deployment.attribution()) {
+    report.attribution.enabled = true;
+    report.attribution.requests = ae->requests();
+    report.attribution.batches = ae->batches();
+    report.attribution.violations = ae->violations();
+    report.attribution.identity_violations = ae->identity_violations();
+    report.attribution.negative_component_clamps =
+        collector.negative_component_clamps();
+    report.attribution.dominant_cause = ae->dominant_cause();
+    // The exactness contract: the engine classifies with the collector's
+    // own arithmetic over the same record stream, so the two violation
+    // counts must agree to the request.
+    PROTEAN_DCHECK(ae->violations() == collector.strict_violations());
+    for (int c = 0; c < attr::kCauseCount; ++c) {
+      const auto cause = static_cast<attr::Cause>(c);
+      Report::AttributionStats::CauseRow row;
+      row.cause = attr::cause_name(cause);
+      row.violations = ae->violations_for(cause);
+      if (c < attr::kComponentCount) {
+        row.seconds = ae->component_seconds(cause);
+        const metrics::QuantileSketch& sk = ae->sketch(cause);
+        row.p50_ms = to_ms(sk.quantile(0.50));
+        row.p99_ms = to_ms(sk.quantile(0.99));
+      }
+      report.attribution.causes.push_back(std::move(row));
+    }
+    for (const attr::AttributionEngine::GroupRow& g : ae->group_rows()) {
+      Report::AttributionStats::GroupRow row;
+      row.model = g.model;
+      row.shard = g.shard;
+      row.strict = g.strict;
+      row.requests = g.requests;
+      row.violations = g.violations;
+      if (g.violations > 0) row.dominant = attr::cause_name(g.dominant);
+      report.attribution.groups.push_back(std::move(row));
+    }
+  }
+
   if (controller.has_value()) {
     const autoscale::AutoscaleStats& as = controller->stats();
     report.autoscale.enabled = true;
@@ -359,6 +404,26 @@ Report run_experiment(const ExperimentConfig& config) {
         "reconfigurations",
         static_cast<double>(deployment.total_reconfigurations()));
     tracer->set_summary("horizon", config.trace.horizon + config.drain_grace);
+    if (const attr::AttributionEngine* ae = deployment.attribution()) {
+      // Attribution aggregates for the replay audit (obs::check_invariants
+      // pins the cause lanes against the total and the health counters at
+      // zero) and for slo_explain's trace ingestion path.
+      tracer->set_summary("attr_requests",
+                          static_cast<double>(ae->requests()));
+      tracer->set_summary("attr_violations",
+                          static_cast<double>(ae->violations()));
+      tracer->set_summary("attr_identity_violations",
+                          static_cast<double>(ae->identity_violations()));
+      tracer->set_summary(
+          "negative_component_clamps",
+          static_cast<double>(collector.negative_component_clamps()));
+      for (int c = 0; c < attr::kCauseCount; ++c) {
+        const auto cause = static_cast<attr::Cause>(c);
+        tracer->set_summary(
+            std::string("attr_cause_") + attr::cause_name(cause),
+            static_cast<double>(ae->violations_for(cause)));
+      }
+    }
   }
 
   deployment.stop();

@@ -173,6 +173,10 @@ struct ExperimentConfig {
     cluster.workflow = wf;
     return *this;
   }
+  ExperimentConfig& with_attr(const attr::AttrConfig& ac) {
+    cluster.attr = ac;
+    return *this;
+  }
   ExperimentConfig& with_seed(std::uint64_t s) {
     seed = s;
     return *this;
@@ -320,6 +324,38 @@ struct Report {
     double e2e_p99_ms = 0.0;
   };
   WorkflowStats workflow;
+
+  /// Attribution results (zeroed unless cluster.attr.enabled). The engine
+  /// is exact: `violations` equals the collector's strict-violation count,
+  /// every violation carries exactly one cause, and `identity_violations`
+  /// / `negative_component_clamps` are hard zeros on a healthy run.
+  struct AttributionStats {
+    bool enabled = false;
+    std::uint64_t requests = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t violations = 0;
+    std::uint64_t identity_violations = 0;
+    std::uint64_t negative_component_clamps = 0;
+    std::string dominant_cause;  ///< "none" when the run is clean
+    struct CauseRow {
+      std::string cause;            ///< stable lane name
+      std::uint64_t violations = 0; ///< violations blamed on this lane
+      double seconds = 0.0;         ///< summed lane seconds over requests
+      double p50_ms = 0.0;          ///< per-batch lane sketch percentiles
+      double p99_ms = 0.0;
+    };
+    std::vector<CauseRow> causes;  ///< enum order (formation..dropped)
+    struct GroupRow {
+      std::string model;
+      int shard = 0;
+      bool strict = false;
+      std::uint64_t requests = 0;
+      std::uint64_t violations = 0;
+      std::string dominant;  ///< empty when the group has no violations
+    };
+    std::vector<GroupRow> groups;  ///< model x shard x strictness rows
+  };
+  AttributionStats attribution;
 
   std::vector<float> strict_latencies;  ///< filled if keep_latency_samples
   /// Per-node (time, resident GB) timelines; filled if keep_mem_timeline.

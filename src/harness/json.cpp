@@ -115,6 +115,12 @@ Json report_to_json(const Report& report) {
                            report.tail_breakdown.deficiency * 1e3);
     breakdown.emplace_back("interference_ms",
                            report.tail_breakdown.interference * 1e3);
+    if (report.tail_breakdown.swap != 0.0) {
+      // Swap stall is split out of interference only when memory was
+      // actually oversubscribed; omitting the zero keeps default runs
+      // byte-identical to pre-split builds.
+      breakdown.emplace_back("swap_stall_ms", report.tail_breakdown.swap * 1e3);
+    }
     o.emplace_back("tail_breakdown", Json(std::move(breakdown)));
   }
   o.emplace_back("throughput_strict", report.throughput_strict);
@@ -215,6 +221,51 @@ Json report_to_json(const Report& report) {
     wf.emplace_back("e2e_p50_ms", report.workflow.e2e_p50_ms);
     wf.emplace_back("e2e_p99_ms", report.workflow.e2e_p99_ms);
     o.emplace_back("workflow", Json(std::move(wf)));
+  }
+  if (report.attribution.enabled) {
+    // Appended only when attribution is on, so plain runs serialize
+    // byte-identically to pre-attr builds. tools/slo_explain ingests this
+    // block; its field names are part of that contract.
+    const auto& attr = report.attribution;
+    Json::Object a;
+    a.emplace_back("requests", attr.requests);
+    a.emplace_back("batches", attr.batches);
+    a.emplace_back("violations", attr.violations);
+    a.emplace_back("identity_violations", attr.identity_violations);
+    a.emplace_back("negative_component_clamps",
+                   attr.negative_component_clamps);
+    a.emplace_back("dominant_cause", attr.dominant_cause);
+    {
+      Json::Array causes;
+      causes.reserve(attr.causes.size());
+      for (const auto& row : attr.causes) {
+        Json::Object c;
+        c.emplace_back("cause", row.cause);
+        c.emplace_back("violations", row.violations);
+        c.emplace_back("seconds", row.seconds);
+        c.emplace_back("p50_ms", row.p50_ms);
+        c.emplace_back("p99_ms", row.p99_ms);
+        causes.push_back(Json(std::move(c)));
+      }
+      a.emplace_back("causes", Json(std::move(causes)));
+    }
+    {
+      Json::Array groups;
+      groups.reserve(attr.groups.size());
+      for (const auto& row : attr.groups) {
+        Json::Object g;
+        g.emplace_back("model", row.model);
+        g.emplace_back("shard", static_cast<std::uint64_t>(
+                                    row.shard < 0 ? 0 : row.shard));
+        g.emplace_back("strict", row.strict);
+        g.emplace_back("requests", row.requests);
+        g.emplace_back("violations", row.violations);
+        if (!row.dominant.empty()) g.emplace_back("dominant", row.dominant);
+        groups.push_back(Json(std::move(g)));
+      }
+      a.emplace_back("groups", Json(std::move(groups)));
+    }
+    o.emplace_back("attribution", Json(std::move(a)));
   }
   if (!report.strict_latencies.empty()) {
     Json::Object percentiles;

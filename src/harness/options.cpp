@@ -4,6 +4,7 @@
 #include <cctype>
 #include <map>
 
+#include "attr/config.h"
 #include "autoscale/policy.h"
 #include "fault/config.h"
 #include "harness/flagspec.h"
@@ -261,6 +262,23 @@ std::optional<workflow::WorkflowConfig> parse_workflow_spec(
   return base;
 }
 
+/// Parses an `--attr` on[:KEY=V,...] spec (docs/attribution.md).
+std::optional<attr::AttrConfig> parse_attr_spec(const std::string& spec,
+                                                attr::AttrConfig base,
+                                                std::string* why = nullptr) {
+  FlagSpec fs(spec, FlagSpec::Head::kFirstColon);
+  if (fs.ok() && fs.head() != "on") {
+    fs.fail("unknown attr mode '" + fs.head() + "' (want on)");
+  }
+  if (const auto v = fs.num("alpha", 0.0001, 0.5)) base.sketch_alpha = *v;
+  if (!fs.finish()) {
+    if (why != nullptr) *why = fs.error();
+    return std::nullopt;
+  }
+  base.enabled = true;
+  return base;
+}
+
 }  // namespace
 
 std::optional<sched::Scheme> scheme_from_alias(const std::string& alias) {
@@ -365,6 +383,17 @@ Workflows (see docs/workflows.md; off unless --workflow is given):
                         e.g. --workflow diamond:transfer=256,bw=8.
                         Pipeline-conscious placement: --scheme protean-pipe
 
+Attribution (see docs/attribution.md; off unless --attr is given):
+  --attr on[:OPTS]      exact per-request SLO-violation attribution: every
+                        strict latency decomposes into named components
+                        (formation, queue, cold boot, weight load, swap
+                        stall, deficiency, interference, transfer, retry,
+                        blackout, service) whose sum equals the observed
+                        latency; the report/JSON gain an attribution
+                        block and telemetry exports per-cause series.
+                        OPTS: alpha=F (per-cause sketch relative error,
+                        default 0.01). Explore runs with tools/slo_explain
+
 Sweep:
   --seeds N             replications per configuration with seeds
                         seed..seed+N-1; reports mean / stddev / 95% CI
@@ -420,7 +449,8 @@ const std::vector<std::string>& cli_flags() {
       "--p-rev",         "--faults",
       "--fault-retries", "--hedge",
       "--autoscale",     "--substrate",
-      "--workflow",      "--seed",
+      "--workflow",      "--attr",
+      "--seed",
       "--seeds",
       "--jobs",          "--gpu-mem",
       "--memcache",      "--memcache-oversubscribe",
@@ -711,6 +741,22 @@ CliParseResult parse_cli(const std::vector<std::string>& args) {
                     "diamond | shared — see docs/workflows.md)");
       }
       opts.config.cluster.workflow = *wf;
+    } else if (arg == "--attr" || arg.rfind("--attr=", 0) == 0) {
+      std::string spec;
+      if (arg == "--attr") {
+        const auto value = next("--attr");
+        if (!value) return fail("--attr needs on[:OPTS]");
+        spec = *value;
+      } else {
+        spec = arg.substr(std::string("--attr=").size());
+      }
+      std::string why;
+      const auto ac = parse_attr_spec(spec, opts.config.cluster.attr, &why);
+      if (!ac) {
+        return fail("bad --attr value: " + spec + " (" + why +
+                    "; want on[:alpha=F] — see docs/attribution.md)");
+      }
+      opts.config.cluster.attr = *ac;
     } else if (arg == "--sketch") {
       const auto value = next("--sketch");
       const auto alpha = value ? parse_double(*value) : std::nullopt;

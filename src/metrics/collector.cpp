@@ -40,6 +40,13 @@ void Collector::record(const workload::Batch& batch) {
     observer_(batch.completed_at, batch.strict, lat_first, lat_last,
               batch.count, batch.slo);
   }
+  if (attr_batch_hook_) attr_batch_hook_(batch, lat_first, lat_last);
+
+  // The clamp in queue_delay() hides accounting bugs (time charged to two
+  // components at once); count raw negatives so audits can assert zero.
+  const double raw_queue =
+      (batch.exec_start - batch.first_arrival) - batch.cold_start;
+  if (raw_queue < -1e-9) ++negative_component_clamps_;
 
   BatchBreakdown bb;
   bb.completed_at = batch.completed_at;
@@ -52,6 +59,7 @@ void Collector::record(const workload::Batch& batch) {
   bb.min_time = batch.solo_min;
   bb.deficiency = batch.deficiency_delay();
   bb.interference = batch.interference_delay();
+  bb.swap = batch.swap_stall_delay();
   bb.count = batch.count;
   bb.strict = batch.strict;
   batches_.push_back(bb);
@@ -94,13 +102,17 @@ void Collector::record_stage(const workload::Batch& batch) {
   stage_queue_seconds_ += batch.stage_queue_delay();
   stage_cold_seconds_ += batch.cold_start;
   stage_exec_seconds_ += batch.exec_time;
+  const SimTime since = batch.stage > 0 ? batch.formed_at : batch.first_arrival;
+  const double raw_queue =
+      (batch.exec_start - since) - batch.cold_start - batch.transfer;
+  if (raw_queue < -1e-9) ++negative_component_clamps_;
 }
 
-void Collector::record_flow(const FlowRecord& flow) {
+bool Collector::record_flow(const FlowRecord& flow) {
   PROTEAN_CHECK_MSG(flow.completed_at > 0.0, "flow not completed");
   PROTEAN_CHECK_MSG(flow.count > 0, "empty flow");
-  if (!claim(flow.id)) return;  // raced a terminal drop under dedup
-  if (flow.first_arrival < measure_from_) return;
+  if (!claim(flow.id)) return false;  // raced a terminal drop under dedup
+  if (flow.first_arrival < measure_from_) return false;
   ++flows_recorded_;
 
   const double lat_first = flow.completed_at - flow.first_arrival;
@@ -127,15 +139,18 @@ void Collector::record_flow(const FlowRecord& flow) {
   bb.min_time = flow.min_time;
   bb.deficiency = flow.deficiency;
   bb.interference = flow.interference;
+  bb.swap = flow.swap;
   bb.count = flow.count;
   bb.strict = flow.strict;
   batches_.push_back(bb);
+  return true;
 }
 
 void Collector::record_dropped(bool strict, int count) {
   dropped_ += static_cast<std::uint64_t>(count);
   // A dropped strict request is an SLO violation by definition.
   if (strict) strict_total_ += static_cast<std::uint64_t>(count);
+  if (attr_drop_hook_) attr_drop_hook_(strict, count);
 }
 
 double Collector::slo_compliance_pct() const noexcept {
@@ -154,6 +169,7 @@ Breakdown average_over(const std::vector<const BatchBreakdown*>& batches) {
     out.min_time += b->min_time;
     out.deficiency += b->deficiency;
     out.interference += b->interference;
+    out.swap += b->swap;
   }
   const double n = static_cast<double>(batches.size());
   out.queue /= n;
@@ -161,6 +177,7 @@ Breakdown average_over(const std::vector<const BatchBreakdown*>& batches) {
   out.min_time /= n;
   out.deficiency /= n;
   out.interference /= n;
+  out.swap /= n;
   return out;
 }
 }  // namespace

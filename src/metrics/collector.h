@@ -32,6 +32,7 @@ struct BatchBreakdown {
   double min_time = 0.0;      // solo on 7g: the "min possible time"
   double deficiency = 0.0;    // RDF-induced slowdown
   double interference = 0.0;  // MPS co-location slowdown
+  double swap = 0.0;          // memory-oversubscription swap stall
   double slo = 0.0;           // relative deadline (strict only)
   int count = 0;
   bool strict = false;
@@ -45,8 +46,9 @@ struct Breakdown {
   double min_time = 0.0;
   double deficiency = 0.0;
   double interference = 0.0;
+  double swap = 0.0;
   double total() const noexcept {
-    return queue + cold + min_time + deficiency + interference;
+    return queue + cold + min_time + deficiency + interference + swap;
   }
 };
 
@@ -70,6 +72,7 @@ struct FlowRecord {
   Duration min_time = 0.0;      ///< critical-path solo service time
   Duration deficiency = 0.0;    ///< summed RDF-induced slowdowns
   Duration interference = 0.0;  ///< summed co-location slowdowns
+  Duration swap = 0.0;          ///< summed swap-stall time
   Duration transfer = 0.0;      ///< summed inter-stage transfer hops
 };
 
@@ -96,6 +99,25 @@ class Collector {
       std::function<void(SimTime, bool, double, double, int, double)>;
   void set_batch_observer(BatchObserver observer) {
     observer_ = std::move(observer);
+  }
+
+  // ---- attribution feed (src/attr) ---------------------------------------
+  //
+  // Same contract as the batch observer, but with the full Batch in hand so
+  // the attribution engine can decompose it. Called after the dedup and
+  // measure_from filters, i.e. exactly once per batch this collector's own
+  // statistics counted — which is what makes the engine's violation totals
+  // reproduce strict_violations() exactly. Function-typed (not a direct
+  // dependency) so metrics stays below attr in the build graph.
+  using AttrBatchHook =
+      std::function<void(const workload::Batch&, double, double)>;
+  void set_attr_batch_hook(AttrBatchHook hook) {
+    attr_batch_hook_ = std::move(hook);
+  }
+  /// Invoked from record_dropped() with (strict, count).
+  using AttrDropHook = std::function<void(bool, int)>;
+  void set_attr_drop_hook(AttrDropHook hook) {
+    attr_drop_hook_ = std::move(hook);
   }
 
   /// Switches the latency store from per-request float vectors to
@@ -137,7 +159,9 @@ class Collector {
   /// measure_from filter, expands the same per-request latency ramp as
   /// record(), and counts SLO compliance against the flow's end-to-end
   /// deadline. The batch-records entry folds transfer time into queueing.
-  void record_flow(const FlowRecord& flow);
+  /// Returns true iff the flow entered the statistics (not deduped or
+  /// filtered) — the attribution engine keys off the same verdict.
+  bool record_flow(const FlowRecord& flow);
 
   std::uint64_t stages_recorded() const noexcept { return stages_recorded_; }
   std::uint64_t flows_recorded() const noexcept { return flows_recorded_; }
@@ -206,6 +230,19 @@ class Collector {
   /// Percentage of strict requests that met their SLO deadline, in [0,100].
   double slo_compliance_pct() const noexcept;
 
+  /// Strict requests that missed their deadline (dropped strict requests
+  /// count: they enter strict_total_ but never strict_compliant_).
+  std::uint64_t strict_violations() const noexcept {
+    return strict_total_ - strict_compliant_;
+  }
+
+  /// Times the raw queue-delay expression in record()/record_stage() went
+  /// below -1e-9 before clamping — a nonzero value means some component
+  /// accounting double-charged time (see queue_delay()'s clamp).
+  std::uint64_t negative_component_clamps() const noexcept {
+    return negative_component_clamps_;
+  }
+
   /// Latency percentile in seconds over strict (or BE) request latencies.
   /// Exact over the sample vectors; within the configured relative-error
   /// bound in sketch mode.
@@ -265,6 +302,8 @@ class Collector {
   std::optional<QuantileSketch> strict_sketch_;
   std::optional<QuantileSketch> be_sketch_;
   BatchObserver observer_;
+  AttrBatchHook attr_batch_hook_;
+  AttrDropHook attr_drop_hook_;
   std::vector<BatchBreakdown> batches_;
   std::uint64_t strict_total_ = 0;
   std::uint64_t strict_compliant_ = 0;
@@ -284,6 +323,7 @@ class Collector {
   double stage_queue_seconds_ = 0.0;
   double stage_cold_seconds_ = 0.0;
   double stage_exec_seconds_ = 0.0;
+  std::uint64_t negative_component_clamps_ = 0;
   bool dedup_ = false;
   bool legacy_reserve_ = false;
   std::unordered_set<BatchId> seen_;

@@ -453,6 +453,25 @@ CheckResult check_invariants(const ParsedTrace& trace) {
     // them against.
   }
 
+  // Attribution accounting health (keys present only on --attr runs).
+  // Every classified violation lands in exactly one cause lane, so the
+  // lanes must sum back to the violation total; the clamp and identity
+  // counters are hard zeros on a healthy run — any other value means the
+  // exact-decomposition contract broke somewhere upstream.
+  if (auto total = aggregate("attr_violations")) {
+    double lanes = 0.0;
+    for (const auto& [key, value] : trace.collector) {
+      if (key.rfind("attr_cause_", 0) == 0) lanes += value;
+    }
+    check("attr_violations (sum of attr_cause_* lanes)", lanes, *total);
+  }
+  if (auto clamps = aggregate("negative_component_clamps")) {
+    check("negative_component_clamps (must be zero)", 0.0, *clamps);
+  }
+  if (auto idv = aggregate("attr_identity_violations")) {
+    check("attr_identity_violations (must be zero)", 0.0, *idv);
+  }
+
   // Structural sanity, independent of category filters.
   for (const ParsedEvent& e : trace.events) {
     if (e.ph == "X" && e.dur_us < 0.0) {

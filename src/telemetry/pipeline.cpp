@@ -200,19 +200,34 @@ void TelemetryPipeline::scrape(SimTime now) {
 
   if (edge) {
     const BurnAlertEvent& event = monitor_.events().back();
+    // The attribution enrichment names the cause currently dominating the
+    // violation tally — the on-call answer to "why is this alert firing".
+    const std::string cause = dominant_cause_ ? dominant_cause_() : "";
     if (options_.enabled()) {
       std::string alert = "{\"t\":" + fmt_double(now) +
                           ",\"event\":\"slo_burn_alert\",\"state\":\"";
       alert += event.fired ? "firing" : "cleared";
       alert += "\",\"fast_burn\":" + fmt_double(event.fast_burn) +
-               ",\"slow_burn\":" + fmt_double(event.slow_burn) + "}";
+               ",\"slow_burn\":" + fmt_double(event.slow_burn);
+      if (!cause.empty()) {
+        alert += ",\"dominant_cause\":\"" + cause + "\"";
+      }
+      alert += "}";
       lines_.push_back(std::move(alert));
     }
     if (tracer_ != nullptr) {
-      tracer_->instant(obs::kSpans, "slo_burn_alert", /*pid=*/0,
-                       {{"state", event.fired ? "firing" : "cleared"},
-                        {"fast_burn", event.fast_burn},
-                        {"slow_burn", event.slow_burn}});
+      if (cause.empty()) {
+        tracer_->instant(obs::kSpans, "slo_burn_alert", /*pid=*/0,
+                         {{"state", event.fired ? "firing" : "cleared"},
+                          {"fast_burn", event.fast_burn},
+                          {"slow_burn", event.slow_burn}});
+      } else {
+        tracer_->instant(obs::kSpans, "slo_burn_alert", /*pid=*/0,
+                         {{"state", event.fired ? "firing" : "cleared"},
+                          {"fast_burn", event.fast_burn},
+                          {"slow_burn", event.slow_burn},
+                          {"dominant_cause", cause}});
+      }
     }
   }
 

@@ -108,6 +108,15 @@ class TelemetryPipeline {
     scrape_listener_ = std::move(fn);
   }
 
+  /// When set, burn-rate alert edges are enriched with the attribution
+  /// engine's *current* dominant violation cause: the JSONL alert line
+  /// gains a `"dominant_cause"` field and the tracer instant an equal arg.
+  /// Unset (the default), alert output is byte-identical to pre-attr
+  /// builds.
+  void set_dominant_cause_provider(std::function<std::string()> fn) {
+    dominant_cause_ = std::move(fn);
+  }
+
   /// Performs the final scrape at `end` and stops the periodic task.
   /// Call once, after the simulation drains and before write_files().
   void finish(SimTime end);
@@ -138,6 +147,7 @@ class TelemetryPipeline {
   std::uint64_t window_strict_total_ = 0;
   std::uint64_t window_strict_ok_ = 0;
   std::function<void(SimTime, double, std::uint64_t)> scrape_listener_;
+  std::function<std::string()> dominant_cause_;
   std::vector<std::string> lines_;
   // Scrape-plan caches: pre-escaped `"name":` JSONL fragments keyed on
   // the registry's plan version, a reused value buffer, and the final

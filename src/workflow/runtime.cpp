@@ -38,6 +38,7 @@ bool WorkflowRuntime::admit(workload::Batch& batch) {
   state.done.assign(stages, 0);
   state.node.assign(stages, 0);
   state.finished.assign(stages, 0.0);
+  if (attr_ != nullptr) state.parts.assign(stages, attr::Decomposition{});
   ++flows_admitted_;
   if (flows_admitted_counter_) flows_admitted_counter_->inc();
 
@@ -106,6 +107,8 @@ std::vector<workload::Batch> WorkflowRuntime::on_stage_complete(
   state.deficiency += batch.deficiency_delay();
   state.interference += batch.interference_delay();
   state.transfer += batch.transfer;
+  state.swap += batch.swap_stall_delay();
+  if (attr_ != nullptr) state.parts[si] = attr_->decompose_checked(batch);
   ++stages_completed_;
   collector_.record_stage(batch);
   if (tracer_ != nullptr && tracer_->wants(obs::kSpans)) {
@@ -156,7 +159,40 @@ void WorkflowRuntime::finish_flow(std::uint64_t flow, FlowState& state,
   record.deficiency = state.deficiency;
   record.interference = state.interference;
   record.transfer = state.transfer;
-  collector_.record_flow(record);
+  record.swap = state.swap;
+  const bool recorded = collector_.record_flow(record);
+  if (attr_ != nullptr && recorded) {
+    // Walk the critical stage chain back from the last-finishing sink.
+    // Each stage's accounting span starts where its critical predecessor's
+    // ended (formed_at == the predecessor's completion event), so summing
+    // the per-stage decompositions telescopes to the flow latency exactly.
+    int stage = -1;
+    SimTime latest = -1.0;
+    for (const int sink : spec_.sinks()) {
+      if (state.finished[static_cast<std::size_t>(sink)] >= latest) {
+        latest = state.finished[static_cast<std::size_t>(sink)];
+        stage = sink;
+      }
+    }
+    PROTEAN_CHECK(stage >= 0);
+    const NodeId sink_node = state.node[static_cast<std::size_t>(stage)];
+    attr::Decomposition chain;
+    while (stage >= 0) {
+      chain += state.parts[static_cast<std::size_t>(stage)];
+      // Same critical-predecessor rule as make_stage_batch: the
+      // last-finishing input, ties broken toward later edge order.
+      int pred = -1;
+      latest = -1.0;
+      for (const Edge& edge : spec_.stage(stage).inputs) {
+        if (state.finished[static_cast<std::size_t>(edge.pred)] >= latest) {
+          latest = state.finished[static_cast<std::size_t>(edge.pred)];
+          pred = edge.pred;
+        }
+      }
+      stage = pred;
+    }
+    attr_->observe_flow(record, chain, sink_node);
+  }
   if (e2e_latency_summary_ != nullptr) {
     e2e_latency_summary_->observe(completed_at - state.first_arrival);
   }

@@ -31,6 +31,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "attr/attribution.h"
 #include "common/types.h"
 #include "metrics/collector.h"
 #include "obs/trace.h"
@@ -91,6 +92,15 @@ class WorkflowRuntime {
 
   void register_telemetry(telemetry::MetricsRegistry& registry);
 
+  /// Attribution engine (nullable). When set, every completing stage
+  /// snapshots its exact latency decomposition and finish_flow() walks the
+  /// critical stage chain back from the last-finishing sink, summing the
+  /// per-stage splits into one end-to-end decomposition whose total must
+  /// telescope to the flow latency (observe_flow checks it two-sided).
+  void set_attribution(attr::AttributionEngine* engine) noexcept {
+    attr_ = engine;
+  }
+
   // ---- statistics --------------------------------------------------------
   std::uint64_t flows_admitted() const noexcept { return flows_admitted_; }
   std::uint64_t flows_completed() const noexcept { return flows_completed_; }
@@ -112,6 +122,10 @@ class WorkflowRuntime {
     std::vector<SimTime> finished;  ///< completion time per stage
     Duration queue = 0.0, cold = 0.0, deficiency = 0.0, interference = 0.0;
     Duration transfer = 0.0;
+    Duration swap = 0.0;  ///< summed swap-stall across stages
+    /// Per-stage exact decompositions; allocated only when attribution is
+    /// on (empty otherwise, costing nothing on the default path).
+    std::vector<attr::Decomposition> parts;
   };
 
   workload::Batch make_stage_batch(std::uint64_t flow, const FlowState& state,
@@ -122,6 +136,7 @@ class WorkflowRuntime {
   WorkflowSpec spec_;
   metrics::Collector& collector_;
   obs::Tracer* tracer_;
+  attr::AttributionEngine* attr_ = nullptr;
   Duration e2e_slo_;
   bool pipeline_budget_;
   /// Stage-batch ids live in a high range disjoint from gateway ids (which

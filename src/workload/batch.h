@@ -67,6 +67,13 @@ struct Batch {
   double edge_mb = 0.0;          ///< intermediate tensor size on that edge
   Duration transfer = 0.0;       ///< inter-stage transfer latency paid
 
+  // --- attribution capture (src/attr; pure bookkeeping, zero by default) ---
+  Duration weight_load = 0.0;       ///< weight-load share of cold_start
+  Duration swap_stall = 0.0;        ///< exec time lost to memory swapping
+  Duration retry_overhead = 0.0;    ///< wall time burned by failed attempts
+  Duration reconfig_blackout = 0.0; ///< queue time under a reconfig blackout
+  Duration blackout_mark = 0.0;     ///< blackout seen at last retry accrual
+
   /// Queueing delay: formation wait plus time queued before execution,
   /// minus any cold start (accounted separately).
   Duration queue_delay() const noexcept {
@@ -88,10 +95,19 @@ struct Batch {
     const Duration d = solo_on_slice - solo_min;
     return d > 0.0 ? d : 0.0;
   }
-  /// Extra latency from MPS co-location contention (Eq. 1 effect).
+  /// Extra latency from MPS co-location contention (Eq. 1 effect). Swap
+  /// stalls from memory oversubscription are carried separately in
+  /// swap_stall_delay(); their sum equals the historical combined value
+  /// (exec_time − solo_on_slice, clamped).
   Duration interference_delay() const noexcept {
-    const Duration d = exec_time - solo_on_slice;
+    const Duration d = exec_time - solo_on_slice - swap_stall;
     return d > 0.0 ? d : 0.0;
+  }
+  /// Execution time lost to weight swapping under memory oversubscription
+  /// (memcache swap slowdown or soft-slice oversubscription). Zero unless
+  /// the serving slice actually swapped.
+  Duration swap_stall_delay() const noexcept {
+    return swap_stall > 0.0 ? swap_stall : 0.0;
   }
   /// End-to-end latency of the batch's *earliest* request.
   Duration worst_latency() const noexcept {

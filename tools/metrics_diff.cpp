@@ -10,6 +10,7 @@
 // equality (state sequence) but their burn values obey the tolerances.
 // Exit 0 when every sample is within tolerance, 1 on any drift or
 // structural mismatch (missing metric, extra scrape), 2 on usage errors.
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -32,6 +33,7 @@ struct AlertEvent {
   std::string state;
   double fast_burn = 0.0;
   double slow_burn = 0.0;
+  std::string dominant_cause;  ///< present on attribution-enabled runs
 };
 
 struct Dump {
@@ -124,10 +126,16 @@ bool parse_line(const std::string& line, Dump& dump) {
     while (expect(line, i, ',')) {
       const auto field = parse_string(line, i);
       if (!field || !expect(line, i, ':')) return false;
-      if (*field == "state") {
-        const auto state = parse_string(line, i);
-        if (!state) return false;
-        alert.state = *state;
+      if (*field == "state" || *field == "dominant_cause") {
+        // String-valued alert fields; dominant_cause appears only when
+        // the run had attribution enabled.
+        const auto text = parse_string(line, i);
+        if (!text) return false;
+        if (*field == "state") {
+          alert.state = *text;
+        } else {
+          alert.dominant_cause = *text;
+        }
       } else {
         const auto value = parse_number(line, i);
         if (!value) return false;
@@ -182,11 +190,47 @@ struct MetricDelta {
 void usage(std::FILE* out) {
   std::fputs(
       "usage: metrics_diff A.jsonl B.jsonl [--abs-tol X] [--rel-tol Y]\n"
-      "                    [--show N]\n"
-      "  --abs-tol X   absolute tolerance per sample (default 0)\n"
-      "  --rel-tol Y   relative tolerance per sample (default 0)\n"
-      "  --show N      print at most N offending metrics (default 20)\n",
+      "                    [--show N] [--top-causes N]\n"
+      "  --abs-tol X      absolute tolerance per sample (default 0)\n"
+      "  --rel-tol Y      relative tolerance per sample (default 0)\n"
+      "  --show N         print at most N offending metrics (default 20)\n"
+      "  --top-causes N   also print each dump's top-N violation causes\n"
+      "                   (final attr_violations_total{cause=...} samples)\n",
       out);
+}
+
+// Final-sample cause ranking of one dump's attribution series (empty when
+// the run had no --attr).
+std::vector<std::pair<std::string, double>> top_causes(const Dump& dump) {
+  std::vector<std::pair<std::string, double>> causes;
+  const std::string prefix = "attr_violations_total{cause=\"";
+  for (const auto& [name, samples] : dump.series) {
+    if (name.rfind(prefix, 0) != 0 || samples.empty()) continue;
+    const std::size_t open = prefix.size();
+    const std::size_t close = name.find('"', open);
+    if (close == std::string::npos) continue;
+    causes.emplace_back(name.substr(open, close - open),
+                        samples.back().value);
+  }
+  std::stable_sort(causes.begin(), causes.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second > b.second;
+                   });
+  return causes;
+}
+
+void print_top_causes(const char* path, const Dump& dump, std::size_t n) {
+  const auto causes = top_causes(dump);
+  if (causes.empty()) {
+    std::printf("%s: no attribution series\n", path);
+    return;
+  }
+  std::printf("%s top causes:\n", path);
+  for (std::size_t i = 0; i < causes.size() && i < n; ++i) {
+    if (causes[i].second <= 0.0) break;
+    std::printf("  %2zu. %-13s %.0f\n", i + 1, causes[i].first.c_str(),
+                causes[i].second);
+  }
 }
 
 }  // namespace
@@ -195,6 +239,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> paths;
   Tolerance tol;
   std::size_t show = 20;
+  std::size_t causes_n = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next_value = [&]() -> std::optional<double> {
@@ -219,6 +264,10 @@ int main(int argc, char** argv) {
       const auto v = next_value();
       if (!v || *v < 0.0) { usage(stderr); return 2; }
       show = static_cast<std::size_t>(*v);
+    } else if (arg == "--top-causes") {
+      const auto v = next_value();
+      if (!v || *v < 1.0) { usage(stderr); return 2; }
+      causes_n = static_cast<std::size_t>(*v);
     } else if (arg.rfind("--", 0) == 0) {
       usage(stderr);
       return 2;
@@ -274,7 +323,8 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < a->alerts.size(); ++i) {
       const auto& ea = a->alerts[i];
       const auto& eb = b->alerts[i];
-      if (ea.state != eb.state || !tol.within(ea.t, eb.t) ||
+      if (ea.state != eb.state || ea.dominant_cause != eb.dominant_cause ||
+          !tol.within(ea.t, eb.t) ||
           !tol.within(ea.fast_burn, eb.fast_burn) ||
           !tol.within(ea.slow_burn, eb.slow_burn)) {
         alerts_ok = false;
@@ -326,6 +376,11 @@ int main(int argc, char** argv) {
     if (offenders.size() > show) {
       std::printf("  ... and %zu more\n", offenders.size() - show);
     }
+  }
+
+  if (causes_n > 0) {
+    print_top_causes(paths[0].c_str(), *a, causes_n);
+    print_top_causes(paths[1].c_str(), *b, causes_n);
   }
 
   if (!structural_ok || !alerts_ok || !offenders.empty()) return 1;

@@ -149,6 +149,38 @@ void print_reports(const harness::CliOptions& opts,
                     r.autoscale.prefetched_slices));
   }
   for (const auto& r : reports) {
+    if (!r.attribution.enabled) continue;
+    std::printf("\n%s attribution: %llu requests in %llu batches, "
+                "%llu violations",
+                r.scheme.c_str(),
+                static_cast<unsigned long long>(r.attribution.requests),
+                static_cast<unsigned long long>(r.attribution.batches),
+                static_cast<unsigned long long>(r.attribution.violations));
+    if (r.attribution.violations > 0) {
+      std::printf(" (dominant: %s)", r.attribution.dominant_cause.c_str());
+    }
+    std::printf("\n");
+    for (const auto& cause : r.attribution.causes) {
+      if (cause.violations == 0) continue;
+      std::printf("  %-13s %6llu violations", cause.cause.c_str(),
+                  static_cast<unsigned long long>(cause.violations));
+      if (cause.seconds >= 0.0) {
+        std::printf("  | %8.1f s total, P50 %.1f ms, P99 %.1f ms",
+                    cause.seconds, cause.p50_ms, cause.p99_ms);
+      }
+      std::printf("\n");
+    }
+    if (r.attribution.identity_violations > 0 ||
+        r.attribution.negative_component_clamps > 0) {
+      std::printf("  WARNING: %llu identity violations, %llu negative "
+                  "clamps (broken accounting)\n",
+                  static_cast<unsigned long long>(
+                      r.attribution.identity_violations),
+                  static_cast<unsigned long long>(
+                      r.attribution.negative_component_clamps));
+    }
+  }
+  for (const auto& r : reports) {
     if (!r.workflow.enabled) continue;
     std::printf("\n%s workflow (%s, %d stages): %llu flows admitted, "
                 "%llu completed, %llu dropped | e2e P50 %.0f ms, "
